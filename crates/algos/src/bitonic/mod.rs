@@ -1,0 +1,34 @@
+//! Bitonic sort (paper Section 6.3).
+//!
+//! Batcher's sorting network sorts `n = 2^k` keys in a fixed schedule of
+//! `k * (k + 1) / 2` compare-exchange steps. Pairs within a step are
+//! independent; consecutive steps are ordered — one grid barrier per step.
+//! The paper highlights that without inter-block synchronization the CUDA
+//! SDK's bitonic sort is limited to a single block (≤ 512 keys); with a
+//! grid barrier the network spans the whole device.
+//!
+//! * [`mod@reference`] — sequential bitonic network (and schedule helpers).
+//! * [`kernel`] — [`GridBitonic`], one round per network step (512
+//!   threads/block in the paper's runs).
+//! * [`workload`] — simulator cost model (the paper's highest-sync
+//!   application: ~60% of time in barriers under CPU implicit sync).
+
+pub mod batched;
+pub mod kernel;
+pub mod keyvalue;
+pub mod reference;
+pub mod workload;
+
+pub use batched::GridBitonicBatched;
+pub use kernel::GridBitonic;
+pub use keyvalue::GridBitonicKv;
+pub use reference::{bitonic_sort, network_schedule};
+pub use workload::BitonicWorkload;
+
+/// Threads per block the paper uses for bitonic sort (Section 7.2).
+pub const PAPER_THREADS_PER_BLOCK: usize = 512;
+
+/// Key count used for the paper-scale experiments (Figures 13c/14c): many
+/// short network steps, each cheaper than the CPU-implicit barrier
+/// (~60% synchronization time, Table 1).
+pub const PAPER_N: usize = 1 << 16;

@@ -1,0 +1,134 @@
+//! Sequential bitonic sorting network — the correctness oracle — and the
+//! network schedule shared with the grid kernel.
+
+/// One compare-exchange step of the network: all pairs `(i, i ^ j)` with
+/// `i < (i ^ j)`, sorted ascending iff `(i & k) == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkStep {
+    /// The bitonic sequence size of the enclosing merge phase (a power of
+    /// two, doubling each phase).
+    pub k: usize,
+    /// The compare distance within the phase (halving each step: k/2 .. 1).
+    pub j: usize,
+}
+
+/// The full schedule of compare-exchange steps for `n = 2^m` keys, in
+/// execution order: `m * (m + 1) / 2` steps.
+///
+/// # Panics
+/// Panics unless `n` is a power of two.
+pub fn network_schedule(n: usize) -> Vec<NetworkStep> {
+    assert!(
+        n.is_power_of_two(),
+        "bitonic sort length must be a power of two, got {n}"
+    );
+    let mut steps = Vec::new();
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j >= 1 {
+            steps.push(NetworkStep { k, j });
+            j /= 2;
+        }
+        k *= 2;
+    }
+    steps
+}
+
+/// Apply one network step to `data` in place.
+pub fn apply_step(data: &mut [u32], step: NetworkStep) {
+    let n = data.len();
+    for i in 0..n {
+        let partner = i ^ step.j;
+        if partner > i {
+            let ascending = (i & step.k) == 0;
+            if (data[i] > data[partner]) == ascending {
+                data.swap(i, partner);
+            }
+        }
+    }
+}
+
+/// Sort `data` in place with the bitonic network.
+///
+/// # Panics
+/// Panics unless the length is a power of two.
+pub fn bitonic_sort(data: &mut [u32]) {
+    for step in network_schedule(data.len()) {
+        apply_step(data, step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqgen::random_keys;
+
+    #[test]
+    fn schedule_size_is_triangular() {
+        // log2(n) = m -> m(m+1)/2 steps.
+        assert_eq!(network_schedule(2).len(), 1);
+        assert_eq!(network_schedule(4).len(), 3);
+        assert_eq!(network_schedule(8).len(), 6);
+        assert_eq!(network_schedule(1 << 10).len(), 55);
+    }
+
+    #[test]
+    fn schedule_order_k_doubles_j_halves() {
+        let s = network_schedule(8);
+        assert_eq!(
+            s,
+            vec![
+                NetworkStep { k: 2, j: 1 },
+                NetworkStep { k: 4, j: 2 },
+                NetworkStep { k: 4, j: 1 },
+                NetworkStep { k: 8, j: 4 },
+                NetworkStep { k: 8, j: 2 },
+                NetworkStep { k: 8, j: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn sorts_random_inputs() {
+        for log_n in 1..=12 {
+            let mut data = random_keys(1 << log_n, log_n as u64);
+            let mut expected = data.clone();
+            expected.sort_unstable();
+            bitonic_sort(&mut data);
+            assert_eq!(data, expected, "n=2^{log_n}");
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_patterns() {
+        for data in [
+            vec![0u32; 64],                                 // constant
+            (0..64u32).collect::<Vec<_>>(),                 // already sorted
+            (0..64u32).rev().collect::<Vec<_>>(),           // reversed
+            (0..64u32).map(|i| i % 2).collect::<Vec<_>>(),  // alternating
+            (0..64u32).map(|i| u32::MAX - i % 7).collect(), // near-max values
+        ] {
+            let mut d = data.clone();
+            let mut expected = data;
+            expected.sort_unstable();
+            bitonic_sort(&mut d);
+            assert_eq!(d, expected);
+        }
+    }
+
+    #[test]
+    fn single_element_is_trivially_sorted() {
+        let mut d = vec![42u32];
+        bitonic_sort(&mut d);
+        assert_eq!(d, vec![42]);
+        assert!(network_schedule(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut d = vec![1u32, 2, 3];
+        bitonic_sort(&mut d);
+    }
+}

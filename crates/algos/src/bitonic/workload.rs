@@ -1,0 +1,83 @@
+//! Simulator cost model for the bitonic sort kernel.
+
+use blocksync_device::{GpuSpec, SimDuration};
+use blocksync_sim::Workload;
+
+use super::reference::network_schedule;
+use crate::cost::CostModel;
+
+/// Per-round compute times of sorting `n` keys on `n_blocks` blocks.
+///
+/// Every network step processes exactly `n/2` pairs, so per-round work is
+/// uniform, small, and the step count is `log2(n) * (log2(n)+1) / 2` —
+/// many short rounds. This is the paper's highest-synchronization
+/// application (59.6% of time in barriers under CPU implicit sync,
+/// Table 1), and the one that gains the most (39%) from the lock-free
+/// barrier.
+#[derive(Debug, Clone)]
+pub struct BitonicWorkload {
+    n: usize,
+    n_blocks: usize,
+    rounds: usize,
+    cmp: CostModel,
+}
+
+impl BitonicWorkload {
+    /// Workload for sorting `n = 2^k` keys.
+    ///
+    /// # Panics
+    /// Panics unless `n` is a power of two and `n_blocks > 0`.
+    pub fn new(spec: &GpuSpec, n: usize, n_blocks: usize) -> Self {
+        assert!(n_blocks > 0);
+        let rounds = network_schedule(n).len(); // validates n
+        BitonicWorkload {
+            n,
+            n_blocks,
+            rounds,
+            cmp: CostModel::bitonic(spec),
+        }
+    }
+
+    fn share(&self, bid: usize) -> usize {
+        let total = self.n / 2;
+        let per = total / self.n_blocks;
+        let rem = total % self.n_blocks;
+        per + usize::from(bid < rem)
+    }
+}
+
+impl Workload for BitonicWorkload {
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn compute(&self, bid: usize, _round: usize) -> SimDuration {
+        self.cmp.round_time(self.share(bid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_count_is_triangular() {
+        let w = BitonicWorkload::new(&GpuSpec::gtx280(), 1 << 18, 30);
+        assert_eq!(w.rounds(), 171); // 18 * 19 / 2
+    }
+
+    #[test]
+    fn uniform_rounds() {
+        let w = BitonicWorkload::new(&GpuSpec::gtx280(), 1 << 12, 8);
+        assert_eq!(w.compute(0, 0), w.compute(0, 50));
+    }
+
+    #[test]
+    fn bitonic_is_lowest_rho_at_paper_scale() {
+        // A paper-scale step over 30 blocks must cost *less* than the
+        // ~6 us CPU-implicit barrier (Table 1: ~60% sync).
+        let w = BitonicWorkload::new(&GpuSpec::gtx280(), crate::bitonic::PAPER_N, 30);
+        let t = w.compute(0, 0).as_nanos();
+        assert!((1_500..6_500).contains(&t), "step time {t}ns");
+    }
+}

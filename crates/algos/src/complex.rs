@@ -1,0 +1,156 @@
+//! Minimal single-precision complex arithmetic for the FFT.
+//!
+//! Implemented locally (rather than depending on an external crate) because
+//! the FFT only needs add/sub/mul and a twiddle constructor, and the
+//! workspace keeps its dependency set to the offline-approved list.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number in `f32`, matching the precision the paper's CUDA FFT
+/// uses on the GTX 280.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// Zero.
+    pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Complex32 = Complex32 { re: 1.0, im: 0.0 };
+
+    /// Construct from parts.
+    pub const fn new(re: f32, im: f32) -> Self {
+        Complex32 { re, im }
+    }
+
+    /// `e^(i * theta)` — the FFT twiddle factor.
+    pub fn cis(theta: f32) -> Self {
+        Complex32 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex32 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, k: f32) -> Self {
+        Complex32 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Complex32;
+    fn add(self, o: Complex32) -> Complex32 {
+        Complex32 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+}
+
+impl AddAssign for Complex32 {
+    fn add_assign(&mut self, o: Complex32) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Complex32;
+    fn sub(self, o: Complex32) -> Complex32 {
+        Complex32 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Complex32;
+    fn mul(self, o: Complex32) -> Complex32 {
+        Complex32 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Neg for Complex32 {
+    type Output = Complex32;
+    fn neg(self) -> Complex32 {
+        Complex32 {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spotcheck() {
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex32::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex32::new(4.0, 1.5));
+        assert_eq!(a + (-a), Complex32::ZERO);
+        assert_eq!(a * Complex32::ONE, a);
+        // (1+2i)(-3+0.5i) = -3 + 0.5i - 6i + i^2 = -4 - 5.5i
+        assert_eq!(a * b, Complex32::new(-4.0, -5.5));
+    }
+
+    #[test]
+    fn cis_is_unit_circle() {
+        for k in 0..8 {
+            let theta = k as f32 * std::f32::consts::FRAC_PI_4;
+            let z = Complex32::cis(theta);
+            assert!((z.abs() - 1.0).abs() < 1e-6);
+        }
+        let i = Complex32::cis(std::f32::consts::FRAC_PI_2);
+        assert!((i.re).abs() < 1e-6);
+        assert!((i.im - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex32::new(3.0, 4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        let p = a * a.conj();
+        assert!((p.re - 25.0).abs() < 1e-6);
+        assert!(p.im.abs() < 1e-6);
+    }
+
+    #[test]
+    fn scale_and_add_assign() {
+        let mut a = Complex32::new(1.0, -1.0);
+        a += Complex32::new(0.5, 0.5);
+        assert_eq!(a, Complex32::new(1.5, -0.5));
+        assert_eq!(a.scale(2.0), Complex32::new(3.0, -1.0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-round compute cost model feeding the simulator.
+//!
+//! The simulator needs to know how long each block computes between
+//! barriers. For each algorithm we know exactly how many *items* (FFT
+//! butterflies, SWat cells, bitonic compare-exchanges) a block processes in
+//! a round and what one item costs in global-memory traffic and arithmetic.
+//! An SM is modeled as a throughput device: a round's duration is the
+//! larger of its memory time and its arithmetic time (GPUs overlap the
+//! two), plus a fixed per-round pipeline ramp.
+//!
+//! Per-SM bandwidth is the device bandwidth divided evenly across SMs —
+//! on a GTX 280, 141.7 GB/s over 30 SMs ≈ 4.7 GB/s per SM — and per-SM
+//! arithmetic is `sps_per_sm * clock` operations per second. These are
+//! deliberately simple steady-state approximations: the figures this feeds
+//! (13–15) depend on the *ratio* of compute to synchronization time, which
+//! this model gets into the paper's measured ranges (see EXPERIMENTS.md).
+
+use blocksync_device::{GpuSpec, SimDuration};
+
+/// Cost of processing items of one kind on one SM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Global-memory bytes moved per item (reads + writes).
+    pub bytes_per_item: f64,
+    /// Arithmetic operations per item.
+    pub ops_per_item: f64,
+    /// Fixed per-round cost (pipeline ramp, address setup), ns.
+    pub base_ns: f64,
+    /// Per-SM memory bandwidth, bytes/ns (= GB/s / 1e0... bytes per ns).
+    bw_per_sm: f64,
+    /// Per-SM arithmetic throughput, ops/ns.
+    ops_per_ns: f64,
+}
+
+impl CostModel {
+    /// Build a cost model for `spec`, dividing device bandwidth evenly
+    /// across its SMs.
+    pub fn new(spec: &GpuSpec, bytes_per_item: f64, ops_per_item: f64, base_ns: f64) -> Self {
+        let bw_per_sm = spec.mem_bandwidth_bytes_per_sec as f64 / 1e9 / spec.num_sms as f64;
+        let ops_per_ns = spec.sps_per_sm as f64 * spec.sp_clock_mhz as f64 / 1e3;
+        CostModel {
+            bytes_per_item,
+            ops_per_item,
+            base_ns,
+            bw_per_sm,
+            ops_per_ns,
+        }
+    }
+
+    /// Duration of a round in which one block processes `items` items.
+    pub fn round_time(&self, items: usize) -> SimDuration {
+        if items == 0 {
+            // An idle block still executes the round prologue.
+            return SimDuration::from_nanos(self.base_ns.round() as u64);
+        }
+        let mem_ns = items as f64 * self.bytes_per_item / self.bw_per_sm;
+        let alu_ns = items as f64 * self.ops_per_item / self.ops_per_ns;
+        let ns = self.base_ns + mem_ns.max(alu_ns);
+        SimDuration::from_nanos(ns.round() as u64)
+    }
+
+    /// FFT butterfly: two complex loads + two complex stores (8 bytes each
+    /// as `float2`) plus a twiddle load amortized through shared memory;
+    /// ~10 floating-point operations.
+    pub fn fft(spec: &GpuSpec) -> Self {
+        CostModel::new(spec, 36.0, 10.0, 900.0)
+    }
+
+    /// Smith-Waterman cell: ~7 global accesses (reads of H(nw), H/E(w),
+    /// H/F(n); writes of H, E, F). Wavefront-diagonal access is
+    /// **uncoalesced** on GT200 — each 4-byte access costs a full 32-byte
+    /// memory transaction — so the effective traffic is ~7 x 32 B.
+    /// ~12 integer ops for the affine-gap max cascade.
+    pub fn swat(spec: &GpuSpec) -> Self {
+        CostModel::new(spec, 224.0, 12.0, 900.0)
+    }
+
+    /// Bitonic compare-exchange: two 4-byte loads, up to two stores
+    /// (~12 B effective), one compare.
+    pub fn bitonic(spec: &GpuSpec) -> Self {
+        CostModel::new(spec, 12.0, 2.0, 900.0)
+    }
+
+    /// The micro-benchmark's "mean of two floats" per-thread op: two 4-byte
+    /// loads amortized by coalescing (~8 B effective), one add and one
+    /// multiply. Calibrated so the paper's 10,000-round run computes for
+    /// ~5 ms total (Figure 11's "computation time is only about 5 ms").
+    pub fn microbench(spec: &GpuSpec) -> Self {
+        CostModel::new(spec, 8.0, 2.0, 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GpuSpec {
+        GpuSpec::gtx280()
+    }
+
+    #[test]
+    fn zero_items_costs_base_only() {
+        let m = CostModel::fft(&spec());
+        assert_eq!(m.round_time(0), SimDuration::from_nanos(900));
+    }
+
+    #[test]
+    fn cost_scales_linearly_in_items() {
+        let m = CostModel::swat(&spec());
+        let t1 = m.round_time(1000).as_nanos() as f64 - m.base_ns;
+        let t2 = m.round_time(2000).as_nanos() as f64 - m.base_ns;
+        assert!((t2 / t1 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn fft_round_in_expected_range() {
+        // One stage of a 2^16-point FFT over 30 blocks: ~1092 butterflies
+        // per block. On ~4.7 GB/s per SM that's several microseconds —
+        // the regime where FFT compute dominates sync (rho > 0.8).
+        let m = CostModel::fft(&spec());
+        let t = m.round_time(32 * 1024 / 30);
+        assert!(
+            (4_000..40_000).contains(&t.as_nanos()),
+            "unexpected stage time {t:?}"
+        );
+    }
+
+    #[test]
+    fn memory_bound_algorithms_are_bandwidth_limited() {
+        // For all three algorithm models on the GTX 280, memory time
+        // exceeds ALU time (they are memory bound, as on the real card).
+        for m in [
+            CostModel::fft(&spec()),
+            CostModel::swat(&spec()),
+            CostModel::bitonic(&spec()),
+        ] {
+            let items = 10_000;
+            let mem_ns = items as f64 * m.bytes_per_item / (141.7 / 30.0);
+            let alu_ns = items as f64 * m.ops_per_item / (8.0 * 1.296);
+            assert!(mem_ns > alu_ns, "{m:?} should be memory bound");
+        }
+    }
+
+    #[test]
+    fn bigger_items_cost_more() {
+        let f = CostModel::fft(&spec());
+        let b = CostModel::bitonic(&spec());
+        assert!(f.round_time(1000) > b.round_time(1000));
+    }
+}

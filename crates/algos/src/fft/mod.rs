@@ -1,0 +1,31 @@
+//! Fast Fourier Transform (paper Section 6.1).
+//!
+//! An `n`-point radix-2 FFT computes in `log2(n)` iterations; butterflies
+//! within an iteration are independent, but an iteration cannot start until
+//! the previous one finishes — the inter-block barrier the paper studies.
+//!
+//! * [`mod@reference`] — sequential iterative radix-2 FFT and an `O(n^2)`
+//!   DFT oracle.
+//! * [`kernel`] — [`GridFft`], the host-runtime grid kernel: one
+//!   permutation round plus one round per butterfly stage.
+//! * [`workload`] — [`FftWorkload`], the simulator cost model (448
+//!   threads/block in the paper's runs).
+//! * [`fft2d`] — a 2-D transform built from fused row/column passes in a
+//!   single persistent kernel (extension).
+
+pub mod fft2d;
+pub mod kernel;
+pub mod reference;
+pub mod workload;
+
+pub use fft2d::GridFft2d;
+pub use kernel::GridFft;
+pub use reference::{dft_naive, fft_inplace, inverse_fft_inplace};
+pub use workload::FftWorkload;
+
+/// Threads per block the paper uses for FFT (Section 7.2).
+pub const PAPER_THREADS_PER_BLOCK: usize = 448;
+
+/// Transform size used for the paper-scale experiments (Figures 13a/14a):
+/// large enough that a butterfly stage dwarfs the barrier (`rho > 0.8`).
+pub const PAPER_N: usize = 1 << 18;

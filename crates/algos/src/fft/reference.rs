@@ -1,0 +1,174 @@
+//! Sequential FFT reference implementations (the correctness oracles).
+
+use crate::complex::Complex32;
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// # Panics
+/// Panics unless `data.len()` is a power of two (and nonzero).
+pub fn fft_inplace(data: &mut [Complex32]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (including the `1/n` normalization).
+///
+/// # Panics
+/// Panics unless `data.len()` is a power of two (and nonzero).
+pub fn inverse_fft_inplace(data: &mut [Complex32]) {
+    transform(data, true);
+    let k = 1.0 / data.len() as f32;
+    for z in data.iter_mut() {
+        *z = z.scale(k);
+    }
+}
+
+fn transform(data: &mut [Complex32], inverse: bool) {
+    let n = data.len();
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
+    let log_n = n.trailing_zeros();
+
+    // Bit-reversal permutation.
+    for i in 0..n {
+        let j = bit_reverse(i, log_n);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // log2(n) butterfly stages.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut span = 1;
+    while span < n {
+        let theta = sign * std::f32::consts::PI / span as f32;
+        for start in (0..n).step_by(span * 2) {
+            for k in 0..span {
+                let w = Complex32::cis(theta * k as f32);
+                let a = data[start + k];
+                let b = data[start + k + span] * w;
+                data[start + k] = a + b;
+                data[start + k + span] = a - b;
+            }
+        }
+        span *= 2;
+    }
+}
+
+/// Reverse the low `bits` bits of `i`.
+pub fn bit_reverse(i: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    i.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Naive `O(n^2)` DFT — slow, but independently correct; used to validate
+/// the FFT.
+pub fn dft_naive(input: &[Complex32]) -> Vec<Complex32> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex32::ZERO;
+            for (i, &x) in input.iter().enumerate() {
+                let theta = -2.0 * std::f32::consts::PI * (k * i) as f32 / n as f32;
+                acc += x * Complex32::cis(theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Maximum absolute componentwise difference, for tolerance checks.
+pub fn max_error(a: &[Complex32], b: &[Complex32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x.re - y.re).abs().max((x.im - y.im).abs()))
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqgen::complex_signal;
+
+    #[test]
+    fn bit_reverse_small_cases() {
+        assert_eq!(bit_reverse(0b001, 3), 0b100);
+        assert_eq!(bit_reverse(0b011, 3), 0b110);
+        assert_eq!(bit_reverse(0b101, 3), 0b101);
+        assert_eq!(bit_reverse(1, 1), 1);
+        assert_eq!(bit_reverse(0, 0), 0);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex32::ZERO; 8];
+        data[0] = Complex32::ONE;
+        fft_inplace(&mut data);
+        for z in &data {
+            assert!((z.re - 1.0).abs() < 1e-6);
+            assert!(z.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut data = vec![Complex32::ONE; 16];
+        fft_inplace(&mut data);
+        assert!((data[0].re - 16.0).abs() < 1e-4);
+        for z in &data[1..] {
+            assert!(z.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for log_n in 1..=8 {
+            let n = 1 << log_n;
+            let input = complex_signal(n, 99);
+            let expected = dft_naive(&input);
+            let mut actual = input.clone();
+            fft_inplace(&mut actual);
+            let err = max_error(&actual, &expected);
+            assert!(err < 1e-3 * n as f32, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let input = complex_signal(256, 7);
+        let mut data = input.clone();
+        fft_inplace(&mut data);
+        inverse_fft_inplace(&mut data);
+        assert!(max_error(&data, &input) < 1e-4);
+    }
+
+    #[test]
+    fn single_point_is_identity() {
+        let mut data = vec![Complex32::new(3.0, -2.0)];
+        fft_inplace(&mut data);
+        assert_eq!(data[0], Complex32::new(3.0, -2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Complex32::ZERO; 12];
+        fft_inplace(&mut data);
+    }
+
+    #[test]
+    fn linearity_of_dft() {
+        let a = complex_signal(32, 1);
+        let b = complex_signal(32, 2);
+        let sum: Vec<Complex32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = dft_naive(&a);
+        let fb = dft_naive(&b);
+        let fsum = dft_naive(&sum);
+        let combined: Vec<Complex32> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert!(max_error(&fsum, &combined) < 1e-3);
+    }
+}

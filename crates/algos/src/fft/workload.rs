@@ -1,0 +1,109 @@
+//! Simulator cost model for the FFT kernel.
+
+use blocksync_device::{GpuSpec, SimDuration};
+use blocksync_sim::Workload;
+
+use crate::cost::CostModel;
+
+/// Per-round compute times of an `n`-point grid FFT on `n_blocks` blocks.
+///
+/// Matches the round structure of [`super::GridFft`]: one permutation round
+/// (n element moves) plus `log2(n)` butterfly stages (n/2 butterflies each),
+/// partitioned evenly across blocks. FFT is the paper's high-`rho`
+/// application: per-stage compute dwarfs the barrier, so faster barriers
+/// buy only ~8%.
+#[derive(Debug, Clone)]
+pub struct FftWorkload {
+    n: usize,
+    n_blocks: usize,
+    butterfly: CostModel,
+    permute: CostModel,
+}
+
+impl FftWorkload {
+    /// Workload for an `n`-point FFT on `n_blocks` blocks of `spec`'s GPU.
+    ///
+    /// # Panics
+    /// Panics unless `n` is a power of two and `n_blocks > 0`.
+    pub fn new(spec: &GpuSpec, n: usize, n_blocks: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two");
+        assert!(n_blocks > 0);
+        FftWorkload {
+            n,
+            n_blocks,
+            butterfly: CostModel::fft(spec),
+            // Permutation: one strided read + one write per element (8 B
+            // complex each way), no arithmetic to speak of.
+            permute: CostModel::new(spec, 16.0, 1.0, 900.0),
+        }
+    }
+
+    /// Items assigned to `bid` out of `total` under the even chunking the
+    /// kernel uses.
+    fn share(&self, bid: usize, total: usize) -> usize {
+        let per = total / self.n_blocks;
+        let rem = total % self.n_blocks;
+        per + usize::from(bid < rem)
+    }
+}
+
+impl Workload for FftWorkload {
+    fn rounds(&self) -> usize {
+        1 + self.n.trailing_zeros() as usize
+    }
+
+    fn compute(&self, bid: usize, round: usize) -> SimDuration {
+        if round == 0 {
+            self.permute.round_time(self.share(bid, self.n))
+        } else {
+            self.butterfly.round_time(self.share(bid, self.n / 2))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(n: usize, blocks: usize) -> FftWorkload {
+        FftWorkload::new(&GpuSpec::gtx280(), n, blocks)
+    }
+
+    #[test]
+    fn round_count_matches_kernel() {
+        assert_eq!(wl(1 << 16, 30).rounds(), 17);
+        assert_eq!(wl(8, 2).rounds(), 4);
+    }
+
+    #[test]
+    fn stage_times_are_uniform_across_stages() {
+        let w = wl(1 << 14, 30);
+        let t1 = w.compute(0, 1);
+        let t2 = w.compute(0, 14);
+        assert_eq!(t1, t2, "every stage has n/2 butterflies");
+    }
+
+    #[test]
+    fn more_blocks_less_time_per_block() {
+        let w10 = wl(1 << 14, 10);
+        let w30 = wl(1 << 14, 30);
+        assert!(w30.compute(0, 1) < w10.compute(0, 1));
+    }
+
+    #[test]
+    fn shares_sum_to_total() {
+        let w = wl(1 << 10, 7);
+        let total: usize = (0..7).map(|b| w.share(b, 512)).sum();
+        assert_eq!(total, 512);
+    }
+
+    #[test]
+    fn fft_is_high_rho_at_paper_scale() {
+        // At paper scale (2^18 points) on 30 blocks, one stage's compute
+        // must be several times the ~6 us CPU-implicit barrier — that is
+        // what makes FFT the paper's low-benefit case.
+        let w = wl(crate::fft::PAPER_N, 30);
+        let stage = w.compute(0, 1);
+        assert!(stage.as_nanos() > 3 * 6_000, "stage {stage:?} too cheap");
+    }
+}

@@ -1,0 +1,43 @@
+//! # blocksync-algos
+//!
+//! The three applications the paper uses to evaluate inter-block barrier
+//! synchronization (Section 6), each built in three layers:
+//!
+//! | layer | purpose |
+//! |---|---|
+//! | `reference` | a plain sequential implementation, the correctness oracle |
+//! | `kernel`    | a [`blocksync_core::RoundKernel`] running the algorithm on the persistent-kernel host runtime, one barrier per data-dependent step |
+//! | `workload`  | a [`blocksync_sim::Workload`] cost model feeding the GTX-280 simulator, derived from the algorithm's per-round operation counts |
+//!
+//! The barrier structure mirrors the paper exactly:
+//!
+//! * **FFT** ([`fft`]) — `log2(n)` butterfly stages; computation within a
+//!   stage is independent, stages are ordered → one grid barrier per stage.
+//! * **Smith-Waterman** ([`swat`]) — wavefront fill of the alignment
+//!   matrix; cells on one anti-diagonal are independent, diagonals are
+//!   ordered → one grid barrier per anti-diagonal.
+//! * **Bitonic sort** ([`bitonic`]) — a fixed network of compare-exchange
+//!   steps; pairs within a step are independent, steps are ordered → one
+//!   grid barrier per step.
+//!
+//! Extensions beyond the paper's three kernels: [`scan`] (grid-wide
+//! prefix sum), [`fft::fft2d`] (fused 2-D FFT), [`bitonic::keyvalue`]
+//! (key-value sort), and [`swat::global`] (Needleman-Wunsch).
+//!
+//! [`seqgen`] provides deterministic input generators (an embedded
+//! SplitMix64, so library results are reproducible without external RNG
+//! dependencies).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod complex;
+pub mod cost;
+pub mod fft;
+pub mod scan;
+pub mod seqgen;
+pub mod swat;
+
+pub use complex::Complex32;
+pub use cost::CostModel;

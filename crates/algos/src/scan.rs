@@ -1,0 +1,161 @@
+//! Grid-wide inclusive prefix sum (extension).
+//!
+//! Scan is the canonical "less-data-dependent algorithm" the paper's
+//! introduction motivates: every step is fully parallel, but steps are
+//! ordered — `log2(n)` rounds of the Hillis-Steele recurrence
+//! `x[i] += x[i - 2^k]`, each separated by a grid barrier. Without
+//! inter-block synchronization a scan over more data than one block
+//! handles requires a kernel relaunch per step; with a device-side barrier
+//! it is one persistent kernel.
+//!
+//! Double-buffered (ping-pong) so that reads of round `k` never race with
+//! writes of round `k` across blocks.
+
+use blocksync_core::{BlockCtx, GlobalBuffer, RoundKernel};
+
+/// Sequential reference inclusive scan.
+pub fn inclusive_scan_reference(data: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut acc = 0u64;
+    for &x in data {
+        acc = acc.wrapping_add(x);
+        out.push(acc);
+    }
+    out
+}
+
+/// Hillis-Steele inclusive scan as a round-structured grid kernel.
+pub struct GridScan {
+    bufs: [GlobalBuffer<u64>; 2],
+    n: usize,
+    steps: usize,
+}
+
+impl GridScan {
+    /// Prepare a scan of `data` (any nonzero length; not restricted to
+    /// powers of two).
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn new(data: &[u64]) -> Self {
+        assert!(!data.is_empty(), "scan input must be non-empty");
+        let n = data.len();
+        let steps = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+        GridScan {
+            bufs: [GlobalBuffer::from_slice(data), GlobalBuffer::new(n)],
+            n,
+            steps: steps.max(1),
+        }
+    }
+
+    /// The inclusive prefix sums (after the kernel has run).
+    pub fn output(&self) -> Vec<u64> {
+        // After `steps` ping-pong rounds the result is in bufs[steps % 2].
+        self.bufs[self.steps % 2].to_vec()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the scan is empty (never; construction requires data).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl RoundKernel for GridScan {
+    fn rounds(&self) -> usize {
+        self.steps
+    }
+
+    fn round(&self, ctx: &BlockCtx, round: usize) {
+        let dist = 1usize << round;
+        let src = &self.bufs[round % 2];
+        let dst = &self.bufs[(round + 1) % 2];
+        for i in ctx.chunk(self.n) {
+            let v = if i >= dist {
+                src.get(i).wrapping_add(src.get(i - dist))
+            } else {
+                src.get(i)
+            };
+            dst.set(i, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqgen::SplitMix64;
+    use blocksync_core::{GridConfig, GridExecutor, SyncMethod};
+
+    fn run_scan(data: &[u64], n_blocks: usize, method: SyncMethod) -> Vec<u64> {
+        let k = GridScan::new(data);
+        GridExecutor::new(GridConfig::new(n_blocks, 64), method)
+            .run(&k)
+            .unwrap();
+        k.output()
+    }
+
+    #[test]
+    fn matches_reference_all_methods() {
+        let mut rng = SplitMix64::new(77);
+        let data: Vec<u64> = (0..1000).map(|_| rng.next_u64() >> 32).collect();
+        let expected = inclusive_scan_reference(&data);
+        for method in [
+            SyncMethod::CpuImplicit,
+            SyncMethod::GpuSimple,
+            SyncMethod::GpuLockFree,
+            SyncMethod::Dissemination,
+        ] {
+            assert_eq!(run_scan(&data, 6, method), expected, "{method}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_lengths() {
+        for n in [1usize, 2, 3, 7, 100, 257, 1023] {
+            let data: Vec<u64> = (1..=n as u64).collect();
+            let got = run_scan(&data, 4, SyncMethod::GpuLockFree);
+            let expected: Vec<u64> = (1..=n as u64).map(|i| i * (i + 1) / 2).collect();
+            assert_eq!(got, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(run_scan(&[42], 1, SyncMethod::GpuSimple), vec![42]);
+    }
+
+    #[test]
+    fn wrapping_overflow_is_defined() {
+        let data = vec![u64::MAX, 2, 3];
+        let got = run_scan(&data, 2, SyncMethod::GpuLockFree);
+        assert_eq!(got, vec![u64::MAX, 1, 4]);
+    }
+
+    #[test]
+    fn block_count_invariance() {
+        let data: Vec<u64> = (0..513).map(|i| i * 7 % 97).collect();
+        let a = run_scan(&data, 1, SyncMethod::GpuLockFree);
+        let b = run_scan(&data, 8, SyncMethod::GpuLockFree);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_count_is_log2_ceil() {
+        assert_eq!(GridScan::new(&[1]).rounds(), 1);
+        assert_eq!(GridScan::new(&[1; 2]).rounds(), 1);
+        assert_eq!(GridScan::new(&[1; 3]).rounds(), 2);
+        assert_eq!(GridScan::new(&[1; 1024]).rounds(), 10);
+        assert_eq!(GridScan::new(&[1; 1025]).rounds(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_rejected() {
+        let _ = GridScan::new(&[]);
+    }
+}

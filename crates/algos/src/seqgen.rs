@@ -1,0 +1,152 @@
+//! Deterministic input generators.
+//!
+//! All generators are seeded SplitMix64 streams, so every example, test and
+//! benchmark in the workspace can reproduce its inputs exactly without an
+//! external RNG dependency in the library itself.
+
+use crate::complex::Complex32;
+
+/// SplitMix64: tiny, fast, well-distributed; the canonical seed expander.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform in `0..bound` (bound > 0).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        // Multiply-shift; bias is negligible for our bounds.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// `n` complex samples with components uniform in `[-1, 1)` — FFT input.
+pub fn complex_signal(n: usize, seed: u64) -> Vec<Complex32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| Complex32::new(rng.next_f32() * 2.0 - 1.0, rng.next_f32() * 2.0 - 1.0))
+        .collect()
+}
+
+/// Random `u32` keys — bitonic sort input.
+pub fn random_keys(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_u32()).collect()
+}
+
+/// The nucleotide alphabet used by the Smith-Waterman workload.
+pub const DNA: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Random DNA sequence of length `n` — Smith-Waterman input.
+pub fn dna_sequence(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| DNA[rng.next_below(4) as usize]).collect()
+}
+
+/// A pair of related DNA sequences: `b` is `a` with point mutations applied
+/// at the given per-base probability — produces realistic local-alignment
+/// structure (long high-scoring regions) rather than pure noise.
+pub fn related_dna(n: usize, mutation_prob: f64, seed: u64) -> (Vec<u8>, Vec<u8>) {
+    assert!((0.0..=1.0).contains(&mutation_prob));
+    let a = dna_sequence(n, seed);
+    let mut rng = SplitMix64::new(seed ^ 0xDEAD_BEEF);
+    let threshold = (mutation_prob * (1u64 << 32) as f64) as u64;
+    let b = a
+        .iter()
+        .map(|&c| {
+            if (rng.next_u64() >> 32) < threshold {
+                DNA[rng.next_below(4) as usize]
+            } else {
+                c
+            }
+        })
+        .collect();
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let x = rng.next_f32();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = rng.next_below(4);
+            assert!(v < 4);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn generators_are_sized_and_deterministic() {
+        assert_eq!(complex_signal(16, 1), complex_signal(16, 1));
+        assert_eq!(random_keys(16, 1), random_keys(16, 1));
+        assert_eq!(dna_sequence(16, 1), dna_sequence(16, 1));
+        assert_eq!(complex_signal(10, 1).len(), 10);
+        assert!(dna_sequence(100, 3).iter().all(|c| DNA.contains(c)));
+    }
+
+    #[test]
+    fn related_dna_mutates_some_but_not_all() {
+        let (a, b) = related_dna(2000, 0.1, 5);
+        assert_eq!(a.len(), b.len());
+        let diffs = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        // ~7.5% expected (10% mutation, 1/4 silent); allow wide margins.
+        assert!(diffs > 50, "too few mutations: {diffs}");
+        assert!(diffs < 400, "too many mutations: {diffs}");
+    }
+
+    #[test]
+    fn zero_mutation_is_identity() {
+        let (a, b) = related_dna(500, 0.0, 11);
+        assert_eq!(a, b);
+    }
+}

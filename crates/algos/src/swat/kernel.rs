@@ -1,0 +1,258 @@
+//! Smith-Waterman as a wavefront grid kernel.
+//!
+//! One round per anti-diagonal: round `r` fills diagonal `d = r + 2`. The
+//! cells of a diagonal are partitioned across blocks; each cell reads only
+//! cells of diagonals `d-1` and `d-2` (filled in earlier rounds), so a
+//! correct grid barrier makes the fill race-free. Each block tracks its own
+//! running maximum in a per-block slot; the final score is the host-side
+//! reduction of those slots — the same structure as the paper's CUDA
+//! implementation, which keeps the trace-back on the host.
+
+use blocksync_core::{BlockCtx, GlobalBuffer, RoundKernel};
+
+use super::scoring::{GapPenalties, Scoring};
+use super::{diagonal_cells, reference::SwScore};
+
+/// Negative "minus infinity" that cannot underflow when penalties are
+/// subtracted.
+const NEG: i32 = i32::MIN / 2;
+
+/// The wavefront Smith-Waterman grid kernel.
+pub struct GridSwat {
+    a: GlobalBuffer<u8>,
+    b: GlobalBuffer<u8>,
+    h: GlobalBuffer<i32>,
+    e: GlobalBuffer<i32>,
+    f: GlobalBuffer<i32>,
+    /// Per-block running maximum, packed as `(score << 32) | (!pos)` so
+    /// that the numeric maximum is the best score with the *earliest*
+    /// position — the same tie-break as the row-major reference scan.
+    block_best: GlobalBuffer<i64>,
+    la: usize,
+    lb: usize,
+    scoring: Scoring,
+    gaps: GapPenalties,
+}
+
+impl GridSwat {
+    /// Prepare an alignment of `a` vs `b`.
+    ///
+    /// # Panics
+    /// Panics if either sequence is empty (a zero-length alignment has no
+    /// wavefront).
+    pub fn new(a: &[u8], b: &[u8], scoring: Scoring, gaps: GapPenalties, n_blocks: usize) -> Self {
+        assert!(
+            !a.is_empty() && !b.is_empty(),
+            "sequences must be non-empty"
+        );
+        let (la, lb) = (a.len(), b.len());
+        let w = lb + 1;
+        let h = GlobalBuffer::new((la + 1) * w);
+        let e = GlobalBuffer::new((la + 1) * w);
+        let f = GlobalBuffer::new((la + 1) * w);
+        // Initialize E/F to -inf everywhere (row/col 0 of H stays 0).
+        e.fill(NEG);
+        f.fill(NEG);
+        GridSwat {
+            a: GlobalBuffer::from_slice(a),
+            b: GlobalBuffer::from_slice(b),
+            h,
+            e,
+            f,
+            block_best: GlobalBuffer::new(n_blocks),
+            la,
+            lb,
+            scoring,
+            gaps,
+        }
+    }
+
+    #[inline]
+    fn w(&self) -> usize {
+        self.lb + 1
+    }
+
+    /// Best score and its (1-based) end cell after the kernel has run.
+    pub fn result(&self) -> SwScore {
+        let mut best: i64 = 0;
+        for k in 0..self.block_best.len() {
+            best = best.max(self.block_best.get(k));
+        }
+        let score = (best >> 32) as i32;
+        let pos = (!(best as u32)) as usize;
+        let w = self.w();
+        SwScore {
+            score,
+            end: if score > 0 {
+                (pos / w, pos % w)
+            } else {
+                (0, 0)
+            },
+        }
+    }
+
+    /// Read the filled H matrix (row-major, `(la+1) x (lb+1)`), for tests.
+    pub fn h_matrix(&self) -> Vec<i32> {
+        self.h.to_vec()
+    }
+
+    /// Number of anti-diagonal rounds.
+    pub fn num_diagonals(&self) -> usize {
+        self.la + self.lb - 1
+    }
+}
+
+impl RoundKernel for GridSwat {
+    fn rounds(&self) -> usize {
+        self.num_diagonals()
+    }
+
+    fn round(&self, ctx: &BlockCtx, round: usize) {
+        let d = round + 2;
+        let (i0, count) = diagonal_cells(self.la, self.lb, d);
+        let w = self.w();
+        let range = ctx.chunk(count);
+        let mut best = self.block_best.get(ctx.block_id);
+        for k in range {
+            let i = i0 + k;
+            let j = d - i;
+            let idx = i * w + j;
+            let e =
+                (self.h.get(idx - 1) - self.gaps.open).max(self.e.get(idx - 1) - self.gaps.extend);
+            let f =
+                (self.h.get(idx - w) - self.gaps.open).max(self.f.get(idx - w) - self.gaps.extend);
+            let diag =
+                self.h.get(idx - w - 1) + self.scoring.score(self.a.get(i - 1), self.b.get(j - 1));
+            let h = 0.max(diag).max(e).max(f);
+            self.e.set(idx, e);
+            self.f.set(idx, f);
+            self.h.set(idx, h);
+            let packed = ((h as i64) << 32) | i64::from(!(idx as u32));
+            if packed > best {
+                best = packed;
+            }
+        }
+        self.block_best.set(ctx.block_id, best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqgen::{dna_sequence, related_dna};
+    use crate::swat::reference::smith_waterman;
+    use blocksync_core::{GridConfig, GridExecutor, SyncMethod};
+
+    fn run_grid(a: &[u8], b: &[u8], n_blocks: usize, method: SyncMethod) -> SwScore {
+        let kernel = GridSwat::new(a, b, Scoring::dna(), GapPenalties::dna(), n_blocks);
+        GridExecutor::new(GridConfig::new(n_blocks, 64), method)
+            .run(&kernel)
+            .unwrap();
+        kernel.result()
+    }
+
+    #[test]
+    fn matches_reference_on_random_dna_all_methods() {
+        let a = dna_sequence(120, 31);
+        let b = dna_sequence(90, 32);
+        let expected = smith_waterman(&a, &b, Scoring::dna(), GapPenalties::dna());
+        for method in SyncMethod::GPU_METHODS {
+            let got = run_grid(&a, &b, 5, method);
+            assert_eq!(got.score, expected.score, "{method}");
+        }
+        for method in [SyncMethod::CpuExplicit, SyncMethod::CpuImplicit] {
+            let got = run_grid(&a, &b, 5, method);
+            assert_eq!(got.score, expected.score, "{method}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_related_sequences() {
+        let (a, b) = related_dna(200, 0.08, 77);
+        let expected = smith_waterman(&a, &b, Scoring::dna(), GapPenalties::dna());
+        let got = run_grid(&a, &b, 8, SyncMethod::GpuLockFree);
+        assert_eq!(got.score, expected.score);
+        // Related sequences align strongly.
+        assert!(got.score > 150, "score {}", got.score);
+    }
+
+    #[test]
+    fn end_position_matches_reference() {
+        let a = dna_sequence(64, 5);
+        let b = dna_sequence(64, 6);
+        let expected = smith_waterman(&a, &b, Scoring::dna(), GapPenalties::dna());
+        let got = run_grid(&a, &b, 4, SyncMethod::GpuSimple);
+        assert_eq!(got.end, expected.end);
+    }
+
+    #[test]
+    fn h_matrix_matches_reference_everywhere() {
+        // Full-matrix cross-check against an independent row-by-row fill.
+        let a = dna_sequence(40, 11);
+        let b = dna_sequence(30, 12);
+        let kernel = GridSwat::new(&a, &b, Scoring::dna(), GapPenalties::dna(), 3);
+        GridExecutor::new(
+            GridConfig::new(3, 32),
+            SyncMethod::GpuTree(blocksync_core::TreeLevels::Two),
+        )
+        .run(&kernel)
+        .unwrap();
+        let h = kernel.h_matrix();
+        // Reference fill.
+        let (s, g) = (Scoring::dna(), GapPenalties::dna());
+        let w = b.len() + 1;
+        let mut h_ref = vec![0i32; (a.len() + 1) * w];
+        let mut e_ref = vec![NEG; (a.len() + 1) * w];
+        let mut f_ref = vec![NEG; (a.len() + 1) * w];
+        for i in 1..=a.len() {
+            for j in 1..=b.len() {
+                let idx = i * w + j;
+                e_ref[idx] = (h_ref[idx - 1] - g.open).max(e_ref[idx - 1] - g.extend);
+                f_ref[idx] = (h_ref[idx - w] - g.open).max(f_ref[idx - w] - g.extend);
+                let diag = h_ref[idx - w - 1] + s.score(a[i - 1], b[j - 1]);
+                h_ref[idx] = 0.max(diag).max(e_ref[idx]).max(f_ref[idx]);
+            }
+        }
+        assert_eq!(h, h_ref);
+    }
+
+    #[test]
+    fn block_count_does_not_change_answer() {
+        let (a, b) = related_dna(100, 0.15, 3);
+        let r1 = run_grid(&a, &b, 1, SyncMethod::GpuLockFree);
+        let r7 = run_grid(&a, &b, 7, SyncMethod::GpuLockFree);
+        assert_eq!(r1.score, r7.score);
+        assert_eq!(r1.end, r7.end);
+    }
+
+    #[test]
+    fn asymmetric_lengths_work() {
+        let a = dna_sequence(17, 1);
+        let b = dna_sequence(301, 2);
+        let expected = smith_waterman(&a, &b, Scoring::dna(), GapPenalties::dna());
+        assert_eq!(
+            run_grid(&a, &b, 6, SyncMethod::GpuLockFree).score,
+            expected.score
+        );
+    }
+
+    #[test]
+    fn zero_score_when_nothing_aligns() {
+        let got = run_grid(b"AAAA", b"TTTT", 2, SyncMethod::GpuSimple);
+        assert_eq!(got.score, 0);
+        assert_eq!(got.end, (0, 0));
+    }
+
+    #[test]
+    fn round_count_is_diagonal_count() {
+        let k = GridSwat::new(b"ACGT", b"ACG", Scoring::dna(), GapPenalties::dna(), 2);
+        assert_eq!(k.rounds(), 6); // 4 + 3 - 1
+        assert_eq!(k.num_diagonals(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sequence_rejected() {
+        let _ = GridSwat::new(b"", b"ACGT", Scoring::dna(), GapPenalties::dna(), 2);
+    }
+}

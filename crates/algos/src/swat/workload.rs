@@ -1,0 +1,106 @@
+//! Simulator cost model for the Smith-Waterman wavefront kernel.
+
+use blocksync_device::{GpuSpec, SimDuration};
+use blocksync_sim::Workload;
+
+use super::diagonal_cells;
+use crate::cost::CostModel;
+
+/// Per-round compute times of a `la x lb` wavefront fill on `n_blocks`
+/// blocks.
+///
+/// Rounds follow the anti-diagonals, so per-round work is triangular: it
+/// ramps from one cell up to `min(la, lb)` cells and back down. This is the
+/// paper's ~50%-synchronization application: with thousands of short rounds
+/// the barrier cost rivals the compute cost, which is why SWat gains 24%
+/// from the lock-free barrier (Figure 13b).
+#[derive(Debug, Clone)]
+pub struct SwatWorkload {
+    la: usize,
+    lb: usize,
+    n_blocks: usize,
+    cell: CostModel,
+}
+
+impl SwatWorkload {
+    /// Workload for aligning sequences of lengths `la` and `lb`.
+    ///
+    /// # Panics
+    /// Panics if either length is zero or `n_blocks == 0`.
+    pub fn new(spec: &GpuSpec, la: usize, lb: usize, n_blocks: usize) -> Self {
+        assert!(la > 0 && lb > 0, "sequences must be non-empty");
+        assert!(n_blocks > 0);
+        SwatWorkload {
+            la,
+            lb,
+            n_blocks,
+            cell: CostModel::swat(spec),
+        }
+    }
+
+    fn share(&self, bid: usize, total: usize) -> usize {
+        let per = total / self.n_blocks;
+        let rem = total % self.n_blocks;
+        per + usize::from(bid < rem)
+    }
+}
+
+impl Workload for SwatWorkload {
+    fn rounds(&self) -> usize {
+        self.la + self.lb - 1
+    }
+
+    fn compute(&self, bid: usize, round: usize) -> SimDuration {
+        let (_, count) = diagonal_cells(self.la, self.lb, round + 2);
+        self.cell.round_time(self.share(bid, count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(la: usize, lb: usize, blocks: usize) -> SwatWorkload {
+        SwatWorkload::new(&GpuSpec::gtx280(), la, lb, blocks)
+    }
+
+    #[test]
+    fn round_count_is_diagonal_count() {
+        assert_eq!(wl(1024, 1024, 30).rounds(), 2047);
+        assert_eq!(wl(5, 3, 2).rounds(), 7);
+    }
+
+    #[test]
+    fn work_is_triangular() {
+        let w = wl(100, 100, 1);
+        let first = w.compute(0, 0);
+        let middle = w.compute(0, 99); // longest diagonal
+        let last = w.compute(0, 198);
+        assert!(middle > first);
+        assert!(middle > last);
+        assert_eq!(first, last);
+    }
+
+    #[test]
+    fn swat_is_low_rho_at_paper_scale() {
+        // At paper scale the longest diagonal over 30 blocks must cost
+        // the same order as the ~6 us CPU-implicit barrier — that is what
+        // makes sync ~50% of SWat's runtime (Table 1).
+        let n = crate::swat::PAPER_SEQ_LEN;
+        let w = wl(n, n, 30);
+        let mid = w.compute(0, n - 1).as_nanos();
+        assert!(
+            (3_000..30_000).contains(&mid),
+            "longest diagonal {mid}ns out of plausible range"
+        );
+    }
+
+    #[test]
+    fn idle_blocks_still_pay_base_cost() {
+        // Early diagonals have fewer cells than blocks; the blocks without
+        // cells still execute the round.
+        let w = wl(50, 50, 8);
+        let t = w.compute(7, 0); // 1 cell total, block 7 idle
+        assert!(t.as_nanos() > 0);
+    }
+}

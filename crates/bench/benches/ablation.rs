@@ -1,0 +1,74 @@
+//! Criterion ablations of design choices the paper (and DESIGN.md §5)
+//! calls out, on the host runtime:
+//!
+//! * `goalVal += N` vs resetting the counter (Section 5.1's claim that the
+//!   increment scheme is cheaper).
+//! * Cache-line-padded vs densely packed lock-free flag arrays (false
+//!   sharing; a host-side concern the paper's GPU arrays did not face).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use blocksync_core::{BarrierShared, GpuLockFreeSync, GpuSimpleSync, ResetStrategy};
+
+fn drive(shared: Arc<dyn BarrierShared>, n: usize, rounds: u64) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for b in 0..n {
+            let shared = Arc::clone(&shared);
+            s.spawn(move || {
+                let mut w = shared.waiter(b);
+                for _ in 0..rounds {
+                    w.wait();
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn bench_reset_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simple_sync_reset_strategy");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let n = 4;
+    for (name, strategy) in [
+        ("increment-goal", ResetStrategy::IncrementGoal),
+        ("reset-counter", ResetStrategy::ResetCounter),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_custom(|iters| {
+                let shared: Arc<dyn BarrierShared> =
+                    Arc::new(GpuSimpleSync::with_strategy(n, strategy));
+                drive(shared, n, iters)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_flag_padding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lockfree_flag_padding");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let n = 4;
+    group.bench_function(BenchmarkId::from_parameter("padded"), |b| {
+        b.iter_custom(|iters| {
+            let shared: Arc<dyn BarrierShared> = Arc::new(GpuLockFreeSync::new(n));
+            drive(shared, n, iters)
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("unpadded"), |b| {
+        b.iter_custom(|iters| {
+            let shared: Arc<dyn BarrierShared> = Arc::new(GpuLockFreeSync::new_unpadded(n));
+            drive(shared, n, iters)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reset_strategy, bench_flag_padding);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches of the three applications on the host runtime,
+//! contrasting a CPU-style executor round trip per round (`CpuImplicit`)
+//! with the in-kernel lock-free barrier (`GpuLockFree`) — the
+//! real-execution companion to the simulated Figure 13.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use blocksync_algos::bitonic::GridBitonic;
+use blocksync_algos::fft::{kernel::Direction, GridFft};
+use blocksync_algos::seqgen::{complex_signal, dna_sequence, random_keys};
+use blocksync_algos::swat::{GapPenalties, GridSwat, Scoring};
+use blocksync_core::{GridConfig, GridExecutor, RoundKernel, SyncMethod};
+
+const METHODS: [SyncMethod; 3] = [
+    SyncMethod::CpuExplicit,
+    SyncMethod::CpuImplicit,
+    SyncMethod::GpuLockFree,
+];
+const BLOCKS: usize = 4;
+
+fn run<K: RoundKernel>(kernel: &K, method: SyncMethod) {
+    GridExecutor::new(GridConfig::new(BLOCKS, 64), method)
+        .run(kernel)
+        .expect("valid config");
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let input = complex_signal(4096, 7);
+    let mut group = c.benchmark_group("fft_4096");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for method in METHODS {
+        group.bench_function(BenchmarkId::from_parameter(method), |b| {
+            b.iter(|| {
+                let k = GridFft::new(&input, Direction::Forward);
+                run(&k, method);
+                k.output()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_swat(c: &mut Criterion) {
+    let a = dna_sequence(256, 1);
+    let bseq = dna_sequence(256, 2);
+    let mut group = c.benchmark_group("swat_256x256");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for method in METHODS {
+        group.bench_function(BenchmarkId::from_parameter(method), |b| {
+            b.iter(|| {
+                let k = GridSwat::new(&a, &bseq, Scoring::dna(), GapPenalties::dna(), BLOCKS);
+                run(&k, method);
+                k.result()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitonic(c: &mut Criterion) {
+    let keys = random_keys(8192, 3);
+    let mut group = c.benchmark_group("bitonic_8192");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for method in METHODS {
+        group.bench_function(BenchmarkId::from_parameter(method), |b| {
+            b.iter(|| {
+                let k = GridBitonic::new(&keys);
+                run(&k, method);
+                k.output()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_swat, bench_bitonic);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Simulator-side ablations of the paper's design choices (DESIGN.md §5):
+//!
+//! * **Collector parallelism** — Section 5.3 chooses `N` parallel checking
+//!   threads over a single serial one and reports that it "saves
+//!   considerable synchronization overhead".
+//! * **Address spreading** — the lock-free flag arrays span all memory
+//!   partitions; confining them to one partition serializes the flag
+//!   traffic and erodes the lock-free advantage.
+
+use blocksync_bench::experiments::ablations;
+use blocksync_bench::harness::{format_table, us};
+
+fn main() {
+    let a = ablations();
+    println!("Ablations: lock-free barrier cost per round at 30 blocks\n");
+    let rows = vec![
+        vec![
+            "parallel collector (paper design)".to_string(),
+            us(a.collector_parallel),
+        ],
+        vec!["serial collector".to_string(), us(a.collector_serial)],
+        vec![
+            "flags on a single memory partition".to_string(),
+            us(a.single_partition),
+        ],
+        vec!["(context) GPU simple sync".to_string(), us(a.simple_30)],
+        vec![
+            "lock-free with atomicCAS polls (footnote 2)".to_string(),
+            us(a.lockfree_cas_polling),
+        ],
+        vec![
+            "simple with atomicCAS polls (footnote 2)".to_string(),
+            us(a.simple_cas_polling),
+        ],
+    ];
+    println!("{}", format_table(&["variant", "us/barrier"], &rows));
+    let saving = (a.collector_serial.as_nanos() as f64 - a.collector_parallel.as_nanos() as f64)
+        / a.collector_serial.as_nanos() as f64;
+    println!(
+        "parallel collector saves {:.0}% of the serial collector's barrier time",
+        saving * 100.0
+    );
+}

@@ -1,0 +1,199 @@
+//! Runs every experiment and writes both human-readable tables (stdout)
+//! and machine-readable CSV series to `target/paper_results/`.
+//!
+//! This is the one-shot "regenerate the paper's evaluation" entry point:
+//!
+//! ```bash
+//! cargo run -p blocksync-bench --release --bin all_figures
+//! ```
+
+use std::path::PathBuf;
+
+use blocksync_bench::csv::Csv;
+use blocksync_bench::experiments::{
+    ablations, fig11, fig13, fig14, fig15, headline, modelcheck, oversubscription, rho_sweep,
+    scaling_study, table1, AlgoKind,
+};
+use blocksync_bench::harness::pct;
+
+fn out_dir() -> PathBuf {
+    PathBuf::from("target").join("paper_results")
+}
+
+fn main() {
+    let dir = out_dir();
+    println!("writing CSV series to {}\n", dir.display());
+
+    // Table 1.
+    let mut csv = Csv::new(["algorithm", "sync_fraction"]);
+    for row in table1() {
+        csv.push([
+            row.algo.name().to_string(),
+            format!("{:.4}", row.sync_fraction),
+        ]);
+        println!("table1  {:<14} {}", row.algo.name(), pct(row.sync_fraction));
+    }
+    csv.write_to(&dir.join("table1.csv")).expect("write table1");
+
+    // Figure 11.
+    let series = fig11();
+    let mut header = vec!["n_blocks".to_string()];
+    header.extend(series.iter().map(|s| s.method.to_string()));
+    let mut csv = Csv::new(header);
+    for i in 0..series[0].points.len() {
+        let mut row = vec![series[0].points[i].0.to_string()];
+        row.extend(
+            series
+                .iter()
+                .map(|s| format!("{:.6}", s.points[i].1.as_millis_f64())),
+        );
+        csv.push(row);
+    }
+    csv.write_to(&dir.join("fig11.csv")).expect("write fig11");
+    println!(
+        "fig11   written ({} methods x {} points)",
+        series.len(),
+        series[0].points.len()
+    );
+
+    // Figures 13/14.
+    type SweepFn = fn(AlgoKind) -> Vec<blocksync_bench::experiments::SweepSeries>;
+    for (name, f) in [("fig13", fig13 as SweepFn), ("fig14", fig14 as SweepFn)] {
+        for algo in AlgoKind::ALL {
+            let series = f(algo);
+            let mut header = vec!["n_blocks".to_string()];
+            header.extend(series.iter().map(|s| s.method.to_string()));
+            let mut csv = Csv::new(header);
+            for i in 0..series[0].points.len() {
+                let mut row = vec![series[0].points[i].0.to_string()];
+                row.extend(
+                    series
+                        .iter()
+                        .map(|s| format!("{:.6}", s.points[i].1.as_millis_f64())),
+                );
+                csv.push(row);
+            }
+            let file = format!(
+                "{name}_{}.csv",
+                algo.name().to_lowercase().replace(' ', "_")
+            );
+            csv.write_to(&dir.join(file)).expect("write sweep");
+        }
+        println!("{name}  written (3 panels)");
+    }
+
+    // Figure 15.
+    let mut csv = Csv::new(["algorithm", "method", "compute_fraction", "sync_fraction"]);
+    for (algo, cells) in fig15() {
+        for c in cells {
+            csv.push([
+                algo.name().to_string(),
+                c.method.to_string(),
+                format!("{:.4}", c.compute_fraction),
+                format!("{:.4}", c.sync_fraction),
+            ]);
+        }
+    }
+    csv.write_to(&dir.join("fig15.csv")).expect("write fig15");
+    println!("fig15   written");
+
+    // Headline.
+    let h = headline();
+    println!(
+        "headline lock-free vs explicit {:.1}x, vs implicit {:.1}x",
+        h.lockfree_vs_explicit, h.lockfree_vs_implicit
+    );
+    let mut csv = Csv::new(["metric", "value"]);
+    csv.push([
+        "lockfree_vs_explicit".to_string(),
+        format!("{:.3}", h.lockfree_vs_explicit),
+    ]);
+    csv.push([
+        "lockfree_vs_implicit".to_string(),
+        format!("{:.3}", h.lockfree_vs_implicit),
+    ]);
+    for (algo, gain) in &h.improvements {
+        csv.push([
+            format!("improvement_{}", algo.name().to_lowercase()),
+            format!("{gain:.4}"),
+        ]);
+    }
+    csv.write_to(&dir.join("headline.csv"))
+        .expect("write headline");
+
+    // Model check.
+    let m = modelcheck();
+    println!(
+        "model   t_a={:.0}ns r2={:.4} lockfree_slope={:.1} tree_err={:.1}%",
+        m.simple_fit.slope,
+        m.simple_fit.r_squared,
+        m.lockfree_fit.slope,
+        m.tree2_model_error * 100.0
+    );
+
+    // Ablations.
+    let a = ablations();
+    let mut csv = Csv::new(["variant", "us_per_barrier"]);
+    for (name, v) in [
+        ("parallel_collector", a.collector_parallel),
+        ("serial_collector", a.collector_serial),
+        ("single_partition", a.single_partition),
+        ("gpu_simple_context", a.simple_30),
+        ("simple_cas_polling", a.simple_cas_polling),
+        ("lockfree_cas_polling", a.lockfree_cas_polling),
+    ] {
+        csv.push([name.to_string(), format!("{:.3}", v.as_micros_f64())]);
+    }
+    csv.write_to(&dir.join("ablations.csv"))
+        .expect("write ablations");
+    println!("ablations written");
+
+    // Oversubscription.
+    let o = oversubscription();
+    let mut csv = Csv::new(["blocks", "cpu_implicit_ms"]);
+    for (n, t) in &o.cpu_implicit {
+        csv.push([n.to_string(), format!("{:.6}", t.as_millis_f64())]);
+    }
+    csv.write_to(&dir.join("oversubscription.csv"))
+        .expect("write oversub");
+    println!(
+        "oversub written; GPU barrier at 31 blocks: {}",
+        match &o.gpu_at_31 {
+            Err(e) => format!("{e}"),
+            Ok(t) => format!("completed in {t} (unexpected)"),
+        }
+    );
+
+    // Scaling study.
+    let rows = scaling_study();
+    let mut header = vec!["sms".to_string()];
+    header.extend(rows[0].per_method.iter().map(|(m, _)| m.to_string()));
+    let mut csv = Csv::new(header);
+    for row in &rows {
+        let mut cells = vec![row.sms.to_string()];
+        cells.extend(
+            row.per_method
+                .iter()
+                .map(|&(_, t)| format!("{:.3}", t.as_micros_f64())),
+        );
+        csv.push(cells);
+    }
+    csv.write_to(&dir.join("scaling.csv"))
+        .expect("write scaling");
+    println!("scaling written");
+
+    // Rho sweep.
+    let mut csv = Csv::new(["rho", "measured_speedup", "eq2_predicted"]);
+    for p in rho_sweep() {
+        csv.push([
+            format!("{:.4}", p.rho),
+            format!("{:.4}", p.measured),
+            format!("{:.4}", p.predicted),
+        ]);
+    }
+    csv.write_to(&dir.join("rho_sweep.csv"))
+        .expect("write rho sweep");
+    println!("rho_sweep written");
+
+    println!("\nall experiments complete.");
+}

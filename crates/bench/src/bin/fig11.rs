@@ -1,0 +1,58 @@
+//! Regenerates **Figure 11**: micro-benchmark execution time vs number of
+//! blocks for each synchronization method (10,000 barrier rounds, mean of
+//! two floats per thread, weak scaling).
+//!
+//! Paper landmarks: computation ≈ 5 ms; CPU implicit ≈ 60 ms of sync; GPU
+//! simple crosses CPU implicit near N = 24; tree-2 beats simple above
+//! N ≈ 11; tree-3 crosses tree-2 near N = 29; lock-free is flat and
+//! fastest for all but the smallest grids.
+
+use blocksync_bench::experiments::fig11;
+use blocksync_bench::harness::{format_table, ms};
+
+fn main() {
+    println!("Figure 11: Execution Time of the Micro-benchmark (ms, 10000 rounds)\n");
+    let series = fig11();
+    let headers: Vec<String> = std::iter::once("N".to_string())
+        .chain(series.iter().map(|s| s.method.to_string()))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let n_points = series[0].points.len();
+    let rows: Vec<Vec<String>> = (0..n_points)
+        .map(|i| {
+            let n = series[0].points[i].0;
+            std::iter::once(n.to_string())
+                .chain(series.iter().map(|s| ms(s.points[i].1)))
+                .collect()
+        })
+        .collect();
+    println!("{}", format_table(&headers_ref, &rows));
+
+    // Report the emergent crossovers the paper calls out.
+    let col = |name: &str| {
+        series
+            .iter()
+            .position(|s| s.method.to_string() == name)
+            .unwrap()
+    };
+    let (simple, imp, t2, t3) = (
+        col("gpu-simple"),
+        col("cpu-implicit"),
+        col("gpu-tree-2"),
+        col("gpu-tree-3"),
+    );
+    let first_n = |pred: &dyn Fn(usize) -> bool| (1..=30).find(|&n| pred(n - 1));
+    let v = |s: usize, i: usize| series[s].points[i].1;
+    println!(
+        "simple overtaken by cpu-implicit at N = {:?} (paper: 24)",
+        first_n(&|i| v(simple, i) > v(imp, i))
+    );
+    println!(
+        "tree-2 beats simple from N = {:?} (paper: 11)",
+        first_n(&|i| v(t2, i) < v(simple, i))
+    );
+    println!(
+        "tree-3 beats tree-2 from N = {:?} (paper: 29)",
+        first_n(&|i| i >= 20 && v(t3, i) < v(t2, i))
+    );
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Figure 13 (a/b/c)**: kernel execution time vs number of
+//! blocks (9..=30) for FFT, SWat, and bitonic sort under every
+//! synchronization method.
+//!
+//! Paper landmarks at 30 blocks: lock-free improves on CPU implicit by
+//! 8.8% (FFT), 24.1% (SWat), 39.0% (bitonic); time decreases with more
+//! blocks; tree-2 overtakes simple at N ≈ 24 (FFT) / 20 (SWat, bitonic).
+
+use blocksync_bench::experiments::{fig13, AlgoKind};
+use blocksync_bench::harness::{format_table, ms, pct};
+
+fn main() {
+    for (panel, algo) in ["a", "b", "c"].iter().zip(AlgoKind::ALL) {
+        println!(
+            "Figure 13({panel}): {} kernel execution time (ms)\n",
+            algo.name()
+        );
+        let series = fig13(algo);
+        let headers: Vec<String> = std::iter::once("N".to_string())
+            .chain(series.iter().map(|s| s.method.to_string()))
+            .collect();
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = (0..series[0].points.len())
+            .map(|i| {
+                std::iter::once(series[0].points[i].0.to_string())
+                    .chain(series.iter().map(|s| ms(s.points[i].1)))
+                    .collect()
+            })
+            .collect();
+        println!("{}", format_table(&headers_ref, &rows));
+
+        let imp = series
+            .iter()
+            .find(|s| s.method.to_string() == "cpu-implicit")
+            .unwrap();
+        let lf = series
+            .iter()
+            .find(|s| s.method.to_string() == "gpu-lock-free")
+            .unwrap();
+        let (imp30, lf30) = (imp.points.last().unwrap().1, lf.points.last().unwrap().1);
+        let gain = (imp30.as_nanos() as f64 - lf30.as_nanos() as f64) / imp30.as_nanos() as f64;
+        let paper = match algo {
+            AlgoKind::Fft => "8.8%",
+            AlgoKind::Swat => "24.1%",
+            AlgoKind::Bitonic => "39.0%",
+        };
+        println!(
+            "lock-free vs cpu-implicit at 30 blocks: {} improvement (paper: {paper})\n",
+            pct(gain)
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Figure 14 (a/b/c)**: synchronization time vs number of
+//! blocks (9..=30), where synchronization time is total kernel time minus
+//! the barrier-free compute reference (the paper's Section 7.3 method).
+//!
+//! Paper landmarks: CPU implicit needs the most time and is flat; GPU
+//! lock-free needs the least and is flat; simple and tree grow with the
+//! block count, simple fastest.
+
+use blocksync_bench::experiments::{fig14, AlgoKind};
+use blocksync_bench::harness::{format_table, ms};
+
+fn main() {
+    for (panel, algo) in ["a", "b", "c"].iter().zip(AlgoKind::ALL) {
+        println!(
+            "Figure 14({panel}): {} synchronization time (ms)\n",
+            algo.name()
+        );
+        let series = fig14(algo);
+        let headers: Vec<String> = std::iter::once("N".to_string())
+            .chain(series.iter().map(|s| s.method.to_string()))
+            .collect();
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = (0..series[0].points.len())
+            .map(|i| {
+                std::iter::once(series[0].points[i].0.to_string())
+                    .chain(series.iter().map(|s| ms(s.points[i].1)))
+                    .collect()
+            })
+            .collect();
+        println!("{}", format_table(&headers_ref, &rows));
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Figure 15**: percentage breakdown of computation vs
+//! synchronization time per application and synchronization method, at the
+//! best configuration (30 blocks).
+//!
+//! Paper landmarks: under CPU implicit sync, SWat and bitonic spend ~50%
+//! of their time synchronizing and FFT ~20%; the lock-free barrier drops
+//! those to ~30% and ~10%.
+
+use blocksync_bench::experiments::fig15;
+use blocksync_bench::harness::{format_table, pct};
+
+fn main() {
+    println!("Figure 15: Percentages of Computation Time and Synchronization Time");
+    println!("(30 blocks, paper-scale workloads)\n");
+    for (algo, cells) in fig15() {
+        println!("{}:", algo.name());
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.method.to_string(),
+                    pct(c.compute_fraction),
+                    pct(c.sync_fraction),
+                ]
+            })
+            .collect();
+        println!("{}", format_table(&["method", "compute", "sync"], &rows));
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates the paper's **headline numbers** (abstract): the
+//! micro-benchmark speedups of GPU lock-free synchronization over CPU
+//! explicit (paper: 7.8x) and CPU implicit (paper: 3.7x) synchronization,
+//! and the application-level kernel-time improvements over CPU implicit
+//! sync (paper: FFT 8.8%, SWat 24.1%, bitonic sort 39.0%).
+
+use blocksync_bench::experiments::{headline, AlgoKind};
+use blocksync_bench::harness::{format_table, pct};
+
+fn main() {
+    let h = headline();
+    println!("Headline results (GPU lock-free synchronization)\n");
+    let rows = vec![
+        vec![
+            "micro-benchmark vs CPU explicit".to_string(),
+            format!("{:.1}x", h.lockfree_vs_explicit),
+            "7.8x".to_string(),
+        ],
+        vec![
+            "micro-benchmark vs CPU implicit".to_string(),
+            format!("{:.1}x", h.lockfree_vs_implicit),
+            "3.7x".to_string(),
+        ],
+    ];
+    println!("{}", format_table(&["metric", "measured", "paper"], &rows));
+
+    println!("Kernel-time improvement over CPU implicit sync (30 blocks):\n");
+    let paper = ["8.8%", "24.1%", "39.0%"];
+    let rows: Vec<Vec<String>> = h
+        .improvements
+        .iter()
+        .zip(paper)
+        .map(|(&(algo, gain), p)| vec![AlgoKind::name(algo).to_string(), pct(gain), p.to_string()])
+        .collect();
+    println!(
+        "{}",
+        format_table(&["algorithm", "measured", "paper"], &rows)
+    );
+}

@@ -1,0 +1,82 @@
+//! The micro-benchmark measured on **this machine's** host runtime (real
+//! atomics, wall clocks) — the empirical companion to the simulated
+//! Figure 11.
+//!
+//! Reports the median of several repetitions of the per-barrier
+//! synchronization cost for each method at a few block counts. Interpret
+//! with the machine in mind: with at least as many cores as blocks the
+//! protocol ranking mirrors the paper; oversubscribed, the spin barriers
+//! yield to the OS scheduler and absolute values mostly measure context
+//! switches.
+//!
+//! Flags: `--blocks-list 2,4,8` `--rounds 2000` `--reps 5` `--tpb 64`
+
+use blocksync_core::SyncMethod;
+use blocksync_microbench::run_host;
+
+use blocksync_bench::harness::format_table;
+
+fn parse_list(s: &str) -> Vec<usize> {
+    s.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse().expect("integer list"))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |key: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == &format!("--{key}"))
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let blocks_list = parse_list(&get("blocks-list", "2,4,8"));
+    let rounds: usize = get("rounds", "2000").parse().expect("--rounds integer");
+    let reps: usize = get("reps", "5").parse().expect("--reps integer");
+    let tpb: usize = get("tpb", "64").parse().expect("--tpb integer");
+
+    let methods = [
+        SyncMethod::CpuExplicit,
+        SyncMethod::CpuImplicit,
+        SyncMethod::GpuSimple,
+        SyncMethod::GpuTree(blocksync_core::TreeLevels::Two),
+        SyncMethod::GpuTree(blocksync_core::TreeLevels::Three),
+        SyncMethod::GpuLockFree,
+        SyncMethod::SenseReversing,
+        SyncMethod::Dissemination,
+    ];
+
+    println!(
+        "host micro-benchmark: {} available cores, {rounds} rounds x {reps} reps, \
+         {tpb} threads/block (ns per barrier, median)\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+
+    let headers: Vec<String> = std::iter::once("method".to_string())
+        .chain(blocks_list.iter().map(|n| format!("N={n}")))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for method in methods {
+        let mut row = vec![method.to_string()];
+        for &n in &blocks_list {
+            let mut samples: Vec<f64> = (0..reps)
+                .map(|_| {
+                    let (stats, ok) = run_host(n, tpb, rounds, method).expect("valid config");
+                    assert!(ok, "{method}: verification failed");
+                    stats.sync_per_round().as_nanos() as f64
+                })
+                .collect();
+            samples.sort_by(f64::total_cmp);
+            row.push(format!("{:.0}", samples[samples.len() / 2]));
+        }
+        rows.push(row);
+    }
+    println!("{}", format_table(&headers_ref, &rows));
+    println!("(wall-clock; see EXPERIMENTS.md for why the simulator, not this table,");
+    println!(" regenerates the paper's Figure 11)");
+}

@@ -1,0 +1,27 @@
+//! Verifies the paper's cost models (Equations 6, 7, 9) against the
+//! simulator: GPU simple sync must be linear in the block count, GPU
+//! lock-free flat, and Eq. 7 must predict the 2-level tree sweep from
+//! constants fitted to the simple sweep.
+
+use blocksync_bench::experiments::modelcheck;
+
+fn main() {
+    let m = modelcheck();
+    println!("Model verification (Section 5 cost models vs simulator)\n");
+    println!(
+        "Eq. 6 (simple sync linear in N):   t = {:.0} * N + {:.0} ns, r^2 = {:.4}",
+        m.simple_fit.slope, m.simple_fit.intercept, m.simple_fit.r_squared
+    );
+    println!(
+        "  -> fitted t_a = {:.0} ns per serialized atomicAdd",
+        m.simple_fit.slope
+    );
+    println!(
+        "Eq. 9 (lock-free flat in N):       slope = {:.1} ns/block (vs simple's {:.0})",
+        m.lockfree_fit.slope, m.simple_fit.slope
+    );
+    println!(
+        "Eq. 7 (2-level tree, constants from the simple fit): mean |rel. error| = {:.1}%",
+        m.tree2_model_error * 100.0
+    );
+}

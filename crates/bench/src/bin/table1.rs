@@ -1,0 +1,22 @@
+//! Regenerates **Table 1**: percent of kernel time spent on inter-block
+//! communication under CPU implicit synchronization.
+//!
+//! Paper values: FFT 19.6%, SWat 49.7%, bitonic sort 59.6%.
+
+use blocksync_bench::experiments::table1;
+use blocksync_bench::harness::{format_table, pct};
+
+fn main() {
+    println!("Table 1: Percent of Time Spent on Inter-Block Communication");
+    println!("(CPU implicit synchronization, 30 blocks, paper-scale workloads)\n");
+    let paper = [0.196, 0.497, 0.596];
+    let rows: Vec<Vec<String>> = table1()
+        .iter()
+        .zip(paper)
+        .map(|(row, p)| vec![row.algo.name().to_string(), pct(row.sync_fraction), pct(p)])
+        .collect();
+    println!(
+        "{}",
+        format_table(&["Algorithm", "measured", "paper"], &rows)
+    );
+}

@@ -1,0 +1,120 @@
+//! Tiny CSV writer for exporting figure series to plotting tools.
+//!
+//! No external dependency: the workspace only emits simple numeric tables,
+//! so quoting rules reduce to "quote if the cell contains a comma, quote,
+//! or newline".
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// An in-memory CSV document.
+#[derive(Debug, Default, Clone)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Start a document with the given column names.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Csv {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the header.
+    pub fn push<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the document has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to CSV text (RFC-4180-style quoting, `\n` line endings).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains([',', '"', '\n']) {
+                    let escaped = cell.replace('"', "\"\"");
+                    let _ = write!(out, "\"{escaped}\"");
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Write to a file, creating parent directories.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut c = Csv::new(["n", "time_ms"]);
+        assert!(c.is_empty());
+        c.push(["1", "10.5"]);
+        c.push(["30", "7.2"]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.render(), "n,time_ms\n1,10.5\n30,7.2\n");
+    }
+
+    #[test]
+    fn quotes_special_cells() {
+        let mut c = Csv::new(["name", "note"]);
+        c.push(["a,b", "say \"hi\"\nbye"]);
+        assert_eq!(c.render(), "name,note\n\"a,b\",\"say \"\"hi\"\"\nbye\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut c = Csv::new(["a", "b"]);
+        c.push(["only-one"]);
+    }
+
+    #[test]
+    fn writes_file_with_parents() {
+        let dir = std::env::temp_dir().join("blocksync_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sub").join("out.csv");
+        let mut c = Csv::new(["x"]);
+        c.push(["1"]);
+        c.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,169 @@
+//! Shared harness utilities: round-sampled simulation for long kernels and
+//! plain-text table printing.
+
+use blocksync_device::SimDuration;
+use blocksync_sim::{simulate, SimConfig, SimReport, Workload};
+
+/// A workload that runs only every `stride`-th round of an inner workload.
+///
+/// Long kernels (SWat at paper scale has 16,383 barrier rounds) would take
+/// minutes to event-simulate per configuration. Barrier cost per round is
+/// workload-independent once the engine reaches steady state, and the
+/// algorithms' per-round compute profiles are smooth (constant or
+/// triangular), so simulating an evenly spaced sample of rounds and scaling
+/// time back up preserves both the compute sum and the compute/sync ratio.
+struct SampledWorkload<'a> {
+    inner: &'a dyn Workload,
+    stride: usize,
+    rounds: usize,
+}
+
+impl Workload for SampledWorkload<'_> {
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn compute(&self, bid: usize, round: usize) -> blocksync_device::SimDuration {
+        self.inner
+            .compute(bid, (round * self.stride).min(self.inner.rounds() - 1))
+    }
+}
+
+/// Simulate `workload` under `cfg`, sampling down to at most `max_rounds`
+/// simulated rounds and scaling the report back to the full round count.
+pub fn sim_scaled(cfg: &SimConfig, workload: &dyn Workload, max_rounds: usize) -> SimReport {
+    assert!(max_rounds > 0);
+    let full = workload.rounds();
+    if full <= max_rounds {
+        return simulate(cfg, workload);
+    }
+    let stride = full.div_ceil(max_rounds);
+    let sampled_rounds = full.div_ceil(stride);
+    let sampled = SampledWorkload {
+        inner: workload,
+        stride,
+        rounds: sampled_rounds,
+    };
+    let mut r = simulate(cfg, &sampled);
+    let factor = full as f64 / sampled_rounds as f64;
+    let scale =
+        |d: SimDuration| SimDuration::from_nanos((d.as_nanos() as f64 * factor).round() as u64);
+    r.total = r.launch + scale(r.total.saturating_sub(r.launch));
+    r.per_block_compute = r.per_block_compute.into_iter().map(scale).collect();
+    r.per_block_sync = r.per_block_sync.into_iter().map(scale).collect();
+    r.rounds = full;
+    r
+}
+
+/// Render rows as an aligned plain-text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format nanoseconds as milliseconds with 3 decimals.
+pub fn ms(d: SimDuration) -> String {
+    format!("{:.3}", d.as_millis_f64())
+}
+
+/// Format nanoseconds as microseconds with 2 decimals.
+pub fn us(d: SimDuration) -> String {
+    format!("{:.2}", d.as_micros_f64())
+}
+
+/// Format a fraction as a percentage with 1 decimal.
+pub fn pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blocksync_core::SyncMethod;
+    use blocksync_sim::{ClosureWorkload, ConstWorkload};
+
+    #[test]
+    fn sim_scaled_is_exact_when_small() {
+        let w = ConstWorkload::from_micros(0.5, 50);
+        let cfg = SimConfig::new(8, 128, SyncMethod::GpuLockFree);
+        let direct = simulate(&cfg, &w);
+        let scaled = sim_scaled(&cfg, &w, 100);
+        assert_eq!(direct.total, scaled.total);
+    }
+
+    #[test]
+    fn sim_scaled_approximates_constant_workloads_well() {
+        let w = ConstWorkload::from_micros(0.5, 2_000);
+        let cfg = SimConfig::new(8, 128, SyncMethod::GpuSimple);
+        let direct = simulate(&cfg, &w);
+        let scaled = sim_scaled(&cfg, &w, 200);
+        let err = (scaled.total.as_nanos() as f64 - direct.total.as_nanos() as f64).abs()
+            / direct.total.as_nanos() as f64;
+        assert!(err < 0.05, "scaling error {err}");
+        assert_eq!(scaled.rounds, 2_000);
+    }
+
+    #[test]
+    fn sim_scaled_preserves_triangular_compute_sum() {
+        // Triangular profile like SWat's diagonals.
+        let rounds = 999;
+        let w = ClosureWorkload::new(rounds, |_, r| {
+            let x = r.min(rounds - 1 - r) as u64 + 1;
+            blocksync_device::SimDuration::from_nanos(x * 100)
+        });
+        let cfg = SimConfig::new(4, 64, SyncMethod::GpuLockFree);
+        let direct = simulate(&cfg, &w);
+        let scaled = sim_scaled(&cfg, &w, 111);
+        let err = (scaled.max_compute().as_nanos() as f64 - direct.max_compute().as_nanos() as f64)
+            .abs()
+            / direct.max_compute().as_nanos() as f64;
+        assert!(err < 0.05, "compute-sum error {err}");
+    }
+
+    #[test]
+    fn format_table_aligns() {
+        let t = format_table(
+            &["N", "time"],
+            &[
+                vec!["1".into(), "10.0".into()],
+                vec!["30".into(), "7.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('N'));
+        assert!(lines[2].ends_with("10.0"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(SimDuration::from_micros(1500)), "1.500");
+        assert_eq!(us(SimDuration::from_nanos(1250)), "1.25");
+        assert_eq!(pct(0.4966), "49.7%");
+    }
+}

@@ -1,0 +1,308 @@
+//! Subcommand implementations.
+
+use blocksync_algos::bitonic::{GridBitonic, GridBitonicBatched};
+use blocksync_algos::fft::{kernel::Direction, GridFft};
+use blocksync_algos::scan::{inclusive_scan_reference, GridScan};
+use blocksync_algos::seqgen::{complex_signal, random_keys, related_dna, SplitMix64};
+use blocksync_algos::swat::{
+    needleman_wunsch, smith_waterman, GapPenalties, GridNw, GridSwat, GridSwatBanded, Scoring,
+};
+use blocksync_core::{GridConfig, GridExecutor, KernelStats, RoundKernel, SyncMethod};
+use blocksync_microbench::run_host;
+use blocksync_sim::{try_simulate, ConstWorkload, SimConfig, TraceKind};
+
+use crate::args::{parse_method, Args};
+
+fn run_kernel<K: RoundKernel>(
+    kernel: &K,
+    blocks: usize,
+    method: SyncMethod,
+) -> Result<KernelStats, String> {
+    GridExecutor::new(GridConfig::new(blocks, 64), method)
+        .run(kernel)
+        .map_err(|e| e.to_string())
+}
+
+/// `blocksync simulate`.
+pub fn simulate(a: &Args) -> Result<(), String> {
+    let method = parse_method(a.get("method", "gpu-lock-free"))?;
+    let blocks = a.get_usize("blocks", 30);
+    let rounds = a.get_usize("rounds", 10_000);
+    let compute_us = a.get_f64("compute-us", 0.5);
+    let mut cfg = SimConfig::new(blocks, a.get_usize("tpb", 256), method);
+    if a.has("trace") {
+        cfg.trace = true;
+    }
+    // Either a paper-scale application workload or the constant-compute
+    // micro-benchmark shape.
+    let w: Box<dyn blocksync_sim::Workload> = match a.get("algo", "micro") {
+        "micro" => Box::new(ConstWorkload::from_micros(compute_us, rounds)),
+        "fft" => Box::new(blocksync_algos::fft::FftWorkload::new(
+            &cfg.spec,
+            blocksync_algos::fft::PAPER_N,
+            blocks,
+        )),
+        "swat" => {
+            let l = blocksync_algos::swat::PAPER_SEQ_LEN;
+            Box::new(blocksync_algos::swat::SwatWorkload::new(
+                &cfg.spec, l, l, blocks,
+            ))
+        }
+        "bitonic" => Box::new(blocksync_algos::bitonic::BitonicWorkload::new(
+            &cfg.spec,
+            blocksync_algos::bitonic::PAPER_N,
+            blocks,
+        )),
+        other => {
+            return Err(format!(
+                "unknown --algo {other:?}; valid: micro fft swat bitonic"
+            ))
+        }
+    };
+    let r = try_simulate(&cfg, w.as_ref()).map_err(|e| e.to_string())?;
+    println!(
+        "device: {} | method: {method} | {blocks} blocks x {} rounds ({})",
+        cfg.spec.name,
+        r.rounds,
+        a.get("algo", "micro")
+    );
+    println!("total          {}", r.total);
+    println!("  launch (t_O) {}", r.launch);
+    println!("  compute      {} (longest block)", r.max_compute());
+    println!(
+        "  sync (t_S)   {} ({:.1}% of total, {} per barrier)",
+        r.sync_time(),
+        r.sync_fraction() * 100.0,
+        r.sync_per_round()
+    );
+    if a.has("trace") {
+        println!("\nfirst trace events:");
+        for e in r.trace.iter().take(12) {
+            let kind = match e.kind {
+                TraceKind::ComputeStart { round } => format!("compute {round}"),
+                TraceKind::BarrierArrive { round } => format!("arrive  {round}"),
+                TraceKind::BarrierRelease { round } => format!("release {round}"),
+                TraceKind::KernelDone => "done".into(),
+            };
+            println!("  {:>10}  block {}  {}", e.time.to_string(), e.block, kind);
+        }
+    }
+    Ok(())
+}
+
+/// `blocksync sort`.
+pub fn sort(a: &Args) -> Result<(), String> {
+    let n = a.get_usize("n", 65_536);
+    let blocks = a.get_usize("blocks", 8);
+    let method = parse_method(a.get("method", "gpu-lock-free"))?;
+    let batch = a.get_usize("batch", 1);
+    let keys = random_keys(n, a.get_usize("seed", 42) as u64);
+    let stats = if batch > 1 {
+        let kernel = GridBitonicBatched::new(&keys, batch);
+        let stats = run_kernel(&kernel, blocks, method)?;
+        for s in 0..batch {
+            let seg = kernel.segment(s);
+            if !seg.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(format!("segment {s} not sorted — barrier failure?"));
+            }
+        }
+        stats
+    } else {
+        let kernel = GridBitonic::new(&keys);
+        let stats = run_kernel(&kernel, blocks, method)?;
+        let out = kernel.output();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        if out != expected {
+            return Err("output mismatch vs std sort — barrier failure?".into());
+        }
+        stats
+    };
+    println!("sorted {n} keys ({batch} segment(s)) — verified");
+    println!("{stats}");
+    Ok(())
+}
+
+/// `blocksync align`.
+pub fn align(a: &Args) -> Result<(), String> {
+    let len = a.get_usize("len", 600);
+    let blocks = a.get_usize("blocks", 6);
+    let method = parse_method(a.get("method", "gpu-lock-free"))?;
+    let mutation = a.get_f64("mutation", 0.05);
+    let (sa, sb) = related_dna(len, mutation, a.get_usize("seed", 7) as u64);
+    let (scoring, gaps) = (Scoring::dna(), GapPenalties::dna());
+    if a.has("global") {
+        let kernel = GridNw::new(&sa, &sb, scoring, gaps);
+        let stats = run_kernel(&kernel, blocks, method)?;
+        let expected = needleman_wunsch(&sa, &sb, scoring, gaps);
+        if kernel.score() != expected {
+            return Err("global score mismatch vs reference".into());
+        }
+        println!(
+            "Needleman-Wunsch global score: {} — verified",
+            kernel.score()
+        );
+        println!("{stats}");
+    } else if a.has("band") {
+        let band = a.get_usize("band", 16);
+        let kernel = GridSwatBanded::new(&sa, &sb, band, scoring, gaps, blocks);
+        let stats = run_kernel(&kernel, blocks, method)?;
+        println!(
+            "banded (w={band}) Smith-Waterman score: {} over {} in-band cells",
+            kernel.result().score,
+            kernel.band_cells()
+        );
+        println!("{stats}");
+    } else {
+        let kernel = GridSwat::new(&sa, &sb, scoring, gaps, blocks);
+        let stats = run_kernel(&kernel, blocks, method)?;
+        let expected = smith_waterman(&sa, &sb, scoring, gaps);
+        let got = kernel.result();
+        if got.score != expected.score {
+            return Err("local score mismatch vs reference".into());
+        }
+        println!(
+            "Smith-Waterman local score: {} at {:?} — verified",
+            got.score, got.end
+        );
+        println!("{stats}");
+    }
+    Ok(())
+}
+
+/// `blocksync fft`.
+pub fn fft(a: &Args) -> Result<(), String> {
+    let log_n = a.get_usize("log-n", 12);
+    if log_n > 24 {
+        return Err("--log-n capped at 24".into());
+    }
+    let blocks = a.get_usize("blocks", 6);
+    let method = parse_method(a.get("method", "gpu-lock-free"))?;
+    let n = 1usize << log_n;
+    let input = complex_signal(n, a.get_usize("seed", 3) as u64);
+    let direction = if a.has("inverse") {
+        Direction::Inverse
+    } else {
+        Direction::Forward
+    };
+    let kernel = GridFft::new(&input, direction);
+    let stats = run_kernel(&kernel, blocks, method)?;
+    // Round-trip verification (forward then inverse must reproduce input).
+    let spectrum = kernel.output();
+    let back_kernel = GridFft::new(
+        &spectrum,
+        match direction {
+            Direction::Forward => Direction::Inverse,
+            Direction::Inverse => Direction::Forward,
+        },
+    );
+    run_kernel(&back_kernel, blocks, method)?;
+    let err = blocksync_algos::fft::reference::max_error(&back_kernel.output(), &input);
+    if err > 1e-2 {
+        return Err(format!("round-trip error {err} too large"));
+    }
+    println!("{n}-point {direction:?} FFT, round-trip error {err:.2e} — verified");
+    println!("{stats}");
+    Ok(())
+}
+
+/// `blocksync scan`.
+pub fn scan(a: &Args) -> Result<(), String> {
+    let n = a.get_usize("n", 100_000);
+    let blocks = a.get_usize("blocks", 4);
+    let method = parse_method(a.get("method", "gpu-lock-free"))?;
+    let mut rng = SplitMix64::new(a.get_usize("seed", 1) as u64);
+    let data: Vec<u64> = (0..n).map(|_| rng.next_u64() >> 40).collect();
+    let kernel = GridScan::new(&data);
+    let stats = run_kernel(&kernel, blocks, method)?;
+    if kernel.output() != inclusive_scan_reference(&data) {
+        return Err("scan mismatch vs reference".into());
+    }
+    println!(
+        "inclusive scan of {n} values in {} barrier rounds — verified",
+        stats.rounds
+    );
+    println!("{stats}");
+    Ok(())
+}
+
+/// `blocksync micro`.
+pub fn micro(a: &Args) -> Result<(), String> {
+    let blocks = a.get_usize("blocks", 4);
+    let rounds = a.get_usize("rounds", 2_000);
+    let method = parse_method(a.get("method", "gpu-lock-free"))?;
+    let (stats, ok) =
+        run_host(blocks, a.get_usize("tpb", 64), rounds, method).map_err(|e| e.to_string())?;
+    if !ok {
+        return Err("micro-benchmark produced wrong means".into());
+    }
+    println!("mean-of-two-floats micro-benchmark — verified");
+    println!("{stats}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn sort_command_verifies() {
+        sort(&args(&["sort", "--n", "1024", "--blocks", "3"])).unwrap();
+        sort(&args(&[
+            "sort", "--n", "1024", "--blocks", "3", "--batch", "4",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn align_command_all_modes() {
+        align(&args(&["align", "--len", "120", "--blocks", "3"])).unwrap();
+        align(&args(&[
+            "align", "--len", "120", "--blocks", "3", "--global",
+        ]))
+        .unwrap();
+        align(&args(&[
+            "align", "--len", "120", "--blocks", "3", "--band", "8",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn fft_command_round_trips() {
+        fft(&args(&["fft", "--log-n", "8", "--blocks", "3"])).unwrap();
+        fft(&args(&[
+            "fft",
+            "--log-n",
+            "8",
+            "--blocks",
+            "3",
+            "--inverse",
+        ]))
+        .unwrap();
+        assert!(fft(&args(&["fft", "--log-n", "30"])).is_err());
+    }
+
+    #[test]
+    fn scan_and_micro_commands() {
+        scan(&args(&["scan", "--n", "5000", "--blocks", "3"])).unwrap();
+        micro(&args(&["micro", "--blocks", "2", "--rounds", "100"])).unwrap();
+    }
+
+    #[test]
+    fn simulate_command_shapes() {
+        simulate(&args(&["simulate", "--rounds", "100", "--blocks", "8"])).unwrap();
+        simulate(&args(&[
+            "simulate", "--rounds", "50", "--blocks", "8", "--trace",
+        ]))
+        .unwrap();
+        simulate(&args(&["simulate", "--algo", "bitonic", "--blocks", "30"])).unwrap();
+        assert!(simulate(&args(&["simulate", "--algo", "quantum"])).is_err());
+        // Oversubscribed GPU barrier reports a deadlock error, not a hang.
+        let e = simulate(&args(&["simulate", "--blocks", "31", "--rounds", "10"])).unwrap_err();
+        assert!(e.contains("deadlock"), "{e}");
+    }
+}

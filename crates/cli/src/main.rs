@@ -1,0 +1,72 @@
+//! `blocksync` — command-line interface to the persistent-kernel runtime
+//! and the GTX 280 simulator.
+//!
+//! ```text
+//! blocksync simulate --method gpu-lock-free --blocks 30 --rounds 10000 --compute-us 0.5
+//! blocksync sort     --n 65536 --blocks 8 --method lock-free
+//! blocksync align    --len 600 --mutation 0.05 --blocks 6 [--global] [--band 16]
+//! blocksync fft      --log-n 12 --blocks 6 [--inverse]
+//! blocksync scan     --n 100000 --blocks 4
+//! blocksync micro    --blocks 4 --rounds 2000
+//! ```
+//!
+//! Every subcommand prints what it verified, what it measured, and (for
+//! `simulate`) the paper-model decomposition.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let parsed = args::Args::parse(raw);
+    let command = parsed.positional.first().cloned().unwrap_or_default();
+    let result = match command.as_str() {
+        "simulate" => commands::simulate(&parsed),
+        "sort" => commands::sort(&parsed),
+        "align" => commands::align(&parsed),
+        "fft" => commands::fft(&parsed),
+        "scan" => commands::scan(&parsed),
+        "micro" => commands::micro(&parsed),
+        other => Err(format!("unknown command {other:?}; run `blocksync help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "blocksync — inter-block GPU barrier synchronization (Xiao & Feng, IPDPS 2010)
+
+USAGE:
+  blocksync <command> [--flags]
+
+COMMANDS:
+  simulate   simulate a round-structured kernel on the GTX 280 model
+             --method M --blocks N --rounds R --compute-us C [--trace]
+  sort       bitonic-sort random keys on the host runtime
+             --n KEYS --blocks N --method M [--batch B]
+  align      Smith-Waterman (or --global Needleman-Wunsch) two related
+             DNA sequences      --len L --mutation P --blocks N [--band W]
+  fft        forward (or --inverse) FFT of a random signal
+             --log-n K --blocks N --method M
+  scan       grid-wide inclusive prefix sum
+             --n LEN --blocks N --method M
+  micro      the paper's Section 5.4 micro-benchmark on the host runtime
+             --blocks N --rounds R --method M
+
+METHODS:
+  cpu-explicit cpu-implicit gpu-simple gpu-tree-2 gpu-tree-3 gpu-lock-free
+  sense-reversing dissemination no-sync"
+    );
+}

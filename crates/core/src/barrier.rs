@@ -1,0 +1,131 @@
+//! The inter-block barrier abstraction.
+//!
+//! A barrier has two halves:
+//!
+//! * [`BarrierShared`] — the state shared by all blocks (the `__device__`
+//!   globals of the paper's CUDA listings: `g_mutex`, `Arrayin`,
+//!   `Arrayout`, ...).
+//! * [`BarrierWaiter`] — one per block, owned by that block's worker thread.
+//!   It holds the block id and any per-block round state (the paper keeps
+//!   `goalVal` in registers and increments it on every call; the waiter is
+//!   where that register lives).
+//!
+//! All implementations must provide **full barrier semantics with
+//! publication**: when [`BarrierWaiter::wait`] returns for round `r`, every
+//! write performed by any block before its round-`r` `wait` call is visible.
+//! Implementations achieve this with `Release` writes on arrival and
+//! `Acquire` reads on departure.
+
+use std::sync::Arc;
+
+/// Shared state of an inter-block barrier for a fixed number of blocks.
+pub trait BarrierShared: Send + Sync + 'static {
+    /// Number of blocks this barrier synchronizes.
+    fn num_blocks(&self) -> usize;
+
+    /// Create the per-block waiter for `block_id`.
+    ///
+    /// # Panics
+    /// Panics if `block_id >= self.num_blocks()`, or if called twice for the
+    /// same block (implementations may, but are not required to, detect
+    /// this).
+    fn waiter(self: Arc<Self>, block_id: usize) -> Box<dyn BarrierWaiter>;
+
+    /// Short human-readable name for reports, e.g. `"gpu-simple"`.
+    fn name(&self) -> &'static str;
+}
+
+/// Per-block handle to an inter-block barrier.
+pub trait BarrierWaiter: Send {
+    /// Arrive at the barrier and block (spin) until all
+    /// [`BarrierShared::num_blocks`] blocks of the current round have
+    /// arrived.
+    ///
+    /// Equivalent to the paper's `__gpu_sync(goalVal)`; the goal value is
+    /// internal per-round state.
+    fn wait(&mut self);
+
+    /// The block this waiter belongs to.
+    fn block_id(&self) -> usize;
+}
+
+/// Spin until `cond()` holds, yielding to the OS scheduler after a short
+/// burst of busy polls.
+///
+/// On the GPU a spinning block owns its SM outright, so the paper's barriers
+/// busy-wait unconditionally. On a host machine with fewer cores than blocks
+/// an unconditional busy-wait inverts the experiment (waiters steal cycles
+/// from the blocks they are waiting for), so after `SPIN_BURST` polls we
+/// yield the timeslice. With at least as many cores as blocks the yield path
+/// is cold and the behaviour matches a pure spin.
+#[inline]
+pub(crate) fn spin_until(mut cond: impl FnMut() -> bool) {
+    const SPIN_BURST: u32 = 64;
+    let mut polls = 0u32;
+    while !cond() {
+        if polls < SPIN_BURST {
+            polls += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Convenience used by tests and benchmarks: build one waiter per block.
+pub fn waiters_for(shared: Arc<dyn BarrierShared>, n: usize) -> Vec<Box<dyn BarrierWaiter>> {
+    assert_eq!(shared.num_blocks(), n, "waiters_for: block count mismatch");
+    (0..n).map(|b| Arc::clone(&shared).waiter(b)).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod harness {
+    //! A reusable correctness harness run against every barrier
+    //! implementation: `n` threads repeatedly increment per-block counters
+    //! and cross-check *other* blocks' counters between rounds. Any lost
+    //! round, early release, or missing publication fails the asserts.
+
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub fn exercise(shared: Arc<dyn BarrierShared>, n_blocks: usize, rounds: usize) {
+        let counters: Arc<Vec<AtomicU64>> =
+            Arc::new((0..n_blocks).map(|_| AtomicU64::new(0)).collect());
+
+        std::thread::scope(|s| {
+            for b in 0..n_blocks {
+                let shared = Arc::clone(&shared);
+                let counters = Arc::clone(&counters);
+                s.spawn(move || {
+                    let mut w = shared.waiter(b);
+                    assert_eq!(w.block_id(), b);
+                    for r in 0..rounds {
+                        // Plain (Relaxed) increment: ordering must come from
+                        // the barrier alone.
+                        let prev = counters[b].load(Ordering::Relaxed);
+                        assert_eq!(prev as usize, r, "block {b} lost a round");
+                        counters[b].store(prev + 1, Ordering::Relaxed);
+                        w.wait();
+                        // After the barrier every block must observe every
+                        // other block's round-r increment.
+                        for (other, c) in counters.iter().enumerate() {
+                            let seen = c.load(Ordering::Relaxed) as usize;
+                            assert!(
+                                seen > r,
+                                "block {b} after round {r}: block {other} shows {seen}"
+                            );
+                            assert!(
+                                seen <= r + 2,
+                                "block {b} after round {r}: block {other} ran ahead to {seen}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+
+        for c in counters.iter() {
+            assert_eq!(c.load(Ordering::Relaxed) as usize, rounds);
+        }
+    }
+}

@@ -1,0 +1,646 @@
+//! The grid executor: runs a round-structured kernel under any
+//! synchronization method and records the paper's time decomposition.
+//!
+//! A kernel is expressed as a [`RoundKernel`]: `rounds()` barrier-separated
+//! phases, each executed by every block. This is the shape of all three of
+//! the paper's applications — FFT (one round per butterfly stage), SWat
+//! (one round per anti-diagonal), bitonic sort (one round per
+//! compare-exchange step) — as well as its micro-benchmark.
+//!
+//! The executor inserts the inter-block barrier between rounds according to
+//! the chosen [`SyncMethod`]:
+//!
+//! * **GPU methods** — one persistent OS thread per block for the whole
+//!   kernel; a device-side spin barrier between rounds ("launch the kernel
+//!   only once", Section 4.3).
+//! * **CPU explicit** — worker threads are spawned and joined *every round*,
+//!   the host-runtime analogue of terminating and re-launching a kernel with
+//!   `cudaThreadSynchronize()` in between (Section 4.1).
+//! * **CPU implicit** — one persistent pool, but every round ends in a
+//!   centralized OS-assisted rendezvous (mutex + condvar) through which the
+//!   next round is dispatched, the analogue of pipelined kernel relaunch
+//!   (Section 4.2).
+//! * **NoSync** — no barrier at all; used to measure pure computation time
+//!   exactly as the paper does in Section 7.3 ("with the synchronization
+//!   function `__gpu_sync()` removed"). Results of inter-block-dependent
+//!   kernels are garbage in this mode; only the timing is meaningful.
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use blocksync_device::{DeviceError, GpuSpec};
+use parking_lot::{Condvar, Mutex};
+
+use crate::method::SyncMethod;
+use crate::stats::{BlockTimes, KernelStats};
+
+/// Grid shape for a kernel execution.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Number of thread blocks (= worker threads).
+    pub n_blocks: usize,
+    /// Threads per block. The host runtime executes a block sequentially,
+    /// so this only affects work partitioning helpers and validation.
+    pub threads_per_block: usize,
+    /// Device model used for validation (defaults to the GTX 280).
+    pub spec: GpuSpec,
+}
+
+impl GridConfig {
+    /// Grid of `n_blocks` x `threads_per_block` on a GTX 280.
+    pub fn new(n_blocks: usize, threads_per_block: usize) -> Self {
+        GridConfig {
+            n_blocks,
+            threads_per_block,
+            spec: GpuSpec::gtx280(),
+        }
+    }
+
+    /// Replace the device model.
+    pub fn with_spec(mut self, spec: GpuSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Validate this grid for `method`.
+    ///
+    /// GPU-side barriers require the one-block-per-SM discipline, so
+    /// `n_blocks` must not exceed the SM count; CPU-side methods relaunch
+    /// kernels and may use any block count.
+    pub fn validate(&self, method: SyncMethod) -> Result<(), DeviceError> {
+        if self.n_blocks == 0 || self.threads_per_block == 0 {
+            return Err(DeviceError::EmptyLaunch);
+        }
+        if self.threads_per_block as u32 > self.spec.max_threads_per_block {
+            return Err(DeviceError::TooManyThreads {
+                requested: self.threads_per_block as u32,
+                max: self.spec.max_threads_per_block,
+            });
+        }
+        if method.is_gpu_side() && self.n_blocks as u32 > self.spec.max_persistent_blocks() {
+            return Err(DeviceError::TooManyBlocks {
+                requested: self.n_blocks as u32,
+                max: self.spec.max_persistent_blocks(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-block execution context handed to each kernel round.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockCtx {
+    /// This block's flat id, `0..n_blocks`.
+    pub block_id: usize,
+    /// Total blocks in the grid.
+    pub n_blocks: usize,
+    /// Threads per block (for work partitioning).
+    pub threads_per_block: usize,
+}
+
+impl BlockCtx {
+    /// Contiguous slice of `0..total` owned by this block (balanced
+    /// partition; earlier blocks get the remainder).
+    pub fn chunk(&self, total: usize) -> Range<usize> {
+        let per = total / self.n_blocks;
+        let rem = total % self.n_blocks;
+        let start = self.block_id * per + self.block_id.min(rem);
+        let len = per + usize::from(self.block_id < rem);
+        start..start + len
+    }
+
+    /// CUDA-style grid-stride iteration over `0..total`: block `b` visits
+    /// `b, b + n_blocks, b + 2*n_blocks, ...`. Useful when work items have
+    /// non-uniform cost.
+    pub fn strided(&self, total: usize) -> impl Iterator<Item = usize> {
+        let n = self.n_blocks;
+        (self.block_id..total).step_by(n.max(1))
+    }
+
+    /// Total threads in the grid (`n_blocks * threads_per_block`).
+    pub fn total_threads(&self) -> usize {
+        self.n_blocks * self.threads_per_block
+    }
+
+    /// This block's thread ids (`0..threads_per_block`). The host runtime
+    /// executes a block's threads sequentially, so kernels that want to
+    /// mirror CUDA per-thread code iterate these and call
+    /// [`BlockCtx::thread_items`] for each — `__syncthreads()` between
+    /// per-thread phases is then implicit in the loop boundary.
+    pub fn thread_ids(&self) -> Range<usize> {
+        0..self.threads_per_block
+    }
+
+    /// Flat grid-wide id of this block's thread `tid`
+    /// (`block_id * blockDim + tid`, CUDA's `blockIdx.x * blockDim.x +
+    /// threadIdx.x`).
+    pub fn global_thread_id(&self, tid: usize) -> usize {
+        debug_assert!(tid < self.threads_per_block);
+        self.block_id * self.threads_per_block + tid
+    }
+
+    /// CUDA grid-stride loop for one thread: the items of `0..total`
+    /// visited by this block's thread `tid` when every grid thread strides
+    /// by the total thread count.
+    pub fn thread_items(&self, tid: usize, total: usize) -> impl Iterator<Item = usize> {
+        let stride = self.total_threads().max(1);
+        (self.global_thread_id(tid)..total).step_by(stride)
+    }
+}
+
+/// A kernel structured as barrier-separated rounds.
+///
+/// Invariant required for correctness under every [`SyncMethod`] except
+/// `NoSync`: within one round, a block may read data written by *any* block
+/// in *previous* rounds, and write only locations no other block touches in
+/// the *same* round.
+pub trait RoundKernel: Sync {
+    /// Number of barrier-separated rounds.
+    fn rounds(&self) -> usize;
+
+    /// Execute round `round` for the block described by `ctx`.
+    fn round(&self, ctx: &BlockCtx, round: usize);
+}
+
+/// Blanket impl so closures can be kernels in tests/benches:
+/// `(rounds, fn(ctx, round))`.
+impl<F: Fn(&BlockCtx, usize) + Sync> RoundKernel for (usize, F) {
+    fn rounds(&self) -> usize {
+        self.0
+    }
+    fn round(&self, ctx: &BlockCtx, round: usize) {
+        (self.1)(ctx, round)
+    }
+}
+
+/// Executes [`RoundKernel`]s under a configured synchronization method.
+#[derive(Debug, Clone)]
+pub struct GridExecutor {
+    cfg: GridConfig,
+    method: SyncMethod,
+}
+
+impl GridExecutor {
+    /// Create an executor.
+    pub fn new(cfg: GridConfig, method: SyncMethod) -> Self {
+        GridExecutor { cfg, method }
+    }
+
+    /// The configured method.
+    pub fn method(&self) -> SyncMethod {
+        self.method
+    }
+
+    /// The grid configuration.
+    pub fn config(&self) -> &GridConfig {
+        &self.cfg
+    }
+
+    /// Run the kernel to completion and return the time decomposition.
+    pub fn run<K: RoundKernel>(&self, kernel: &K) -> Result<KernelStats, DeviceError> {
+        self.cfg.validate(self.method)?;
+        let rounds = kernel.rounds();
+        let n = self.cfg.n_blocks;
+        let start = Instant::now();
+        let per_block = match self.method {
+            SyncMethod::CpuExplicit => self.run_cpu_explicit(kernel, rounds),
+            SyncMethod::CpuImplicit => self.run_cpu_implicit(kernel, rounds),
+            SyncMethod::NoSync => self.run_persistent(kernel, rounds, None),
+            gpu => {
+                let barrier = gpu.build_barrier(n).expect("gpu method builds barrier");
+                self.run_persistent(kernel, rounds, Some(barrier))
+            }
+        };
+        Ok(KernelStats {
+            method: self.method.to_string(),
+            n_blocks: n,
+            rounds,
+            wall: start.elapsed(),
+            per_block,
+        })
+    }
+
+    fn ctx(&self, block_id: usize) -> BlockCtx {
+        BlockCtx {
+            block_id,
+            n_blocks: self.cfg.n_blocks,
+            threads_per_block: self.cfg.threads_per_block,
+        }
+    }
+
+    /// GPU-style persistent kernel: spawn once, barrier between rounds.
+    fn run_persistent<K: RoundKernel>(
+        &self,
+        kernel: &K,
+        rounds: usize,
+        barrier: Option<Arc<dyn crate::barrier::BarrierShared>>,
+    ) -> Vec<BlockTimes> {
+        let n = self.cfg.n_blocks;
+        let mut times = vec![BlockTimes::default(); n];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|b| {
+                    let ctx = self.ctx(b);
+                    let barrier = barrier.clone();
+                    s.spawn(move || {
+                        let mut waiter = barrier.map(|sh| sh.waiter(b));
+                        let mut t = BlockTimes::default();
+                        for r in 0..rounds {
+                            let t0 = Instant::now();
+                            kernel.round(&ctx, r);
+                            let t1 = Instant::now();
+                            if let Some(w) = waiter.as_mut() {
+                                w.wait();
+                            }
+                            let t2 = Instant::now();
+                            t.compute += t1 - t0;
+                            t.sync += t2 - t1;
+                        }
+                        t
+                    })
+                })
+                .collect();
+            for (b, h) in handles.into_iter().enumerate() {
+                times[b] = h.join().expect("block thread panicked");
+            }
+        });
+        times
+    }
+
+    /// CPU explicit synchronization: spawn + join every round.
+    fn run_cpu_explicit<K: RoundKernel>(&self, kernel: &K, rounds: usize) -> Vec<BlockTimes> {
+        let n = self.cfg.n_blocks;
+        let mut times = vec![BlockTimes::default(); n];
+        for r in 0..rounds {
+            let round_start = Instant::now();
+            let mut computes = vec![Duration::ZERO; n];
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|b| {
+                        let ctx = self.ctx(b);
+                        s.spawn(move || {
+                            let t0 = Instant::now();
+                            kernel.round(&ctx, r);
+                            t0.elapsed()
+                        })
+                    })
+                    .collect();
+                for (b, h) in handles.into_iter().enumerate() {
+                    computes[b] = h.join().expect("block thread panicked");
+                }
+            });
+            // Everything in the round that was not this block's own compute
+            // is launch/teardown/synchronize overhead — the t_CES of Eq. 3.
+            let round_wall = round_start.elapsed();
+            for b in 0..n {
+                times[b].compute += computes[b];
+                times[b].sync += round_wall.saturating_sub(computes[b]);
+            }
+        }
+        times
+    }
+
+    /// CPU implicit synchronization: persistent pool, centralized
+    /// rendezvous through the "driver" (mutex + condvar) per round.
+    fn run_cpu_implicit<K: RoundKernel>(&self, kernel: &K, rounds: usize) -> Vec<BlockTimes> {
+        struct Dispatcher {
+            state: Mutex<(usize, u64)>, // (arrived_count, released_epoch)
+            cv: Condvar,
+            n: usize,
+        }
+        impl Dispatcher {
+            /// Returns only when all `n` workers have finished epoch `e`.
+            fn rendezvous(&self, e: u64) {
+                let mut g = self.state.lock();
+                g.0 += 1;
+                if g.0 == self.n {
+                    g.0 = 0;
+                    g.1 = e + 1;
+                    self.cv.notify_all();
+                } else {
+                    while g.1 <= e {
+                        self.cv.wait(&mut g);
+                    }
+                }
+            }
+        }
+
+        let n = self.cfg.n_blocks;
+        let disp = Dispatcher {
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+            n,
+        };
+        let mut times = vec![BlockTimes::default(); n];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|b| {
+                    let ctx = self.ctx(b);
+                    let disp = &disp;
+                    s.spawn(move || {
+                        let mut t = BlockTimes::default();
+                        for r in 0..rounds {
+                            let t0 = Instant::now();
+                            kernel.round(&ctx, r);
+                            let t1 = Instant::now();
+                            disp.rendezvous(r as u64);
+                            let t2 = Instant::now();
+                            t.compute += t1 - t0;
+                            t.sync += t2 - t1;
+                        }
+                        t
+                    })
+                })
+                .collect();
+            for (b, h) in handles.into_iter().enumerate() {
+                times[b] = h.join().expect("block thread panicked");
+            }
+        });
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmem::GlobalBuffer;
+    use crate::method::TreeLevels;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Kernel where round r's work by each block depends on ALL blocks'
+    /// round r-1 results: block b writes out[b] = 1 + min over all slots of
+    /// the previous round. With a correct barrier, after R rounds every slot
+    /// equals R.
+    struct MinPlusOne {
+        slots: GlobalBuffer<u64>,
+        scratch: GlobalBuffer<u64>,
+        rounds: usize,
+    }
+
+    impl MinPlusOne {
+        fn new(n: usize, rounds: usize) -> Self {
+            MinPlusOne {
+                slots: GlobalBuffer::new(n),
+                scratch: GlobalBuffer::new(n),
+                rounds: rounds * 2, // each logical step uses 2 rounds (read+write phases)
+            }
+        }
+    }
+
+    impl RoundKernel for MinPlusOne {
+        fn rounds(&self) -> usize {
+            self.rounds
+        }
+        fn round(&self, ctx: &BlockCtx, round: usize) {
+            let b = ctx.block_id;
+            if round.is_multiple_of(2) {
+                // Phase A: read everyone's slot, stage my update.
+                let min = (0..ctx.n_blocks)
+                    .map(|i| self.slots.get(i))
+                    .min()
+                    .expect("non-empty grid");
+                self.scratch.set(b, min + 1);
+            } else {
+                // Phase B: publish.
+                self.slots.set(b, self.scratch.get(b));
+            }
+        }
+    }
+
+    fn check_method(method: SyncMethod, n: usize) {
+        let logical = 25;
+        let k = MinPlusOne::new(n, logical);
+        let stats = GridExecutor::new(GridConfig::new(n, 32), method)
+            .run(&k)
+            .unwrap();
+        assert_eq!(stats.rounds, logical * 2);
+        assert_eq!(stats.n_blocks, n);
+        let v = k.slots.to_vec();
+        assert!(
+            v.iter().all(|&x| x == logical as u64),
+            "{method}: expected all {logical}, got {v:?}"
+        );
+        assert_eq!(stats.per_block.len(), n);
+        assert!(stats.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn cpu_explicit_correct() {
+        check_method(SyncMethod::CpuExplicit, 6);
+    }
+
+    #[test]
+    fn cpu_implicit_correct() {
+        check_method(SyncMethod::CpuImplicit, 6);
+    }
+
+    #[test]
+    fn gpu_simple_correct() {
+        check_method(SyncMethod::GpuSimple, 6);
+    }
+
+    #[test]
+    fn gpu_tree2_correct() {
+        check_method(SyncMethod::GpuTree(TreeLevels::Two), 6);
+    }
+
+    #[test]
+    fn gpu_tree3_correct() {
+        check_method(SyncMethod::GpuTree(TreeLevels::Three), 6);
+    }
+
+    #[test]
+    fn gpu_lockfree_correct() {
+        check_method(SyncMethod::GpuLockFree, 6);
+    }
+
+    #[test]
+    fn sense_reversing_correct() {
+        check_method(SyncMethod::SenseReversing, 6);
+    }
+
+    #[test]
+    fn single_block_grid_works_everywhere() {
+        for m in [
+            SyncMethod::CpuExplicit,
+            SyncMethod::CpuImplicit,
+            SyncMethod::GpuSimple,
+            SyncMethod::GpuLockFree,
+        ] {
+            check_method(m, 1);
+        }
+    }
+
+    #[test]
+    fn nosync_runs_all_rounds() {
+        // NoSync gives no cross-block guarantees, so use an
+        // embarrassingly-parallel kernel and just count invocations.
+        let count = AtomicUsize::new(0);
+        let kernel = (10usize, |_ctx: &BlockCtx, _r: usize| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        let stats = GridExecutor::new(GridConfig::new(4, 32), SyncMethod::NoSync)
+            .run(&kernel)
+            .unwrap();
+        assert_eq!(stats.rounds, 10);
+        assert_eq!(count.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn gpu_method_rejects_more_blocks_than_sms() {
+        let k = (1usize, |_: &BlockCtx, _: usize| {});
+        let err = GridExecutor::new(GridConfig::new(31, 32), SyncMethod::GpuSimple)
+            .run(&k)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DeviceError::TooManyBlocks {
+                requested: 31,
+                max: 30
+            }
+        ));
+        // CPU methods accept large grids (the paper runs up to 120 blocks).
+        assert!(
+            GridExecutor::new(GridConfig::new(31, 32), SyncMethod::CpuImplicit)
+                .run(&k)
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn thread_limit_validated() {
+        let k = (1usize, |_: &BlockCtx, _: usize| {});
+        let err = GridExecutor::new(GridConfig::new(4, 513), SyncMethod::CpuImplicit)
+            .run(&k)
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::TooManyThreads { .. }));
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let k = (1usize, |_: &BlockCtx, _: usize| {});
+        assert!(
+            GridExecutor::new(GridConfig::new(0, 32), SyncMethod::GpuSimple)
+                .run(&k)
+                .is_err()
+        );
+        assert!(
+            GridExecutor::new(GridConfig::new(4, 0), SyncMethod::GpuSimple)
+                .run(&k)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn chunk_partitions_exactly() {
+        for n_blocks in 1..12 {
+            for total in [0usize, 1, 7, 64, 100] {
+                let mut covered = vec![false; total];
+                for b in 0..n_blocks {
+                    let ctx = BlockCtx {
+                        block_id: b,
+                        n_blocks,
+                        threads_per_block: 1,
+                    };
+                    for i in ctx.chunk(total) {
+                        assert!(!covered[i], "overlap at {i}");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "n={n_blocks} total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn strided_partitions_exactly() {
+        let n_blocks = 5;
+        let total = 23;
+        let mut covered = vec![false; total];
+        for b in 0..n_blocks {
+            let ctx = BlockCtx {
+                block_id: b,
+                n_blocks,
+                threads_per_block: 1,
+            };
+            for i in ctx.strided(total) {
+                assert!(!covered[i]);
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn zero_rounds_is_a_noop() {
+        let k = (0usize, |_: &BlockCtx, _: usize| panic!("must not run"));
+        for m in [
+            SyncMethod::CpuExplicit,
+            SyncMethod::CpuImplicit,
+            SyncMethod::GpuLockFree,
+        ] {
+            let stats = GridExecutor::new(GridConfig::new(3, 8), m).run(&k).unwrap();
+            assert_eq!(stats.rounds, 0);
+        }
+    }
+
+    #[test]
+    fn executor_accessors() {
+        let e = GridExecutor::new(GridConfig::new(4, 64), SyncMethod::GpuLockFree);
+        assert_eq!(e.method(), SyncMethod::GpuLockFree);
+        assert_eq!(e.config().n_blocks, 4);
+        assert_eq!(e.config().threads_per_block, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "block thread panicked")]
+    fn kernel_panic_propagates_gpu_mode() {
+        let k = (3usize, |ctx: &BlockCtx, r: usize| {
+            if r == 1 && ctx.block_id == 2 {
+                panic!("kernel bug");
+            }
+        });
+        let _ = GridExecutor::new(GridConfig::new(4, 8), SyncMethod::CpuExplicit).run(&k);
+    }
+
+    #[test]
+    fn block_ctx_total_threads() {
+        let ctx = BlockCtx {
+            block_id: 0,
+            n_blocks: 30,
+            threads_per_block: 448,
+        };
+        assert_eq!(ctx.total_threads(), 13_440);
+        assert_eq!(ctx.thread_ids(), 0..448);
+        assert_eq!(ctx.global_thread_id(7), 7);
+        let ctx = BlockCtx {
+            block_id: 2,
+            n_blocks: 30,
+            threads_per_block: 448,
+        };
+        assert_eq!(ctx.global_thread_id(7), 2 * 448 + 7);
+    }
+
+    #[test]
+    fn thread_items_partition_exactly() {
+        let n_blocks = 3;
+        let tpb = 4;
+        let total = 50;
+        let mut covered = vec![false; total];
+        for b in 0..n_blocks {
+            let ctx = BlockCtx {
+                block_id: b,
+                n_blocks,
+                threads_per_block: tpb,
+            };
+            for tid in ctx.thread_ids() {
+                for i in ctx.thread_items(tid, total) {
+                    assert!(!covered[i], "item {i} visited twice");
+                    covered[i] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+}

@@ -1,0 +1,90 @@
+//! # blocksync-core
+//!
+//! A **persistent-kernel host runtime** implementing the inter-block GPU
+//! barrier synchronization strategies of Xiao & Feng (*Inter-Block GPU
+//! Communication via Fast Barrier Synchronization*, IPDPS 2010) with real
+//! atomics.
+//!
+//! ## The mapping
+//!
+//! On the paper's GTX 280, a *grid-wide* (inter-block) barrier is only safe
+//! when at most one block runs per SM, because blocks are non-preemptive.
+//! That one-block-per-SM persistent-kernel discipline maps exactly onto a
+//! host machine: **each thread block becomes one OS thread**, global memory
+//! becomes a shared heap ([`GlobalBuffer`]), and the paper's device-side
+//! barriers become user-space spin barriers over [`std::sync::atomic`]:
+//!
+//! | Paper (CUDA, device side)                | Here (host runtime)            |
+//! |------------------------------------------|--------------------------------|
+//! | thread block resident on one SM          | one OS worker thread           |
+//! | global memory + volatile reads           | [`GlobalBuffer`] (relaxed atomics) |
+//! | `atomicAdd(&g_mutex, 1)` + spin          | [`GpuSimpleSync`]              |
+//! | per-group mutexes + root mutex           | [`GpuTreeSync`]                |
+//! | `Arrayin`/`Arrayout`, no atomics         | [`GpuLockFreeSync`]            |
+//! | kernel relaunch + `cudaThreadSynchronize`| [`SyncMethod::CpuExplicit`]    |
+//! | pipelined kernel relaunch                | [`SyncMethod::CpuImplicit`]    |
+//! | `__syncthreads()`                        | no-op (a block is sequential here) |
+//!
+//! The barrier *algorithms* are machine-independent shared-memory protocols;
+//! running them on CPU atomics validates their correctness (deadlock
+//! freedom, no lost rounds, memory-ordering safety under `Acquire`/`Release`)
+//! and reproduces the relative scaling shapes: a single contended counter
+//! (linear), a combining tree (sub-linear), and per-block flags (flat).
+//! Cycle-approximate *GPU* timing is the job of the `blocksync-sim` crate.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use blocksync_core::{GridConfig, GridExecutor, RoundKernel, BlockCtx, SyncMethod, GlobalBuffer};
+//!
+//! /// Each round, every block adds 1 to its slot; after R rounds with a
+//! /// correct grid barrier every slot holds R.
+//! struct CountKernel {
+//!     slots: GlobalBuffer<u32>,
+//!     rounds: usize,
+//! }
+//!
+//! impl RoundKernel for CountKernel {
+//!     fn rounds(&self) -> usize {
+//!         self.rounds
+//!     }
+//!     fn round(&self, ctx: &BlockCtx, _round: usize) {
+//!         let b = ctx.block_id;
+//!         self.slots.set(b, self.slots.get(b) + 1);
+//!     }
+//! }
+//!
+//! let cfg = GridConfig::new(8, 64);
+//! let kernel = CountKernel { slots: GlobalBuffer::new(8), rounds: 100 };
+//! let stats = GridExecutor::new(cfg, SyncMethod::GpuLockFree)
+//!     .run(&kernel)
+//!     .unwrap();
+//! assert_eq!(stats.rounds, 100);
+//! assert!(kernel.slots.to_vec().iter().all(|&v| v == 100));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod dissemination;
+pub mod executor;
+pub mod gmem;
+pub mod lockfree;
+pub mod method;
+pub mod scalar;
+pub mod sense;
+pub mod simple;
+pub mod stats;
+pub mod tree;
+
+pub use barrier::{BarrierShared, BarrierWaiter};
+pub use dissemination::DisseminationSync;
+pub use executor::{BlockCtx, GridConfig, GridExecutor, RoundKernel};
+pub use gmem::{GlobalBuffer, GlobalBuffer2d};
+pub use lockfree::{FuzzyLockFreeWaiter, GpuLockFreeSync};
+pub use method::{ResetStrategy, SyncMethod, TreeLevels};
+pub use scalar::DeviceScalar;
+pub use sense::SenseReversingSync;
+pub use simple::GpuSimpleSync;
+pub use stats::{BlockTimes, KernelStats};
+pub use tree::GpuTreeSync;

@@ -1,0 +1,347 @@
+//! GPU lock-free synchronization (paper Section 5.3, Figure 9).
+//!
+//! Two arrays, `Arrayin` and `Arrayout`, one element per block; **no atomic
+//! read-modify-write anywhere**:
+//!
+//! 1. Block `i`'s leading thread sets `Arrayin[i] = goalVal`, then
+//!    busy-waits on `Arrayout[i]`.
+//! 2. A *collector block* (the paper uses block 1) waits until all of
+//!    `Arrayin` equals `goalVal` — using its first `N` threads in parallel,
+//!    one per element — calls `__syncthreads()`, then sets every
+//!    `Arrayout[i] = goalVal`.
+//! 3. Each block resumes when its `Arrayout` slot reaches the goal.
+//!
+//! Cost model (Eq. 9): `t_GLS = t_SI + t_CI + t_Sync + t_SO + t_CO` —
+//! **independent of the number of blocks**, which is why Figure 11 shows a
+//! flat line and why this is the fastest method for all but the smallest
+//! grids.
+//!
+//! In this host runtime a block is one OS thread, so the collector checks
+//! the `N` in-flags in a loop (the paper's parallel-vs-serial collector
+//! distinction is a *timing* question, modeled in `blocksync-sim` and
+//! measured by the `ablation_collector` bench). Flags are cache-line padded
+//! by default; [`GpuLockFreeSync::new_unpadded`] packs them contiguously
+//! like the paper's `int` arrays for the false-sharing ablation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+
+use crate::barrier::{spin_until, BarrierShared, BarrierWaiter};
+
+enum Flags {
+    Padded(Vec<CachePadded<AtomicU64>>),
+    Unpadded(Vec<AtomicU64>),
+}
+
+impl Flags {
+    fn new(n: usize, padded: bool) -> Self {
+        if padded {
+            Flags::Padded(
+                (0..n)
+                    .map(|_| CachePadded::new(AtomicU64::new(0)))
+                    .collect(),
+            )
+        } else {
+            Flags::Unpadded((0..n).map(|_| AtomicU64::new(0)).collect())
+        }
+    }
+
+    #[inline]
+    fn load(&self, i: usize) -> u64 {
+        match self {
+            Flags::Padded(v) => v[i].load(Ordering::Acquire),
+            Flags::Unpadded(v) => v[i].load(Ordering::Acquire),
+        }
+    }
+
+    #[inline]
+    fn store(&self, i: usize, val: u64) {
+        match self {
+            Flags::Padded(v) => v[i].store(val, Ordering::Release),
+            Flags::Unpadded(v) => v[i].store(val, Ordering::Release),
+        }
+    }
+}
+
+/// Shared state: the paper's `Arrayin` / `Arrayout`.
+pub struct GpuLockFreeSync {
+    array_in: Flags,
+    array_out: Flags,
+    n_blocks: usize,
+    collector: usize,
+}
+
+impl GpuLockFreeSync {
+    /// Lock-free barrier for `n_blocks` blocks with cache-line-padded flags.
+    ///
+    /// # Panics
+    /// Panics if `n_blocks == 0`.
+    pub fn new(n_blocks: usize) -> Self {
+        Self::build(n_blocks, true)
+    }
+
+    /// Variant with densely packed flags (one `u64` apart), matching the
+    /// paper's plain `int` arrays. On a cache-coherent CPU this induces
+    /// false sharing — the `ablation_padding` bench quantifies it.
+    pub fn new_unpadded(n_blocks: usize) -> Self {
+        Self::build(n_blocks, false)
+    }
+
+    fn build(n_blocks: usize, padded: bool) -> Self {
+        assert!(n_blocks > 0, "barrier needs at least one block");
+        GpuLockFreeSync {
+            array_in: Flags::new(n_blocks, padded),
+            array_out: Flags::new(n_blocks, padded),
+            n_blocks,
+            // Figure 9 hard-codes block 1 as the collector; fall back to
+            // block 0 when it is the only block.
+            collector: if n_blocks > 1 { 1 } else { 0 },
+        }
+    }
+
+    /// Index of the collector block (block 1, per the paper).
+    pub fn collector(&self) -> usize {
+        self.collector
+    }
+}
+
+impl BarrierShared for GpuLockFreeSync {
+    fn num_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    fn waiter(self: Arc<Self>, block_id: usize) -> Box<dyn BarrierWaiter> {
+        assert!(block_id < self.n_blocks, "block_id {block_id} out of range");
+        Box::new(LockFreeWaiter {
+            shared: self,
+            block_id,
+            round: 0,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "gpu-lock-free"
+    }
+}
+
+struct LockFreeWaiter {
+    shared: Arc<GpuLockFreeSync>,
+    block_id: usize,
+    round: u64,
+}
+
+impl LockFreeWaiter {
+    /// Split-phase arrival (the "fuzzy barrier" of Gupta & Hill, the
+    /// paper's citation [8]): announce this block's arrival and return
+    /// immediately. Work that does not depend on other blocks' current
+    /// round can proceed between [`LockFreeWaiter::arrive`] and
+    /// [`LockFreeWaiter::depart`], hiding barrier latency.
+    ///
+    /// Must be followed by exactly one `depart()` before the next
+    /// `arrive()`/`wait()`.
+    fn arrive_only(&mut self) {
+        let s = &*self.shared;
+        let goal = self.round + 1;
+        s.array_in.store(self.block_id, goal);
+    }
+
+    /// Complete the split-phase barrier begun by `arrive_only`.
+    fn depart_only(&mut self) {
+        let s = &*self.shared;
+        let goal = self.round + 1;
+        let bid = self.block_id;
+        if bid == s.collector {
+            for i in 0..s.n_blocks {
+                spin_until(|| s.array_in.load(i) >= goal);
+            }
+            // __syncthreads() would order the collector's checking threads
+            // here; within one OS thread it is a no-op.
+            for i in 0..s.n_blocks {
+                s.array_out.store(i, goal);
+            }
+        }
+        spin_until(|| s.array_out.load(bid) >= goal);
+        self.round += 1;
+    }
+}
+
+impl BarrierWaiter for LockFreeWaiter {
+    fn wait(&mut self) {
+        // Figure 9's three steps = arrive + (collect/broadcast + depart).
+        self.arrive_only();
+        self.depart_only();
+    }
+
+    fn block_id(&self) -> usize {
+        self.block_id
+    }
+}
+
+/// A split-phase ("fuzzy", citation [8] of the paper) handle to the
+/// lock-free barrier: [`FuzzyLockFreeWaiter::arrive`] announces, work can
+/// overlap, [`FuzzyLockFreeWaiter::depart`] completes. The collector role
+/// is paid in `depart`.
+pub struct FuzzyLockFreeWaiter {
+    inner: LockFreeWaiter,
+    arrived: bool,
+}
+
+impl FuzzyLockFreeWaiter {
+    /// Build the fuzzy handle for `block_id` (one per block, like
+    /// [`BarrierShared::waiter`]).
+    ///
+    /// # Panics
+    /// Panics if `block_id` is out of range.
+    pub fn new(shared: Arc<GpuLockFreeSync>, block_id: usize) -> Self {
+        assert!(
+            block_id < shared.n_blocks,
+            "block_id {block_id} out of range"
+        );
+        FuzzyLockFreeWaiter {
+            inner: LockFreeWaiter {
+                shared,
+                block_id,
+                round: 0,
+            },
+            arrived: false,
+        }
+    }
+
+    /// Announce arrival at the current round's barrier; returns
+    /// immediately.
+    ///
+    /// # Panics
+    /// Panics on a second `arrive` without an intervening `depart`.
+    pub fn arrive(&mut self) {
+        assert!(!self.arrived, "arrive() called twice without depart()");
+        self.inner.arrive_only();
+        self.arrived = true;
+    }
+
+    /// Block until every other block has arrived at this round's barrier.
+    ///
+    /// # Panics
+    /// Panics if called without a preceding `arrive`.
+    pub fn depart(&mut self) {
+        assert!(self.arrived, "depart() without arrive()");
+        self.inner.depart_only();
+        self.arrived = false;
+    }
+
+    /// Non-split wait (`arrive` + `depart`).
+    pub fn wait(&mut self) {
+        self.arrive();
+        self.depart();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barrier::harness;
+
+    #[test]
+    fn single_block_never_blocks() {
+        let b = Arc::new(GpuLockFreeSync::new(1));
+        assert_eq!(b.collector(), 0);
+        let mut w = Arc::clone(&b).waiter(0);
+        for _ in 0..1000 {
+            w.wait();
+        }
+    }
+
+    #[test]
+    fn collector_is_block_one() {
+        assert_eq!(GpuLockFreeSync::new(2).collector(), 1);
+        assert_eq!(GpuLockFreeSync::new(30).collector(), 1);
+    }
+
+    #[test]
+    fn padded_various_counts() {
+        for n in [2, 3, 4, 8, 16, 30] {
+            harness::exercise(Arc::new(GpuLockFreeSync::new(n)), n, 300);
+        }
+    }
+
+    #[test]
+    fn unpadded_various_counts() {
+        for n in [2, 5, 30] {
+            harness::exercise(Arc::new(GpuLockFreeSync::new_unpadded(n)), n, 300);
+        }
+    }
+
+    #[test]
+    fn many_rounds_two_blocks() {
+        harness::exercise(Arc::new(GpuLockFreeSync::new(2)), 2, 5000);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(GpuLockFreeSync::new(4).name(), "gpu-lock-free");
+    }
+
+    #[test]
+    fn fuzzy_split_phase_synchronizes() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let n = 4;
+        let rounds = 400u64;
+        let shared = Arc::new(GpuLockFreeSync::new(n));
+        let slots: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        std::thread::scope(|s| {
+            for b in 0..n {
+                let shared = Arc::clone(&shared);
+                let slots = Arc::clone(&slots);
+                s.spawn(move || {
+                    let mut w = FuzzyLockFreeWaiter::new(shared, b);
+                    let mut local = 0u64;
+                    for r in 0..rounds {
+                        slots[b].store(r + 1, Ordering::Relaxed);
+                        w.arrive();
+                        // Overlapped, round-independent work.
+                        local = local.wrapping_mul(31).wrapping_add(r);
+                        w.depart();
+                        for slot in slots.iter() {
+                            let seen = slot.load(Ordering::Relaxed);
+                            assert!(seen > r && seen <= r + 2);
+                        }
+                    }
+                    assert!(local != u64::MAX); // keep `local` alive
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn fuzzy_plain_wait_matches_protocol() {
+        let shared = Arc::new(GpuLockFreeSync::new(1));
+        let mut w = FuzzyLockFreeWaiter::new(shared, 0);
+        for _ in 0..100 {
+            w.wait();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arrive() called twice")]
+    fn fuzzy_double_arrive_rejected() {
+        let shared = Arc::new(GpuLockFreeSync::new(1));
+        let mut w = FuzzyLockFreeWaiter::new(shared, 0);
+        w.arrive();
+        w.arrive();
+    }
+
+    #[test]
+    #[should_panic(expected = "depart() without arrive()")]
+    fn fuzzy_depart_without_arrive_rejected() {
+        let shared = Arc::new(GpuLockFreeSync::new(1));
+        let mut w = FuzzyLockFreeWaiter::new(shared, 0);
+        w.depart();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        let _ = GpuLockFreeSync::new(0);
+    }
+}

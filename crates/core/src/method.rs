@@ -1,0 +1,212 @@
+//! Enumeration of the synchronization strategies under study.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::barrier::BarrierShared;
+use crate::dissemination::DisseminationSync;
+use crate::lockfree::GpuLockFreeSync;
+use crate::sense::SenseReversingSync;
+use crate::simple::GpuSimpleSync;
+use crate::tree::GpuTreeSync;
+
+/// Depth of the tree-based barrier (the paper evaluates 2- and 3-level
+/// trees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TreeLevels {
+    /// Two levels: groups of `ceil(sqrt(N))` blocks, then a root.
+    Two,
+    /// Three levels: fan-out `ceil(cbrt(N))` per level.
+    Three,
+}
+
+impl TreeLevels {
+    /// Numeric depth.
+    pub fn depth(self) -> usize {
+        match self {
+            TreeLevels::Two => 2,
+            TreeLevels::Three => 3,
+        }
+    }
+}
+
+/// How the simple/tree barriers recycle their mutex counters between rounds.
+///
+/// Section 5.1: incrementing the target (`goalVal += N`) "saves the number
+/// of instructions and avoids conditional branching" compared to resetting
+/// `g_mutex` to zero after each barrier. Both are provided so the claim can
+/// be measured (ablation `ablation_reset`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResetStrategy {
+    /// Paper default: the counter grows monotonically, the goal advances by
+    /// `N` per round.
+    #[default]
+    IncrementGoal,
+    /// Alternative: the last arriving block resets the counter to zero and
+    /// flips an epoch flag.
+    ResetCounter,
+}
+
+/// A synchronization strategy for inter-block communication.
+///
+/// The two `Cpu*` variants are *executor* strategies (the barrier is the end
+/// of the kernel itself); the `Gpu*` variants are *device-side* barriers run
+/// inside a persistent kernel. `NoSync` exists to measure pure computation
+/// time the way the paper does in Section 7.3 (run with the `__gpu_sync`
+/// call removed) — it provides **no** correctness guarantees between blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncMethod {
+    /// Kernel relaunch per round with `cudaThreadSynchronize()` between
+    /// launches (Section 4.1). Here: spawn worker threads each round and
+    /// join them.
+    CpuExplicit,
+    /// Kernel relaunch per round, launches pipelined (Section 4.2). Here: a
+    /// persistent pool coordinated through a central dispatcher per round.
+    CpuImplicit,
+    /// One global mutex + `atomicAdd` + spin (Section 5.1).
+    GpuSimple,
+    /// Hierarchical mutexes (Section 5.2).
+    GpuTree(TreeLevels),
+    /// `Arrayin`/`Arrayout` flags, no atomic RMW (Section 5.3).
+    GpuLockFree,
+    /// Classic sense-reversing centralized barrier — not in the paper;
+    /// included as a baseline extension.
+    SenseReversing,
+    /// Dissemination (butterfly) barrier — not in the paper; an
+    /// atomic-free O(log N)-hop extension.
+    Dissemination,
+    /// No inter-block synchronization at all (compute-time measurement
+    /// only).
+    NoSync,
+}
+
+impl SyncMethod {
+    /// The extension barriers this reproduction adds beyond the paper.
+    pub const EXTENSION_METHODS: [SyncMethod; 2] =
+        [SyncMethod::SenseReversing, SyncMethod::Dissemination];
+
+    /// All methods evaluated in the paper's figures, in the paper's order.
+    pub const PAPER_METHODS: [SyncMethod; 6] = [
+        SyncMethod::CpuExplicit,
+        SyncMethod::CpuImplicit,
+        SyncMethod::GpuSimple,
+        SyncMethod::GpuTree(TreeLevels::Two),
+        SyncMethod::GpuTree(TreeLevels::Three),
+        SyncMethod::GpuLockFree,
+    ];
+
+    /// The GPU (device-side) barrier methods.
+    pub const GPU_METHODS: [SyncMethod; 4] = [
+        SyncMethod::GpuSimple,
+        SyncMethod::GpuTree(TreeLevels::Two),
+        SyncMethod::GpuTree(TreeLevels::Three),
+        SyncMethod::GpuLockFree,
+    ];
+
+    /// Whether this method uses a device-side barrier inside a single
+    /// persistent kernel (and therefore is subject to the one-block-per-SM
+    /// limit).
+    pub fn is_gpu_side(self) -> bool {
+        matches!(
+            self,
+            SyncMethod::GpuSimple
+                | SyncMethod::GpuTree(_)
+                | SyncMethod::GpuLockFree
+                | SyncMethod::SenseReversing
+                | SyncMethod::Dissemination
+        )
+    }
+
+    /// Whether this method synchronizes via the host CPU.
+    pub fn is_cpu_side(self) -> bool {
+        matches!(self, SyncMethod::CpuExplicit | SyncMethod::CpuImplicit)
+    }
+
+    /// Build the shared barrier state for a GPU-side method.
+    ///
+    /// Returns `None` for CPU-side methods and `NoSync` (they have no
+    /// device-side barrier object).
+    pub fn build_barrier(self, n_blocks: usize) -> Option<Arc<dyn BarrierShared>> {
+        match self {
+            SyncMethod::GpuSimple => Some(Arc::new(GpuSimpleSync::new(n_blocks))),
+            SyncMethod::GpuTree(levels) => Some(Arc::new(GpuTreeSync::new(n_blocks, levels))),
+            SyncMethod::GpuLockFree => Some(Arc::new(GpuLockFreeSync::new(n_blocks))),
+            SyncMethod::SenseReversing => Some(Arc::new(SenseReversingSync::new(n_blocks))),
+            SyncMethod::Dissemination => Some(Arc::new(DisseminationSync::new(n_blocks))),
+            SyncMethod::CpuExplicit | SyncMethod::CpuImplicit | SyncMethod::NoSync => None,
+        }
+    }
+}
+
+impl fmt::Display for SyncMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SyncMethod::CpuExplicit => "cpu-explicit",
+            SyncMethod::CpuImplicit => "cpu-implicit",
+            SyncMethod::GpuSimple => "gpu-simple",
+            SyncMethod::GpuTree(TreeLevels::Two) => "gpu-tree-2",
+            SyncMethod::GpuTree(TreeLevels::Three) => "gpu-tree-3",
+            SyncMethod::GpuLockFree => "gpu-lock-free",
+            SyncMethod::SenseReversing => "sense-reversing",
+            SyncMethod::Dissemination => "dissemination",
+            SyncMethod::NoSync => "no-sync",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(SyncMethod::GpuSimple.is_gpu_side());
+        assert!(SyncMethod::GpuTree(TreeLevels::Two).is_gpu_side());
+        assert!(SyncMethod::GpuLockFree.is_gpu_side());
+        assert!(SyncMethod::SenseReversing.is_gpu_side());
+        assert!(SyncMethod::Dissemination.is_gpu_side());
+        assert!(!SyncMethod::CpuImplicit.is_gpu_side());
+        assert!(SyncMethod::CpuImplicit.is_cpu_side());
+        assert!(SyncMethod::CpuExplicit.is_cpu_side());
+        assert!(!SyncMethod::NoSync.is_cpu_side());
+        assert!(!SyncMethod::NoSync.is_gpu_side());
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let mut names: Vec<String> = SyncMethod::PAPER_METHODS
+            .iter()
+            .chain(
+                [
+                    SyncMethod::SenseReversing,
+                    SyncMethod::Dissemination,
+                    SyncMethod::NoSync,
+                ]
+                .iter(),
+            )
+            .map(|m| m.to_string())
+            .collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn build_barrier_matches_method() {
+        for m in SyncMethod::GPU_METHODS {
+            let b = m.build_barrier(8).expect("gpu method builds a barrier");
+            assert_eq!(b.num_blocks(), 8);
+        }
+        assert!(SyncMethod::CpuExplicit.build_barrier(8).is_none());
+        assert!(SyncMethod::CpuImplicit.build_barrier(8).is_none());
+        assert!(SyncMethod::NoSync.build_barrier(8).is_none());
+    }
+
+    #[test]
+    fn tree_depths() {
+        assert_eq!(TreeLevels::Two.depth(), 2);
+        assert_eq!(TreeLevels::Three.depth(), 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Scalar types storable in simulated global memory.
+//!
+//! Rust forbids data races on plain memory, but the CUDA programs in the
+//! paper freely read and write global memory from many blocks, relying on
+//! barriers for ordering. To express that soundly, [`crate::GlobalBuffer`]
+//! stores every element in an atomic cell and performs `Relaxed` loads and
+//! stores; the inter-block barriers provide the `Acquire`/`Release` edges
+//! that order them. [`DeviceScalar`] is the bridge between a user-facing
+//! scalar (`f32`, `i64`, ...) and its atomic backing store.
+
+use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// A plain scalar that can live in a [`crate::GlobalBuffer`].
+///
+/// Implemented for `f32`, `f64`, `i8`–`i64`, `u8`–`u64`. The trait is sealed:
+/// correctness of the runtime depends on every element being exactly one
+/// atomic cell.
+pub trait DeviceScalar: Copy + Default + Send + Sync + 'static + sealed::Sealed {
+    /// The atomic cell type backing one element.
+    #[doc(hidden)]
+    type Atom: Send + Sync;
+
+    /// Create a cell holding `v`.
+    #[doc(hidden)]
+    fn atom_new(v: Self) -> Self::Atom;
+
+    /// Relaxed load.
+    #[doc(hidden)]
+    fn atom_load(a: &Self::Atom) -> Self;
+
+    /// Relaxed store.
+    #[doc(hidden)]
+    fn atom_store(a: &Self::Atom, v: Self);
+}
+
+macro_rules! impl_via_bits {
+    ($t:ty, $atom:ty, $bits:ty, $to:expr, $from:expr) => {
+        impl sealed::Sealed for $t {}
+        impl DeviceScalar for $t {
+            type Atom = $atom;
+
+            #[inline]
+            fn atom_new(v: Self) -> Self::Atom {
+                <$atom>::new($to(v))
+            }
+
+            #[inline]
+            fn atom_load(a: &Self::Atom) -> Self {
+                $from(a.load(Ordering::Relaxed))
+            }
+
+            #[inline]
+            fn atom_store(a: &Self::Atom, v: Self) {
+                a.store($to(v), Ordering::Relaxed)
+            }
+        }
+    };
+}
+
+impl_via_bits!(f32, AtomicU32, u32, f32::to_bits, f32::from_bits);
+impl_via_bits!(f64, AtomicU64, u64, f64::to_bits, f64::from_bits);
+impl_via_bits!(u8, AtomicU8, u8, |v| v, |v| v);
+impl_via_bits!(u16, AtomicU16, u16, |v| v, |v| v);
+impl_via_bits!(u32, AtomicU32, u32, |v| v, |v| v);
+impl_via_bits!(u64, AtomicU64, u64, |v| v, |v| v);
+impl_via_bits!(i8, AtomicU8, u8, |v: i8| v as u8, |v: u8| v as i8);
+impl_via_bits!(i16, AtomicU16, u16, |v: i16| v as u16, |v: u16| v as i16);
+impl_via_bits!(i32, AtomicU32, u32, |v: i32| v as u32, |v: u32| v as i32);
+impl_via_bits!(i64, AtomicU64, u64, |v: i64| v as u64, |v: u64| v as i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: DeviceScalar + PartialEq + std::fmt::Debug>(v: T) {
+        let a = T::atom_new(v);
+        assert_eq!(T::atom_load(&a), v);
+        let w = T::default();
+        T::atom_store(&a, w);
+        assert_eq!(T::atom_load(&a), w);
+    }
+
+    #[test]
+    fn all_scalars_round_trip() {
+        round_trip(1.5f32);
+        round_trip(-2.25f64);
+        round_trip(200u8);
+        round_trip(60_000u16);
+        round_trip(4_000_000_000u32);
+        round_trip(u64::MAX - 1);
+        round_trip(-120i8);
+        round_trip(-30_000i16);
+        round_trip(-2_000_000_000i32);
+        round_trip(i64::MIN + 1);
+    }
+
+    #[test]
+    fn float_bit_patterns_preserved() {
+        // NaN payloads and signed zeros must survive the bits round trip.
+        let nan = f32::from_bits(0x7fc0_dead);
+        let a = f32::atom_new(nan);
+        assert_eq!(f32::atom_load(&a).to_bits(), 0x7fc0_dead);
+
+        let a = f64::atom_new(-0.0);
+        assert!(f64::atom_load(&a).is_sign_negative());
+    }
+
+    #[test]
+    fn negative_integers_round_trip_extremes() {
+        round_trip(i8::MIN);
+        round_trip(i16::MIN);
+        round_trip(i32::MIN);
+        round_trip(i64::MIN);
+        round_trip(i8::MAX);
+        round_trip(i64::MAX);
+    }
+}

@@ -1,0 +1,112 @@
+//! Sense-reversing centralized barrier (extension; not in the paper).
+//!
+//! The classic shared-memory barrier from the CPU literature the paper cites
+//! (Mellor-Crummey/Scott style centralized barrier): one atomic arrival
+//! counter plus a global *sense* flag that flips each round; waiters spin on
+//! the sense rather than on the counter value. Included as a baseline to
+//! position the paper's designs against the traditional approach — it still
+//! performs one atomic RMW per block per round, so it scales like the GPU
+//! simple barrier, but its release broadcast is a single flag flip rather
+//! than a counter comparison.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::barrier::{spin_until, BarrierShared, BarrierWaiter};
+
+/// Shared state: arrival counter + global sense.
+pub struct SenseReversingSync {
+    count: AtomicUsize,
+    /// Global sense: counts completed rounds; a waiter with local round `r`
+    /// leaves once `sense > r`.
+    sense: AtomicU64,
+    n_blocks: usize,
+}
+
+impl SenseReversingSync {
+    /// Barrier for `n_blocks` blocks.
+    ///
+    /// # Panics
+    /// Panics if `n_blocks == 0`.
+    pub fn new(n_blocks: usize) -> Self {
+        assert!(n_blocks > 0, "barrier needs at least one block");
+        SenseReversingSync {
+            count: AtomicUsize::new(0),
+            sense: AtomicU64::new(0),
+            n_blocks,
+        }
+    }
+}
+
+impl BarrierShared for SenseReversingSync {
+    fn num_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    fn waiter(self: Arc<Self>, block_id: usize) -> Box<dyn BarrierWaiter> {
+        assert!(block_id < self.n_blocks, "block_id {block_id} out of range");
+        Box::new(SenseWaiter {
+            shared: self,
+            block_id,
+            round: 0,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "sense-reversing"
+    }
+}
+
+struct SenseWaiter {
+    shared: Arc<SenseReversingSync>,
+    block_id: usize,
+    round: u64,
+}
+
+impl BarrierWaiter for SenseWaiter {
+    fn wait(&mut self) {
+        let s = &*self.shared;
+        let my_round = self.round;
+        let arrived = s.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == s.n_blocks {
+            s.count.store(0, Ordering::Relaxed);
+            s.sense.fetch_add(1, Ordering::Release);
+        } else {
+            spin_until(|| s.sense.load(Ordering::Acquire) > my_round);
+        }
+        self.round += 1;
+    }
+
+    fn block_id(&self) -> usize {
+        self.block_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barrier::harness;
+
+    #[test]
+    fn various_counts() {
+        for n in [1, 2, 3, 8, 30] {
+            harness::exercise(Arc::new(SenseReversingSync::new(n)), n, 300);
+        }
+    }
+
+    #[test]
+    fn many_rounds() {
+        harness::exercise(Arc::new(SenseReversingSync::new(4)), 4, 3000);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(SenseReversingSync::new(4).name(), "sense-reversing");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        let _ = SenseReversingSync::new(0);
+    }
+}

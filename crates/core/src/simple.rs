@@ -1,0 +1,180 @@
+//! GPU simple synchronization (paper Section 5.1, Figure 6).
+//!
+//! One global mutex counter. On arrival, each block's leading thread
+//! atomically increments `g_mutex` and then spins until the counter reaches
+//! `goalVal` — the number of blocks times the number of completed rounds.
+//!
+//! Cost model (Eq. 6): `t_GSS = N * t_a + t_c` — the atomic additions
+//! serialize, so the barrier is **linear in the block count**, which is
+//! exactly what the micro-benchmark in Figure 11 shows.
+//!
+//! Two counter-recycling strategies are provided (see
+//! [`ResetStrategy`]): the paper's monotone `goalVal += N` scheme and a
+//! reset-to-zero scheme, so the paper's claim that the former is cheaper can
+//! be measured (`ablation_reset` bench).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::barrier::{spin_until, BarrierShared, BarrierWaiter};
+use crate::method::ResetStrategy;
+
+/// Shared state: the paper's `__device__ int g_mutex` (widened to 64 bits so
+/// the monotone goal can never wrap in practice).
+pub struct GpuSimpleSync {
+    g_mutex: AtomicU64,
+    /// Epoch counter used only by [`ResetStrategy::ResetCounter`].
+    epoch: AtomicU64,
+    n_blocks: usize,
+    strategy: ResetStrategy,
+}
+
+impl GpuSimpleSync {
+    /// Barrier for `n_blocks` blocks with the paper's increment-goal
+    /// strategy.
+    pub fn new(n_blocks: usize) -> Self {
+        Self::with_strategy(n_blocks, ResetStrategy::IncrementGoal)
+    }
+
+    /// Barrier with an explicit counter-recycling strategy.
+    ///
+    /// # Panics
+    /// Panics if `n_blocks == 0`.
+    pub fn with_strategy(n_blocks: usize, strategy: ResetStrategy) -> Self {
+        assert!(n_blocks > 0, "barrier needs at least one block");
+        GpuSimpleSync {
+            g_mutex: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            n_blocks,
+            strategy,
+        }
+    }
+
+    /// The strategy this barrier was built with.
+    pub fn strategy(&self) -> ResetStrategy {
+        self.strategy
+    }
+}
+
+impl BarrierShared for GpuSimpleSync {
+    fn num_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    fn waiter(self: Arc<Self>, block_id: usize) -> Box<dyn BarrierWaiter> {
+        assert!(block_id < self.n_blocks, "block_id {block_id} out of range");
+        Box::new(SimpleWaiter {
+            shared: self,
+            block_id,
+            round: 0,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "gpu-simple"
+    }
+}
+
+struct SimpleWaiter {
+    shared: Arc<GpuSimpleSync>,
+    block_id: usize,
+    /// Completed rounds; the paper's `goalVal` register is derived from it.
+    round: u64,
+}
+
+impl BarrierWaiter for SimpleWaiter {
+    fn wait(&mut self) {
+        let s = &*self.shared;
+        let n = s.n_blocks as u64;
+        match s.strategy {
+            ResetStrategy::IncrementGoal => {
+                // goalVal = N on the first call, then += N each call.
+                let goal = (self.round + 1) * n;
+                s.g_mutex.fetch_add(1, Ordering::AcqRel);
+                // Monotone comparison (not equality) tolerates observing a
+                // later round's additions.
+                spin_until(|| s.g_mutex.load(Ordering::Acquire) >= goal);
+            }
+            ResetStrategy::ResetCounter => {
+                let my_epoch = self.round;
+                let arrived = s.g_mutex.fetch_add(1, Ordering::AcqRel) + 1;
+                if arrived == n {
+                    // Last arriver resets the counter, then publishes the
+                    // new epoch. The reset is ordered before the epoch store
+                    // (Release), and other blocks only resume (and re-add)
+                    // after acquiring the new epoch, so the reset cannot
+                    // race with next-round additions.
+                    s.g_mutex.store(0, Ordering::Relaxed);
+                    s.epoch.fetch_add(1, Ordering::Release);
+                } else {
+                    spin_until(|| s.epoch.load(Ordering::Acquire) > my_epoch);
+                }
+            }
+        }
+        self.round += 1;
+    }
+
+    fn block_id(&self) -> usize {
+        self.block_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barrier::harness;
+
+    #[test]
+    fn single_block_never_blocks() {
+        let b = Arc::new(GpuSimpleSync::new(1));
+        let mut w = Arc::clone(&b).waiter(0);
+        for _ in 0..1000 {
+            w.wait();
+        }
+    }
+
+    #[test]
+    fn two_blocks_many_rounds() {
+        harness::exercise(Arc::new(GpuSimpleSync::new(2)), 2, 2000);
+    }
+
+    #[test]
+    fn eight_blocks_increment_goal() {
+        harness::exercise(Arc::new(GpuSimpleSync::new(8)), 8, 500);
+    }
+
+    #[test]
+    fn eight_blocks_reset_counter() {
+        harness::exercise(
+            Arc::new(GpuSimpleSync::with_strategy(8, ResetStrategy::ResetCounter)),
+            8,
+            500,
+        );
+    }
+
+    #[test]
+    fn thirty_blocks_like_gtx280() {
+        harness::exercise(Arc::new(GpuSimpleSync::new(30)), 30, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        let _ = GpuSimpleSync::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_waiter_rejected() {
+        let b = Arc::new(GpuSimpleSync::new(2));
+        let _ = b.waiter(2);
+    }
+
+    #[test]
+    fn name_and_counts() {
+        let b = GpuSimpleSync::new(5);
+        assert_eq!(b.num_blocks(), 5);
+        assert_eq!(b.name(), "gpu-simple");
+        assert_eq!(b.strategy(), ResetStrategy::IncrementGoal);
+    }
+}

@@ -1,0 +1,195 @@
+//! Execution statistics mirroring the paper's time decomposition.
+//!
+//! The paper splits kernel execution into launch + computation +
+//! synchronization (Eq. 1) and derives all of its figures from that split.
+//! [`KernelStats`] records the same decomposition for a host-runtime run:
+//! per-block computation and synchronization times, plus total wall time.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Per-block time decomposition for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockTimes {
+    /// Time the block spent inside kernel rounds (`t_C` aggregate).
+    pub compute: Duration,
+    /// Time the block spent arriving at / waiting in barriers (`t_S`
+    /// aggregate). For CPU-synchronized runs, this is the per-round
+    /// dispatch/teardown overhead attributed to the block.
+    pub sync: Duration,
+}
+
+impl BlockTimes {
+    /// compute + sync.
+    pub fn total(&self) -> Duration {
+        self.compute + self.sync
+    }
+}
+
+/// Statistics of one kernel execution under one synchronization method.
+#[derive(Debug, Clone)]
+pub struct KernelStats {
+    /// Human-readable method name (`SyncMethod` display form).
+    pub method: String,
+    /// Number of blocks in the grid.
+    pub n_blocks: usize,
+    /// Barrier rounds executed.
+    pub rounds: usize,
+    /// End-to-end wall time of the run (includes thread startup — the
+    /// "kernel launch" of the host runtime).
+    pub wall: Duration,
+    /// Per-block decomposition, indexed by block id.
+    pub per_block: Vec<BlockTimes>,
+}
+
+impl KernelStats {
+    /// Mean per-block computation time.
+    pub fn avg_compute(&self) -> Duration {
+        mean(self.per_block.iter().map(|b| b.compute))
+    }
+
+    /// Mean per-block synchronization time.
+    pub fn avg_sync(&self) -> Duration {
+        mean(self.per_block.iter().map(|b| b.sync))
+    }
+
+    /// Maximum per-block synchronization time (the straggler view).
+    pub fn max_sync(&self) -> Duration {
+        self.per_block
+            .iter()
+            .map(|b| b.sync)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Mean synchronization cost of one barrier round.
+    pub fn sync_per_round(&self) -> Duration {
+        if self.rounds == 0 {
+            Duration::ZERO
+        } else {
+            self.avg_sync() / self.rounds as u32
+        }
+    }
+
+    /// Fraction of (compute + sync) time spent synchronizing — the paper's
+    /// Figure 15 metric (`1 - rho`).
+    pub fn sync_fraction(&self) -> f64 {
+        let c = self.avg_compute().as_secs_f64();
+        let s = self.avg_sync().as_secs_f64();
+        if c + s == 0.0 {
+            0.0
+        } else {
+            s / (c + s)
+        }
+    }
+
+    /// The paper's `rho = t_C / T` — fraction of time spent computing.
+    pub fn rho(&self) -> f64 {
+        1.0 - self.sync_fraction()
+    }
+}
+
+impl fmt::Display for KernelStats {
+    /// One-line summary: method, grid, rounds, wall, and the compute/sync
+    /// split — convenient for examples and ad-hoc printing.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} blocks x {} rounds in {:.3} ms (compute {:.3} ms, sync {:.3} ms, {:.1}% sync)",
+            self.method,
+            self.n_blocks,
+            self.rounds,
+            self.wall.as_secs_f64() * 1e3,
+            self.avg_compute().as_secs_f64() * 1e3,
+            self.avg_sync().as_secs_f64() * 1e3,
+            self.sync_fraction() * 100.0
+        )
+    }
+}
+
+fn mean(iter: impl Iterator<Item = Duration>) -> Duration {
+    let mut sum = Duration::ZERO;
+    let mut n = 0u32;
+    for d in iter {
+        sum += d;
+        n += 1;
+    }
+    if n == 0 {
+        Duration::ZERO
+    } else {
+        sum / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(per_block: Vec<BlockTimes>, rounds: usize) -> KernelStats {
+        KernelStats {
+            method: "test".into(),
+            n_blocks: per_block.len(),
+            rounds,
+            wall: Duration::from_millis(10),
+            per_block,
+        }
+    }
+
+    #[test]
+    fn block_times_total() {
+        let b = BlockTimes {
+            compute: Duration::from_millis(3),
+            sync: Duration::from_millis(2),
+        };
+        assert_eq!(b.total(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn averages_over_blocks() {
+        let s = stats(
+            vec![
+                BlockTimes {
+                    compute: Duration::from_millis(2),
+                    sync: Duration::from_millis(2),
+                },
+                BlockTimes {
+                    compute: Duration::from_millis(4),
+                    sync: Duration::from_millis(6),
+                },
+            ],
+            4,
+        );
+        assert_eq!(s.avg_compute(), Duration::from_millis(3));
+        assert_eq!(s.avg_sync(), Duration::from_millis(4));
+        assert_eq!(s.max_sync(), Duration::from_millis(6));
+        assert_eq!(s.sync_per_round(), Duration::from_millis(1));
+        assert!((s.sync_fraction() - 4.0 / 7.0).abs() < 1e-12);
+        assert!((s.rho() - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_one_line_summary() {
+        let s = stats(
+            vec![BlockTimes {
+                compute: Duration::from_millis(2),
+                sync: Duration::from_millis(2),
+            }],
+            4,
+        );
+        let line = s.to_string();
+        assert!(line.contains("test: 1 blocks x 4 rounds"));
+        assert!(line.contains("50.0% sync"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn empty_and_zero_round_edge_cases() {
+        let s = stats(vec![], 0);
+        assert_eq!(s.avg_compute(), Duration::ZERO);
+        assert_eq!(s.avg_sync(), Duration::ZERO);
+        assert_eq!(s.max_sync(), Duration::ZERO);
+        assert_eq!(s.sync_per_round(), Duration::ZERO);
+        assert_eq!(s.sync_fraction(), 0.0);
+        assert_eq!(s.rho(), 1.0);
+    }
+}

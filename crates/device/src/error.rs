@@ -1,0 +1,81 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when validating kernel launches against a [`crate::GpuSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// A persistent (GPU-synchronized) kernel requested more blocks than
+    /// there are SMs. On real hardware this deadlocks: unscheduled blocks
+    /// can never reach the spin barrier because resident blocks are
+    /// non-preemptive (paper, Section 5).
+    TooManyBlocks {
+        /// Blocks requested by the launch.
+        requested: u32,
+        /// Maximum blocks supported for a persistent kernel (= number of SMs).
+        max: u32,
+    },
+    /// The launch requested more threads per block than the architecture
+    /// supports.
+    TooManyThreads {
+        /// Threads per block requested.
+        requested: u32,
+        /// Architectural maximum.
+        max: u32,
+    },
+    /// A launch with zero blocks or zero threads.
+    EmptyLaunch,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::TooManyBlocks { requested, max } => write!(
+                f,
+                "persistent kernel requested {requested} blocks but only {max} SMs exist; \
+                 a grid-wide spin barrier with more blocks than SMs deadlocks"
+            ),
+            DeviceError::TooManyThreads { requested, max } => {
+                write!(
+                    f,
+                    "block of {requested} threads exceeds device limit of {max}"
+                )
+            }
+            DeviceError::EmptyLaunch => write!(f, "launch must have at least 1 block and 1 thread"),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = DeviceError::TooManyBlocks {
+            requested: 31,
+            max: 30,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("31"));
+        assert!(msg.contains("30"));
+        assert!(msg.contains("deadlock"));
+
+        let e = DeviceError::TooManyThreads {
+            requested: 1024,
+            max: 512,
+        };
+        assert!(e.to_string().contains("1024"));
+
+        assert!(DeviceError::EmptyLaunch.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error(_: &dyn Error) {}
+        takes_error(&DeviceError::EmptyLaunch);
+    }
+}

@@ -1,0 +1,273 @@
+//! Virtual time used by the discrete-event simulator.
+//!
+//! [`SimTime`] is an absolute instant on the simulated clock; [`SimDuration`]
+//! is a span between instants. Both are nanosecond-resolution unsigned
+//! integers, which keeps event ordering exact and the simulation
+//! deterministic (no floating-point drift in the event queue).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute instant of simulated time, in nanoseconds since simulation
+/// start.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The instant at which every simulation starts.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since simulation start.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Time as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Span since `earlier`. Panics in debug builds if `earlier` is later
+    /// than `self` (simulated time never runs backwards).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            earlier <= self,
+            "SimTime::since: earlier={earlier:?} > self={self:?}"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating difference, for code paths where intervals may legally be
+    /// empty (e.g. a block that spent zero time waiting).
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Round this instant *up* to the next multiple of `period` strictly
+    /// after `self`.
+    ///
+    /// This models a spin-waiter that polls a flag every `period`
+    /// nanoseconds: a write that lands at time `t` is observed at the
+    /// waiter's first poll at or after `t`.
+    pub fn next_poll(self, phase: SimTime, period: SimDuration) -> SimTime {
+        if period.0 == 0 {
+            return self;
+        }
+        if self <= phase {
+            return phase;
+        }
+        let elapsed = self.0 - phase.0;
+        let polls = elapsed.div_ceil(period.0);
+        SimTime(phase.0 + polls * period.0)
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from integer microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from integer milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from fractional microseconds, rounding to the nearest
+    /// nanosecond.
+    pub fn from_micros_f64(us: f64) -> Self {
+        debug_assert!(us >= 0.0, "negative duration");
+        SimDuration((us * 1_000.0).round() as u64)
+    }
+
+    /// Span in nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Span as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Span as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&SimDuration(self.0), f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    /// Human-oriented rendering: picks ns/us/ms/s by magnitude.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let t = SimTime::ZERO + SimDuration::from_micros(3);
+        assert_eq!(t.as_nanos(), 3_000);
+        let t2 = t + SimDuration::from_nanos(500);
+        assert_eq!(t2.since(t), SimDuration::from_nanos(500));
+        assert_eq!(t2 - SimDuration::from_nanos(500), t);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime(100);
+        let b = SimTime(50);
+        assert_eq!(b.saturating_since(a), SimDuration::ZERO);
+        assert_eq!(a.saturating_since(b), SimDuration(50));
+    }
+
+    #[test]
+    fn next_poll_rounds_up_to_grid() {
+        let phase = SimTime(10);
+        let period = SimDuration(25);
+        // Before the phase: first poll is at the phase itself.
+        assert_eq!(SimTime(3).next_poll(phase, period), SimTime(10));
+        // Exactly on a poll point: observed immediately.
+        assert_eq!(SimTime(35).next_poll(phase, period), SimTime(35));
+        // Between poll points: next one.
+        assert_eq!(SimTime(36).next_poll(phase, period), SimTime(60));
+        // Zero period degenerates to "observed instantly".
+        assert_eq!(SimTime(36).next_poll(phase, SimDuration::ZERO), SimTime(36));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimDuration(999).to_string(), "999ns");
+        assert_eq!(SimDuration(1_500).to_string(), "1.500us");
+        assert_eq!(SimDuration(2_500_000).to_string(), "2.500ms");
+        assert_eq!(SimDuration(3_000_000_000).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = [SimDuration(1), SimDuration(2), SimDuration(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, SimDuration(6));
+    }
+
+    #[test]
+    fn micros_f64_round_trips() {
+        let d = SimDuration::from_micros_f64(1.234);
+        assert_eq!(d.as_nanos(), 1234);
+        assert!((d.as_micros_f64() - 1.234).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Deriving calibration constants from the paper's reported landmarks.
+//!
+//! The paper gives a handful of scalar observations (Figure 11 and its
+//! discussion); this module inverts the Section 4/5 equations to recover
+//! the primitive costs a simulator must charge to land on them. It is the
+//! executable form of DESIGN.md §6 — the documentation of *where the
+//! numbers in `CalibrationProfile::gtx280()` come from*.
+
+/// The scalar observations the paper reports for its micro-benchmark
+/// (10,000 barrier rounds on the GTX 280).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperLandmarks {
+    /// Total CPU implicit time, ms (Figure 11: "about 60 ms" of sync plus
+    /// ~5 ms compute).
+    pub implicit_total_ms: f64,
+    /// Ratio of CPU explicit to GPU lock-free total (abstract: 7.8).
+    pub explicit_over_lockfree: f64,
+    /// Ratio of CPU implicit to GPU lock-free total (abstract: 3.7).
+    pub implicit_over_lockfree: f64,
+    /// Block count where GPU simple sync crosses CPU implicit (Fig. 11
+    /// discussion: 24).
+    pub simple_crossover_blocks: usize,
+    /// Total computation time, ms (Figure 11: "only about 5 ms").
+    pub compute_total_ms: f64,
+    /// Barrier rounds in the run.
+    pub rounds: usize,
+}
+
+impl PaperLandmarks {
+    /// The values stated in the paper.
+    pub fn from_paper() -> Self {
+        PaperLandmarks {
+            implicit_total_ms: 65.0,
+            explicit_over_lockfree: 7.8,
+            implicit_over_lockfree: 3.7,
+            simple_crossover_blocks: 24,
+            compute_total_ms: 5.0,
+            rounds: 10_000,
+        }
+    }
+}
+
+/// Primitive costs derived from the landmarks (all ns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivedCosts {
+    /// Per-round CPU implicit overhead (`t_CIS` of Eq. 4).
+    pub implicit_round_ns: f64,
+    /// Per-round CPU explicit overhead (`t_O + t_CES` of Eq. 3).
+    pub explicit_round_ns: f64,
+    /// Per-round GPU lock-free barrier cost (`t_GLS` of Eq. 9).
+    pub lockfree_barrier_ns: f64,
+    /// Atomic service time `t_a` implied by the simple-sync crossover,
+    /// given a checking cost `t_c` (Eq. 6 at the crossover block count).
+    pub atomic_add_ns: f64,
+    /// Per-round compute time.
+    pub compute_round_ns: f64,
+}
+
+/// Invert the equations: from totals to per-round primitive costs.
+///
+/// `check_cost_ns` is the spin-observation cost `t_c` assumed when solving
+/// Eq. 6 for `t_a` at the crossover (`N* · t_a + t_c = t_CIS`).
+///
+/// # Panics
+/// Panics on non-positive landmark values.
+pub fn derive(l: &PaperLandmarks, check_cost_ns: f64) -> DerivedCosts {
+    assert!(l.rounds > 0 && l.implicit_total_ms > 0.0 && l.compute_total_ms >= 0.0);
+    assert!(l.implicit_over_lockfree > 1.0 && l.explicit_over_lockfree > 1.0);
+    assert!(l.simple_crossover_blocks > 0);
+    let rounds = l.rounds as f64;
+    let compute_round_ns = l.compute_total_ms * 1e6 / rounds;
+    let implicit_round_ns = l.implicit_total_ms * 1e6 / rounds - compute_round_ns;
+
+    // Totals scale with the per-round cost, so the ratios give lock-free
+    // and explicit per-round costs directly.
+    let lockfree_total_ms = l.implicit_total_ms / l.implicit_over_lockfree;
+    let lockfree_barrier_ns = lockfree_total_ms * 1e6 / rounds - compute_round_ns;
+    let explicit_total_ms = lockfree_total_ms * l.explicit_over_lockfree;
+    let explicit_round_ns = explicit_total_ms * 1e6 / rounds - compute_round_ns;
+
+    // Eq. 6 at the crossover: N* t_a + t_c = implicit per-round cost.
+    let atomic_add_ns = (implicit_round_ns - check_cost_ns) / l.simple_crossover_blocks as f64;
+
+    DerivedCosts {
+        implicit_round_ns,
+        explicit_round_ns,
+        lockfree_barrier_ns,
+        atomic_add_ns,
+        compute_round_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blocksync_device::CalibrationProfile;
+
+    #[test]
+    fn paper_landmarks_reproduce_the_gtx280_profile() {
+        // The derivation must land near the constants the workspace's
+        // calibration actually uses — this test IS the provenance of
+        // CalibrationProfile::gtx280().
+        let cal = CalibrationProfile::gtx280();
+        let d = derive(
+            &PaperLandmarks::from_paper(),
+            cal.poll_round_trip().as_nanos() as f64,
+        );
+
+        // ~6 us implicit per round.
+        assert!((d.implicit_round_ns - cal.implicit_round_overhead_ns as f64).abs() < 1_000.0);
+        // ~13 us explicit per round.
+        assert!((d.explicit_round_ns - cal.explicit_round_overhead_ns as f64).abs() < 2_000.0);
+        // t_a ~ 235 ns.
+        assert!(
+            (d.atomic_add_ns - cal.atomic_add_ns as f64).abs() < 40.0,
+            "derived t_a {} vs calibrated {}",
+            d.atomic_add_ns,
+            cal.atomic_add_ns
+        );
+        // Lock-free barrier ~ 1.3 us.
+        assert!(
+            (1_000.0..2_000.0).contains(&d.lockfree_barrier_ns),
+            "{}",
+            d.lockfree_barrier_ns
+        );
+        // Compute ~ 0.5 us/round.
+        assert!((400.0..700.0).contains(&d.compute_round_ns));
+    }
+
+    #[test]
+    fn derivation_is_scale_invariant() {
+        // Doubling every total leaves nothing but the per-round doubling.
+        let mut l = PaperLandmarks::from_paper();
+        let base = derive(&l, 400.0);
+        l.implicit_total_ms *= 2.0;
+        l.compute_total_ms *= 2.0;
+        let doubled = derive(&l, 400.0);
+        assert!((doubled.implicit_round_ns - 2.0 * base.implicit_round_ns).abs() < 1e-6);
+        assert!((doubled.compute_round_ns - 2.0 * base.compute_round_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_blocks_at_crossover_means_cheaper_atomics() {
+        let mut l = PaperLandmarks::from_paper();
+        let a = derive(&l, 400.0).atomic_add_ns;
+        l.simple_crossover_blocks = 48;
+        let b = derive(&l, 400.0).atomic_add_ns;
+        assert!(b < a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_landmarks_rejected() {
+        let mut l = PaperLandmarks::from_paper();
+        l.rounds = 0;
+        let _ = derive(&l, 400.0);
+    }
+}

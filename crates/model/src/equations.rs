@@ -1,0 +1,194 @@
+//! Equations 1 and 3–9 of the paper.
+//!
+//! Times are nanoseconds (`f64`). Functions taking per-round slices
+//! implement the general summations; the `_uniform` variants implement the
+//! common case where every round costs the same (the micro-benchmark).
+
+/// Eq. 1 / Eq. 3 — CPU explicit synchronization: every launch is serialized,
+/// so the total is the plain sum of launch, compute, and synchronization
+/// per round: `T = sum_i (t_O(i) + t_C(i) + t_CES(i))`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn total_explicit(t_o: &[f64], t_c: &[f64], t_ces: &[f64]) -> f64 {
+    assert_eq!(t_o.len(), t_c.len());
+    assert_eq!(t_c.len(), t_ces.len());
+    t_o.iter()
+        .zip(t_c)
+        .zip(t_ces)
+        .map(|((o, c), s)| o + c + s)
+        .sum()
+}
+
+/// Eq. 3 with uniform rounds: `M * (t_O + t_C + t_CES)`.
+pub fn total_explicit_uniform(rounds: usize, t_o: f64, t_c: f64, t_ces: f64) -> f64 {
+    rounds as f64 * (t_o + t_c + t_ces)
+}
+
+/// Eq. 4 — CPU implicit synchronization: only the first launch pays `t_O`;
+/// the rest are pipelined: `T = t_O(1) + sum_i (t_C(i) + t_CIS(i))`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn total_implicit(t_o_first: f64, t_c: &[f64], t_cis: &[f64]) -> f64 {
+    assert_eq!(t_c.len(), t_cis.len());
+    t_o_first + t_c.iter().zip(t_cis).map(|(c, s)| c + s).sum::<f64>()
+}
+
+/// Eq. 4 with uniform rounds.
+pub fn total_implicit_uniform(rounds: usize, t_o_first: f64, t_c: f64, t_cis: f64) -> f64 {
+    t_o_first + rounds as f64 * (t_c + t_cis)
+}
+
+/// Eq. 5 — GPU synchronization: a single launch, then `M` barrier-separated
+/// compute phases: `T = t_O + sum_i (t_C(i) + t_GS(i))`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn total_gpu(t_o: f64, t_c: &[f64], t_gs: &[f64]) -> f64 {
+    assert_eq!(t_c.len(), t_gs.len());
+    t_o + t_c.iter().zip(t_gs).map(|(c, s)| c + s).sum::<f64>()
+}
+
+/// Eq. 5 with uniform rounds.
+pub fn total_gpu_uniform(rounds: usize, t_o: f64, t_c: f64, t_gs: f64) -> f64 {
+    t_o + rounds as f64 * (t_c + t_gs)
+}
+
+/// Eq. 6 — GPU simple synchronization barrier cost: the `N` atomic
+/// additions serialize, the counter check is concurrent:
+/// `t_GSS = N * t_a + t_c`.
+pub fn t_gss(n_blocks: usize, t_a: f64, t_c: f64) -> f64 {
+    n_blocks as f64 * t_a + t_c
+}
+
+/// Eq. 8 — tree group sizes for `n` blocks: `m = ceil(sqrt(N))` groups; if
+/// `m^2 == N` every group has `m` blocks, otherwise the first `m - 1` groups
+/// have `floor(N / (m-1))` and the last takes the (possibly zero, then
+/// dropped) remainder.
+///
+/// This mirrors `blocksync_core::tree::sqrt_group_sizes`; it is duplicated
+/// here so the model crate stays dependency-light, and the `modelcheck`
+/// harness asserts the two agree.
+pub fn tree_group_sizes(n: usize) -> Vec<usize> {
+    assert!(n > 0);
+    let m = (n as f64).sqrt().ceil() as usize;
+    if m <= 1 {
+        return vec![n];
+    }
+    if m * m == n {
+        return vec![m; m];
+    }
+    let per = n / (m - 1);
+    let mut sizes = vec![per; m - 1];
+    let last = n - per * (m - 1);
+    if last > 0 {
+        sizes.push(last);
+    }
+    sizes
+}
+
+/// Eq. 7 — GPU 2-level tree synchronization barrier cost:
+/// `t_GTS = (n_hat * t_a + t_c1) + (m * t_a + t_c2)` with `n_hat` the
+/// largest group and `m` the group count from Eq. 8.
+pub fn t_gts(n_blocks: usize, t_a: f64, t_c1: f64, t_c2: f64) -> f64 {
+    let sizes = tree_group_sizes(n_blocks);
+    let n_hat = sizes.iter().copied().max().unwrap_or(0) as f64;
+    let m = sizes.len() as f64;
+    (n_hat * t_a + t_c1) + (m * t_a + t_c2)
+}
+
+/// Eq. 9 — GPU lock-free synchronization barrier cost, independent of the
+/// block count: `t_GLS = t_SI + t_CI + t_Sync + t_SO + t_CO`.
+pub fn t_gls(t_si: f64, t_ci: f64, t_sync: f64, t_so: f64, t_co: f64) -> f64 {
+    t_si + t_ci + t_sync + t_so + t_co
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_sums_all_three_components() {
+        let t = total_explicit(&[10.0, 10.0], &[100.0, 200.0], &[5.0, 5.0]);
+        assert_eq!(t, 330.0);
+        assert_eq!(total_explicit_uniform(2, 10.0, 150.0, 5.0), 330.0);
+    }
+
+    #[test]
+    fn implicit_pays_one_launch() {
+        let t = total_implicit(10.0, &[100.0, 200.0], &[5.0, 5.0]);
+        assert_eq!(t, 320.0);
+        assert_eq!(total_implicit_uniform(2, 10.0, 150.0, 5.0), 320.0);
+        // Implicit beats explicit by (M - 1) launches.
+        assert!(t < total_explicit(&[10.0, 10.0], &[100.0, 200.0], &[5.0, 5.0]));
+    }
+
+    #[test]
+    fn gpu_pays_one_launch_and_barrier_costs() {
+        let t = total_gpu(10.0, &[100.0, 200.0], &[1.0, 1.0]);
+        assert_eq!(t, 312.0);
+        assert_eq!(total_gpu_uniform(2, 10.0, 150.0, 1.0), 312.0);
+    }
+
+    #[test]
+    fn gss_is_linear_in_n() {
+        let t_a = 235.0;
+        let t_c = 400.0;
+        assert_eq!(t_gss(1, t_a, t_c), 635.0);
+        let d1 = t_gss(20, t_a, t_c) - t_gss(10, t_a, t_c);
+        let d2 = t_gss(30, t_a, t_c) - t_gss(20, t_a, t_c);
+        assert_eq!(d1, d2);
+        assert_eq!(d1, 10.0 * t_a);
+    }
+
+    #[test]
+    fn group_sizes_match_paper_examples() {
+        assert_eq!(tree_group_sizes(30), vec![6, 6, 6, 6, 6]);
+        assert_eq!(tree_group_sizes(16), vec![4, 4, 4, 4]);
+        assert_eq!(tree_group_sizes(11), vec![3, 3, 3, 2]);
+        for n in 1..200 {
+            assert_eq!(tree_group_sizes(n).iter().sum::<usize>(), n);
+        }
+    }
+
+    #[test]
+    fn tree_beats_simple_for_large_n_with_equal_checks() {
+        // Paper, Section 5.2: considering only atomic time, the 2-level tree
+        // wins for N > 4; with checking costs the threshold grows.
+        let t_a = 235.0;
+        for n in 12..=30 {
+            assert!(
+                t_gts(n, t_a, 400.0, 400.0) < t_gss(n, t_a, 400.0),
+                "tree should win at N={n}"
+            );
+        }
+        // And loses for very small N.
+        assert!(t_gts(2, t_a, 400.0, 400.0) > t_gss(2, t_a, 400.0));
+    }
+
+    #[test]
+    fn atomic_only_tree_threshold_is_four() {
+        // The paper's own sanity check: with t_c = 0, tree wins for N > 4.
+        // (The idealized argument assumes n_hat = m = sqrt(N); with the
+        // paper's actual Eq. 8 grouping, N = 5 is a tie.)
+        let t_a = 1.0;
+        assert!(t_gts(4, t_a, 0.0, 0.0) >= t_gss(4, t_a, 0.0));
+        assert!(t_gts(5, t_a, 0.0, 0.0) <= t_gss(5, t_a, 0.0));
+        for n in 6..=64 {
+            assert!(t_gts(n, t_a, 0.0, 0.0) < t_gss(n, t_a, 0.0), "N={n}");
+        }
+    }
+
+    #[test]
+    fn gls_is_independent_of_block_count_by_construction() {
+        let t = t_gls(100.0, 400.0, 60.0, 100.0, 400.0);
+        assert_eq!(t, 1060.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_slices_panic() {
+        let _ = total_gpu(0.0, &[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Least-squares extraction of model constants from sweeps.
+//!
+//! The paper verifies its cost models by measuring barrier time against the
+//! block count (Figure 11): GPU simple synchronization should be a line
+//! with slope `t_a` and intercept `t_c` (Eq. 6); GPU lock-free should be a
+//! line with slope ~0 (Eq. 9). [`fit_line`] recovers those constants from
+//! `(N, time)` samples and reports the fit quality, so the `modelcheck`
+//! harness can assert "the simulator behaves as the model predicts" rather
+//! than eyeballing a plot.
+
+/// An ordinary-least-squares line fit `y ~= slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope (for Eq. 6 sweeps: `t_a` in ns/block).
+    pub slope: f64,
+    /// Fitted intercept (for Eq. 6 sweeps: `t_c` in ns).
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`; 1 is a perfect line.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fit a line through `(x, y)` samples.
+///
+/// # Panics
+/// Panics with fewer than two samples or when all `x` are identical (the
+/// slope would be undefined).
+pub fn fit_line(samples: &[(f64, f64)]) -> LinearFit {
+    assert!(
+        samples.len() >= 2,
+        "need at least two samples to fit a line"
+    );
+    let n = samples.len() as f64;
+    let mean_x = samples.iter().map(|&(x, _)| x).sum::<f64>() / n;
+    let mean_y = samples.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = samples.iter().map(|&(x, _)| (x - mean_x).powi(2)).sum();
+    assert!(sxx > 0.0, "all x values identical; slope undefined");
+    let sxy: f64 = samples
+        .iter()
+        .map(|&(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+
+    let ss_tot: f64 = samples.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = samples
+        .iter()
+        .map(|&(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let samples: Vec<(f64, f64)> = (1..=30)
+            .map(|n| (n as f64, 235.0 * n as f64 + 400.0))
+            .collect();
+        let fit = fit_line(&samples);
+        assert!((fit.slope - 235.0).abs() < 1e-9);
+        assert!((fit.intercept - 400.0).abs() < 1e-6);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 2750.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_line_fits_well() {
+        // Deterministic "noise" from a fixed pattern.
+        let samples: Vec<(f64, f64)> = (1..=30)
+            .map(|n| {
+                let noise = if n % 2 == 0 { 15.0 } else { -15.0 };
+                (n as f64, 100.0 * n as f64 + 50.0 + noise)
+            })
+            .collect();
+        let fit = fit_line(&samples);
+        assert!((fit.slope - 100.0).abs() < 2.0);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn flat_data_has_zero_slope() {
+        let samples: Vec<(f64, f64)> = (1..=10).map(|n| (n as f64, 1300.0)).collect();
+        let fit = fit_line(&samples);
+        assert!(fit.slope.abs() < 1e-9);
+        assert!((fit.intercept - 1300.0).abs() < 1e-6);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn single_sample_rejected() {
+        let _ = fit_line(&[(1.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_x_rejected() {
+        let _ = fit_line(&[(3.0, 1.0), (3.0, 2.0)]);
+    }
+}

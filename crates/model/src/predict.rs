@@ -1,0 +1,174 @@
+//! Closed-form predictions of kernel times from a calibration profile.
+//!
+//! Combines the Section 4 time-composition equations with the Section 5
+//! barrier cost models to predict, without event simulation, what a
+//! round-structured kernel costs under each synchronization method. The
+//! `modelcheck` harness and the `model_consistency` integration tests
+//! verify these predictions against the discrete-event simulator: CPU
+//! timelines match exactly; GPU barrier predictions are first-order (they
+//! ignore queueing of polls behind atomics, which the simulator models).
+
+use blocksync_device::CalibrationProfile;
+
+use crate::equations::{
+    t_gls, t_gss, t_gts, total_explicit_uniform, total_gpu_uniform, total_implicit_uniform,
+};
+
+/// First-order prediction of one barrier's cost, in ns, for a GPU-side
+/// method on `n_blocks` blocks under `cal`.
+///
+/// Maps calibration primitives onto the equations' constants:
+/// `t_a = atomic_add_ns`; a check/observation `t_c` is one poll round trip;
+/// the lock-free terms are a store (+visibility), a check, a
+/// `__syncthreads`, and the release store + check.
+pub fn barrier_cost_ns(cal: &CalibrationProfile, kind: BarrierKind, n_blocks: usize) -> f64 {
+    let t_a = cal.atomic_add_ns as f64;
+    let t_c = cal.poll_round_trip().as_nanos() as f64;
+    let store = (cal.mem_write_service_ns + cal.write_visibility_ns) as f64;
+    match kind {
+        BarrierKind::Simple => t_gss(n_blocks, t_a, t_c),
+        BarrierKind::Tree2 => t_gts(n_blocks, t_a, t_c, t_c),
+        BarrierKind::LockFree => t_gls(store, t_c, cal.syncthreads_ns as f64, store, t_c),
+    }
+}
+
+/// The barrier designs Eq. 6/7/9 cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierKind {
+    /// Eq. 6.
+    Simple,
+    /// Eq. 7 (2-level).
+    Tree2,
+    /// Eq. 9.
+    LockFree,
+}
+
+/// Predicted total kernel time (ns) for `rounds` uniform rounds of
+/// `compute_ns` each, under the given synchronization approach.
+pub fn total_ns(
+    cal: &CalibrationProfile,
+    method: PredictMethod,
+    n_blocks: usize,
+    rounds: usize,
+    compute_ns: f64,
+) -> f64 {
+    match method {
+        PredictMethod::CpuExplicit => total_explicit_uniform(
+            rounds,
+            0.0, // launch folded into the explicit per-round overhead
+            compute_ns,
+            cal.explicit_round_overhead_ns as f64,
+        ),
+        PredictMethod::CpuImplicit => total_implicit_uniform(
+            rounds,
+            cal.kernel_launch_ns as f64,
+            compute_ns,
+            cal.implicit_round_overhead_ns as f64,
+        ),
+        PredictMethod::Gpu(kind) => total_gpu_uniform(
+            rounds,
+            cal.kernel_launch_ns as f64,
+            compute_ns,
+            barrier_cost_ns(cal, kind, n_blocks),
+        ),
+    }
+}
+
+/// Synchronization approaches the predictor covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictMethod {
+    /// Eq. 3.
+    CpuExplicit,
+    /// Eq. 4.
+    CpuImplicit,
+    /// Eq. 5 with the given barrier's Eq. 6/7/9 cost.
+    Gpu(BarrierKind),
+}
+
+/// Predicted block count at which the simple barrier stops beating CPU
+/// implicit synchronization (the Figure 11 crossover; paper: 24).
+pub fn simple_vs_implicit_crossover(cal: &CalibrationProfile) -> usize {
+    let implicit = cal.implicit_round_overhead_ns as f64;
+    (1..=4096)
+        .find(|&n| barrier_cost_ns(cal, BarrierKind::Simple, n) > implicit)
+        .unwrap_or(4096)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> CalibrationProfile {
+        CalibrationProfile::gtx280()
+    }
+
+    #[test]
+    fn simple_barrier_is_linear() {
+        let c = cal();
+        let d1 = barrier_cost_ns(&c, BarrierKind::Simple, 20)
+            - barrier_cost_ns(&c, BarrierKind::Simple, 10);
+        let d2 = barrier_cost_ns(&c, BarrierKind::Simple, 30)
+            - barrier_cost_ns(&c, BarrierKind::Simple, 20);
+        assert_eq!(d1, d2);
+        assert_eq!(d1, 10.0 * c.atomic_add_ns as f64);
+    }
+
+    #[test]
+    fn lockfree_is_flat() {
+        let c = cal();
+        assert_eq!(
+            barrier_cost_ns(&c, BarrierKind::LockFree, 2),
+            barrier_cost_ns(&c, BarrierKind::LockFree, 30)
+        );
+    }
+
+    #[test]
+    fn crossover_near_paper_value() {
+        // Paper: N = 24. First-order prediction should land within a few.
+        let n = simple_vs_implicit_crossover(&cal());
+        assert!((20..=28).contains(&n), "crossover {n}");
+    }
+
+    #[test]
+    fn method_ordering_at_thirty_blocks() {
+        let c = cal();
+        let rounds = 10_000;
+        let compute = 550.0;
+        let explicit = total_ns(&c, PredictMethod::CpuExplicit, 30, rounds, compute);
+        let implicit = total_ns(&c, PredictMethod::CpuImplicit, 30, rounds, compute);
+        let simple = total_ns(
+            &c,
+            PredictMethod::Gpu(BarrierKind::Simple),
+            30,
+            rounds,
+            compute,
+        );
+        let tree = total_ns(
+            &c,
+            PredictMethod::Gpu(BarrierKind::Tree2),
+            30,
+            rounds,
+            compute,
+        );
+        let lockfree = total_ns(
+            &c,
+            PredictMethod::Gpu(BarrierKind::LockFree),
+            30,
+            rounds,
+            compute,
+        );
+        assert!(lockfree < tree);
+        assert!(tree < implicit);
+        assert!(implicit < simple); // at 30 blocks simple has crossed over
+        assert!(simple < explicit);
+    }
+
+    #[test]
+    fn tree_beats_simple_at_thirty() {
+        let c = cal();
+        assert!(
+            barrier_cost_ns(&c, BarrierKind::Tree2, 30)
+                < barrier_cost_ns(&c, BarrierKind::Simple, 30)
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Eq. 2 — the Amdahl-style bound on kernel speedup obtainable by
+//! accelerating synchronization alone.
+//!
+//! With `rho = t_C / T` the compute fraction under the baseline (CPU
+//! implicit) synchronization and `S_S` the synchronization speedup, the
+//! kernel speedup is `S_T = 1 / (rho + (1 - rho) / S_S)`.
+//!
+//! The paper's observation: the *more* an algorithm's computation has
+//! already been optimized (smaller `rho`... i.e. sync dominates), the more
+//! total speedup faster barriers buy. FFT has `rho > 0.8`, so fast barriers
+//! buy ~8%; SWat and bitonic sort have `rho ~ 0.5`, so they gain 24–39%.
+
+/// The compute fraction `rho = t_C / T`.
+///
+/// # Panics
+/// Panics if `total <= 0`, or the fraction is outside `[0, 1]`.
+pub fn rho(t_compute: f64, total: f64) -> f64 {
+    assert!(total > 0.0, "total time must be positive");
+    let r = t_compute / total;
+    assert!((0.0..=1.0).contains(&r), "rho {r} out of [0,1]");
+    r
+}
+
+/// Eq. 2: kernel speedup from synchronization speedup `s_s` at compute
+/// fraction `rho`.
+///
+/// # Panics
+/// Panics if `rho` is outside `[0, 1]` or `s_s <= 0`.
+pub fn kernel_speedup(rho: f64, s_s: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&rho), "rho out of [0,1]");
+    assert!(s_s > 0.0, "synchronization speedup must be positive");
+    1.0 / (rho + (1.0 - rho) / s_s)
+}
+
+/// The `S_S -> infinity` limit of Eq. 2: `1 / rho`. The hard ceiling on what
+/// any barrier improvement can deliver.
+///
+/// # Panics
+/// Panics if `rho` is outside `(0, 1]`.
+pub fn max_speedup(rho: f64) -> f64 {
+    assert!(rho > 0.0 && rho <= 1.0, "rho out of (0,1]");
+    1.0 / rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_sync_speedup_means_no_kernel_speedup() {
+        assert!((kernel_speedup(0.5, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_rho_gains_more() {
+        // Paper: "the smaller the rho is, the more speedup can be gained
+        // with the same S_S".
+        let s_s = 4.0;
+        let fft = kernel_speedup(0.8, s_s);
+        let swat = kernel_speedup(0.5, s_s);
+        assert!(swat > fft);
+    }
+
+    #[test]
+    fn paper_scale_examples() {
+        // FFT: rho ~ 0.8, a large sync speedup buys under 25%.
+        assert!(kernel_speedup(0.8, 10.0) < 1.25);
+        // SWat/bitonic: rho ~ 0.5, sync speedup 2x buys ~33%.
+        let s = kernel_speedup(0.5, 2.0);
+        assert!((s - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn limit_is_one_over_rho() {
+        let r = 0.5;
+        assert!((max_speedup(r) - 2.0).abs() < 1e-12);
+        // Eq. 2 approaches the limit as s_s grows.
+        assert!((kernel_speedup(r, 1e9) - max_speedup(r)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rho_helper() {
+        assert!((rho(80.0, 100.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "total time must be positive")]
+    fn zero_total_rejected() {
+        let _ = rho(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn rho_above_one_rejected() {
+        let _ = kernel_speedup(1.5, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn nonpositive_speedup_rejected() {
+        let _ = kernel_speedup(0.5, 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Quick calibration sweep: per-barrier sync cost vs block count.
+use blocksync_core::SyncMethod;
+use blocksync_sim::{simulate, ConstWorkload, SimConfig};
+
+fn main() {
+    let rounds = 200;
+    let w = ConstWorkload::from_micros(0.5, rounds);
+    println!(
+        "{:>3} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "N", "cpu-exp", "cpu-imp", "simple", "tree2", "tree3", "lockfree"
+    );
+    for n in 1..=30 {
+        let mut row = vec![];
+        for m in SyncMethod::PAPER_METHODS {
+            let r = simulate(&SimConfig::new(n, 256, m), &w);
+            row.push(r.sync_per_round().as_nanos());
+        }
+        println!(
+            "{:>3} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            n, row[0], row[1], row[2], row[3], row[4], row[5]
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Analytic timelines for CPU-synchronized and barrier-free kernels.
+//!
+//! CPU synchronization has no device-side protocol to event-simulate: the
+//! barrier *is* the end of the kernel, and its cost is the host-side
+//! relaunch path. These timelines implement the paper's Eqs. 3 and 4
+//! directly:
+//!
+//! * **Explicit** (Eq. 3): every round pays the full, non-overlapped launch
+//!   + `cudaThreadSynchronize()` overhead.
+//! * **Implicit** (Eq. 4): only the first launch pays `t_O`; subsequent
+//!   launches are pipelined behind the previous round's execution, leaving a
+//!   smaller per-round dispatch overhead.
+//! * **NoSync**: the barrier-free persistent kernel used to measure pure
+//!   computation time (Section 7.3) — each block runs its rounds back to
+//!   back; the kernel ends when the slowest block finishes.
+//!
+//! Within a round, a relaunch-synchronized kernel cannot start round `r+1`
+//! until the *slowest* block finishes round `r`, so per-round computation on
+//! the critical path is `max_b c(b, r)` — and when the grid has more blocks
+//! than SMs, the hardware scheduler executes the round in *waves* of at
+//! most `num_sms` blocks, serializing wave maxima. (This is why the paper
+//! found no benefit past 30 blocks when sweeping CPU implicit sync up to
+//! 120 blocks, Section 7.2.)
+
+use blocksync_core::SyncMethod;
+use blocksync_device::SimDuration;
+
+use crate::engine::SimConfig;
+use crate::report::SimReport;
+use crate::workload::Workload;
+
+/// Simulate a CPU-synchronized (`CpuExplicit`/`CpuImplicit`) or barrier-free
+/// (`NoSync`) kernel execution.
+///
+/// # Panics
+/// Panics if called with a GPU-side method (those go through the event
+/// engine).
+pub fn simulate_cpu(cfg: &SimConfig, workload: &dyn Workload) -> SimReport {
+    let n = cfg.n_blocks;
+    let rounds = workload.rounds();
+    let cal = &cfg.cal;
+    let mut per_block_compute = vec![SimDuration::ZERO; n];
+    let mut per_block_sync = vec![SimDuration::ZERO; n];
+
+    let (total, launch) = match cfg.method {
+        SyncMethod::NoSync => {
+            // Persistent kernel, no barrier: block b finishes at
+            // launch + sum_r c(b, r); the kernel ends with the slowest
+            // block. Oversubscribed grids run in non-preemptive waves of
+            // at most num_sms blocks.
+            for (b, acc) in per_block_compute.iter_mut().enumerate() {
+                for r in 0..rounds {
+                    *acc += workload.compute(b, r);
+                }
+            }
+            if rounds == 0 {
+                (SimDuration::ZERO, SimDuration::ZERO)
+            } else {
+                let slots = (cfg.spec.max_persistent_blocks() as usize).max(1);
+                let serialized: SimDuration = per_block_compute
+                    .chunks(slots)
+                    .map(|wave| wave.iter().copied().max().unwrap_or_default())
+                    .sum();
+                (cal.kernel_launch() + serialized, cal.kernel_launch())
+            }
+        }
+        SyncMethod::CpuExplicit => {
+            // Eq. 3: every round pays the full overhead, serialized.
+            let mut t = SimDuration::ZERO;
+            for r in 0..rounds {
+                let round_time = round_critical_path(cfg, workload, n, r, &mut per_block_compute);
+                t += cal.explicit_round_overhead() + round_time;
+                for (b, sync) in per_block_sync.iter_mut().enumerate() {
+                    *sync += cal.explicit_round_overhead()
+                        + round_time.saturating_sub(workload.compute(b, r));
+                }
+            }
+            // The per-round overhead already contains the launch path; the
+            // first round's launch is still reported as t_O so that
+            // `compute_reference` is comparable across methods.
+            let launch = if rounds == 0 {
+                SimDuration::ZERO
+            } else {
+                cal.kernel_launch()
+            };
+            (t, launch)
+        }
+        SyncMethod::CpuImplicit => {
+            // Eq. 4: first launch explicit, the rest pipelined.
+            let mut t = cal.kernel_launch();
+            for r in 0..rounds {
+                let round_time = round_critical_path(cfg, workload, n, r, &mut per_block_compute);
+                t += cal.implicit_round_overhead() + round_time;
+                for (b, sync) in per_block_sync.iter_mut().enumerate() {
+                    *sync += cal.implicit_round_overhead()
+                        + round_time.saturating_sub(workload.compute(b, r));
+                }
+            }
+            let launch = if rounds == 0 {
+                t = SimDuration::ZERO;
+                SimDuration::ZERO
+            } else {
+                cal.kernel_launch()
+            };
+            (t, launch)
+        }
+        other => panic!("simulate_cpu called with GPU-side method {other}"),
+    };
+
+    SimReport {
+        method: cfg.method.to_string(),
+        n_blocks: n,
+        rounds,
+        total,
+        launch,
+        per_block_compute,
+        per_block_sync,
+        trace: Vec::new(),
+    }
+}
+
+/// Compute-time critical path of one kernel round: blocks run in waves of
+/// at most `num_sms`; the round ends when the last wave's slowest block
+/// finishes. With `n <= num_sms` this is simply `max_b c(b, r)`.
+fn round_critical_path(
+    cfg: &SimConfig,
+    workload: &dyn Workload,
+    n: usize,
+    r: usize,
+    per_block_compute: &mut [SimDuration],
+) -> SimDuration {
+    let slots = (cfg.spec.max_persistent_blocks() as usize).max(1);
+    let mut total = SimDuration::ZERO;
+    let mut wave_max = SimDuration::ZERO;
+    for (b, acc) in per_block_compute.iter_mut().enumerate().take(n) {
+        let c = workload.compute(b, r);
+        *acc += c;
+        wave_max = wave_max.max(c);
+        if (b + 1) % slots == 0 {
+            total += wave_max;
+            wave_max = SimDuration::ZERO;
+        }
+    }
+    total + wave_max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ClosureWorkload, ConstWorkload};
+    use blocksync_device::CalibrationProfile;
+
+    fn cfg(method: SyncMethod, n: usize) -> SimConfig {
+        SimConfig::new(n, 128, method)
+    }
+
+    #[test]
+    fn nosync_is_launch_plus_longest_block() {
+        let w = ClosureWorkload::new(4, |bid, _| SimDuration::from_nanos((bid as u64 + 1) * 100));
+        let r = simulate_cpu(&cfg(SyncMethod::NoSync, 3), &w);
+        let cal = CalibrationProfile::gtx280();
+        // Block 2 computes 300 ns x 4 rounds = 1200 ns.
+        assert_eq!(r.total, cal.kernel_launch() + SimDuration::from_nanos(1200));
+        assert_eq!(r.sync_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn explicit_pays_overhead_every_round() {
+        let w = ConstWorkload::from_micros(0.5, 10);
+        let r = simulate_cpu(&cfg(SyncMethod::CpuExplicit, 8), &w);
+        let cal = CalibrationProfile::gtx280();
+        let expected = (cal.explicit_round_overhead() + SimDuration::from_nanos(500)) * 10;
+        assert_eq!(r.total, expected);
+    }
+
+    #[test]
+    fn implicit_pays_first_launch_then_pipelined_overhead() {
+        let w = ConstWorkload::from_micros(0.5, 10);
+        let r = simulate_cpu(&cfg(SyncMethod::CpuImplicit, 8), &w);
+        let cal = CalibrationProfile::gtx280();
+        let expected = cal.kernel_launch()
+            + (cal.implicit_round_overhead() + SimDuration::from_nanos(500)) * 10;
+        assert_eq!(r.total, expected);
+        assert!(r.total < simulate_cpu(&cfg(SyncMethod::CpuExplicit, 8), &w).total);
+    }
+
+    #[test]
+    fn straggler_charged_to_sync_of_fast_blocks() {
+        // Block 1 is 4x slower; block 0's sync time must absorb the skew.
+        let w = ClosureWorkload::new(5, |bid, _| {
+            SimDuration::from_nanos(if bid == 1 { 400 } else { 100 })
+        });
+        let r = simulate_cpu(&cfg(SyncMethod::CpuImplicit, 2), &w);
+        let skew = SimDuration::from_nanos(300 * 5);
+        let cal = CalibrationProfile::gtx280();
+        assert_eq!(
+            r.per_block_sync[0],
+            cal.implicit_round_overhead() * 5 + skew
+        );
+        assert_eq!(r.per_block_sync[1], cal.implicit_round_overhead() * 5);
+    }
+
+    #[test]
+    fn zero_rounds_costs_nothing() {
+        let w = ConstWorkload::from_micros(1.0, 0);
+        for m in [
+            SyncMethod::CpuExplicit,
+            SyncMethod::CpuImplicit,
+            SyncMethod::NoSync,
+        ] {
+            let r = simulate_cpu(&cfg(m, 4), &w);
+            assert_eq!(r.total, SimDuration::ZERO, "{m}");
+            assert_eq!(r.rounds, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "GPU-side method")]
+    fn gpu_method_rejected() {
+        let w = ConstWorkload::from_micros(1.0, 1);
+        let _ = simulate_cpu(&cfg(SyncMethod::GpuSimple, 4), &w);
+    }
+}

@@ -1,0 +1,316 @@
+//! The simulated global-memory subsystem.
+//!
+//! GT200-class GPUs route global memory traffic through a small number of
+//! memory partitions (eight on the GTX 280), each of which services
+//! requests one at a time. Atomic operations are resolved *at the
+//! partition*, which is exactly why atomics to a single mutex variable
+//! serialize — the `t_a` slope of the paper's Eq. 6 — and why spin-poll
+//! reads of that variable steal service slots from the atomics updating it.
+//!
+//! [`Memory`] models each partition as a FIFO server with a `busy_until`
+//! horizon, and each synchronization variable as a time-tagged value cell.
+//! The synchronization protocols only ever *increase* their variables
+//! (goal values grow monotonically, per Sections 5.1 and 5.3), which lets a
+//! reader sample "the value visible at time t" as a running maximum of
+//! committed writes.
+
+use std::collections::HashMap;
+
+use blocksync_device::{CalibrationProfile, SimDuration, SimTime};
+
+/// A word address in simulated global memory.
+///
+/// The partition owning an address is `addr % num_partitions`, so
+/// consecutively allocated synchronization variables land on distinct
+/// partitions, as a tuned CUDA kernel would arrange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub u64);
+
+/// One synchronization variable's committed history.
+///
+/// Invariant: values written to an address are non-decreasing over time
+/// (all protocol variables are monotone counters/goal flags), so visibility
+/// is a running maximum.
+#[derive(Debug, Default)]
+struct Cell {
+    /// Latest value whose visibility time has been folded in.
+    committed: u64,
+    /// Writes not yet folded: `(visible_at, value)`, unordered.
+    pending: Vec<(SimTime, u64)>,
+}
+
+impl Cell {
+    /// Value visible to a read sampling at `t`.
+    fn sample(&mut self, t: SimTime) -> u64 {
+        if !self.pending.is_empty() {
+            let mut keep = Vec::with_capacity(self.pending.len());
+            for (vis, val) in self.pending.drain(..) {
+                if vis <= t {
+                    self.committed = self.committed.max(val);
+                } else {
+                    keep.push((vis, val));
+                }
+            }
+            self.pending = keep;
+        }
+        self.committed
+    }
+
+    fn push(&mut self, visible_at: SimTime, value: u64) {
+        self.pending.push((visible_at, value));
+    }
+}
+
+/// The partitioned global-memory model.
+pub struct Memory {
+    cal: CalibrationProfile,
+    /// FIFO horizon per partition: a request arriving at `t` begins service
+    /// at `max(t, busy_until[p])`.
+    busy_until: Vec<SimTime>,
+    cells: HashMap<Addr, Cell>,
+    /// Spin polls are `atomicCAS` operations (the paper's footnote 2:
+    /// "an atomicCAS() function should be called within the while loop")
+    /// and therefore occupy the partition for a full atomic service time
+    /// instead of a light merged read. Off by default; the `ablations`
+    /// binary quantifies the cost.
+    cas_polling: bool,
+}
+
+impl Memory {
+    /// Fresh memory with `num_partitions` partition servers (GTX 280: 8).
+    ///
+    /// # Panics
+    /// Panics if `num_partitions == 0`.
+    pub fn new(cal: CalibrationProfile, num_partitions: usize) -> Self {
+        assert!(num_partitions > 0, "need at least one memory partition");
+        Memory {
+            cal,
+            busy_until: vec![SimTime::ZERO; num_partitions],
+            cells: HashMap::new(),
+            cas_polling: false,
+        }
+    }
+
+    /// Make spin polls occupy a full atomic (`atomicCAS`) service slot
+    /// (paper footnote 2) instead of a light merged read.
+    pub fn set_cas_polling(&mut self, on: bool) {
+        self.cas_polling = on;
+    }
+
+    fn partition(&self, addr: Addr) -> usize {
+        (addr.0 % self.busy_until.len() as u64) as usize
+    }
+
+    /// Occupy `addr`'s partition for `service` starting no earlier than
+    /// `now`; returns the grant (service completion) time.
+    fn serve(&mut self, addr: Addr, now: SimTime, service: SimDuration) -> SimTime {
+        let p = self.partition(addr);
+        let start = self.busy_until[p].max(now);
+        let grant = start + service;
+        self.busy_until[p] = grant;
+        grant
+    }
+
+    /// Issue an atomic add of `delta` at time `now`.
+    ///
+    /// Returns `(grant, new_value)`: the add retires (and its result becomes
+    /// visible at the partition) at `grant`.
+    pub fn atomic_add(&mut self, addr: Addr, delta: u64, now: SimTime) -> (SimTime, u64) {
+        let grant = self.serve(addr, now, self.cal.atomic_add());
+        let cell = self.cells.entry(addr).or_default();
+        let new = cell.sample(grant) + delta;
+        cell.push(grant, new);
+        (grant, new)
+    }
+
+    /// Issue a store of `value` at time `now`.
+    ///
+    /// Returns the grant time; the value becomes visible to other blocks at
+    /// `grant + write_visibility`.
+    pub fn store(&mut self, addr: Addr, value: u64, now: SimTime) -> SimTime {
+        let grant = self.serve(addr, now, self.cal.mem_write_service());
+        let visible = grant + self.cal.write_visibility();
+        self.cells.entry(addr).or_default().push(visible, value);
+        grant
+    }
+
+    /// Issue one spin-poll read at time `now`.
+    ///
+    /// Returns `(value_seen, return_time)`: the value sampled when the poll
+    /// is serviced, and the time the polling thread has it back in a
+    /// register (service + pipeline latency).
+    pub fn poll(&mut self, addr: Addr, now: SimTime) -> (u64, SimTime) {
+        let service = if self.cas_polling {
+            self.cal.atomic_add()
+        } else {
+            self.cal.poll_service()
+        };
+        let grant = self.serve(addr, now, service);
+        let value = self.cells.entry(addr).or_default().sample(grant);
+        (value, grant + self.cal.mem_read_latency())
+    }
+
+    /// Issue a demand (non-poll) read at time `now`; same contract as
+    /// [`Memory::poll`] but with full read service occupancy.
+    pub fn read(&mut self, addr: Addr, now: SimTime) -> (u64, SimTime) {
+        let grant = self.serve(addr, now, self.cal.mem_read_service());
+        let value = self.cells.entry(addr).or_default().sample(grant);
+        (value, grant + self.cal.mem_read_latency())
+    }
+
+    /// Current committed value ignoring timing (test/diagnostic helper):
+    /// the value that will eventually be visible, assuming monotonicity.
+    pub fn final_value(&self, addr: Addr) -> u64 {
+        self.cells.get(&addr).map_or(0, |c| {
+            c.pending
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(c.committed, u64::max)
+        })
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.busy_until.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(CalibrationProfile::gtx280(), 8)
+    }
+
+    #[test]
+    fn atomics_to_one_address_serialize() {
+        let cal = CalibrationProfile::gtx280();
+        let mut m = mem();
+        let a = Addr(0);
+        // Three adds issued simultaneously: grants must be spaced t_a apart.
+        let (g1, v1) = m.atomic_add(a, 1, SimTime::ZERO);
+        let (g2, v2) = m.atomic_add(a, 1, SimTime::ZERO);
+        let (g3, v3) = m.atomic_add(a, 1, SimTime::ZERO);
+        assert_eq!(g1.as_nanos(), cal.atomic_add_ns);
+        assert_eq!(g2.as_nanos(), 2 * cal.atomic_add_ns);
+        assert_eq!(g3.as_nanos(), 3 * cal.atomic_add_ns);
+        assert_eq!((v1, v2, v3), (1, 2, 3));
+    }
+
+    #[test]
+    fn different_partitions_proceed_in_parallel() {
+        let cal = CalibrationProfile::gtx280();
+        let mut m = mem();
+        let (g1, _) = m.atomic_add(Addr(0), 1, SimTime::ZERO);
+        let (g2, _) = m.atomic_add(Addr(1), 1, SimTime::ZERO);
+        assert_eq!(g1.as_nanos(), cal.atomic_add_ns);
+        assert_eq!(
+            g2.as_nanos(),
+            cal.atomic_add_ns,
+            "distinct partitions do not queue"
+        );
+    }
+
+    #[test]
+    fn same_partition_different_addresses_share_server() {
+        let cal = CalibrationProfile::gtx280();
+        let mut m = mem();
+        // Addr(0) and Addr(8) map to partition 0 with 8 partitions.
+        let (g1, _) = m.atomic_add(Addr(0), 1, SimTime::ZERO);
+        let (g2, _) = m.atomic_add(Addr(8), 1, SimTime::ZERO);
+        assert_eq!(g1.as_nanos(), cal.atomic_add_ns);
+        assert_eq!(g2.as_nanos(), 2 * cal.atomic_add_ns);
+    }
+
+    #[test]
+    fn store_visibility_is_delayed() {
+        let cal = CalibrationProfile::gtx280();
+        let mut m = mem();
+        let a = Addr(3);
+        let grant = m.store(a, 7, SimTime::ZERO);
+        assert_eq!(grant.as_nanos(), cal.mem_write_service_ns);
+        // A poll of a *different* partition's clock sampling before
+        // visibility sees the old value... sample through a poll just before
+        // and after the visibility horizon.
+        let vis = grant + cal.write_visibility();
+        // Poll serviced before `vis` (same partition; starts after the
+        // store's service, but samples at its own grant).
+        let (v_early, _) = m.poll(a, SimTime::ZERO);
+        // grant of this poll = store grant + poll_service < vis
+        assert_eq!(v_early, 0);
+        let (v_late, _) = m.poll(a, vis);
+        assert_eq!(v_late, 7);
+    }
+
+    #[test]
+    fn poll_occupies_less_than_read() {
+        let cal = CalibrationProfile::gtx280();
+        let mut m = mem();
+        let a = Addr(5);
+        let (_, r1) = m.poll(a, SimTime::ZERO);
+        assert_eq!(r1.as_nanos(), cal.poll_service_ns + cal.mem_read_latency_ns);
+        let mut m = mem();
+        let (_, r2) = m.read(a, SimTime::ZERO);
+        assert_eq!(
+            r2.as_nanos(),
+            cal.mem_read_service_ns + cal.mem_read_latency_ns
+        );
+        assert!(r1 < r2);
+    }
+
+    #[test]
+    fn polls_queue_behind_atomics() {
+        let cal = CalibrationProfile::gtx280();
+        let mut m = mem();
+        let a = Addr(0);
+        let (g, _) = m.atomic_add(a, 1, SimTime::ZERO);
+        // Poll issued while the atomic is in service: starts at the grant.
+        let (v, ret) = m.poll(a, SimTime(1));
+        assert_eq!(v, 1, "poll sampled after the add retires sees it");
+        assert_eq!(
+            ret.as_nanos(),
+            g.as_nanos() + cal.poll_service_ns + cal.mem_read_latency_ns
+        );
+    }
+
+    #[test]
+    fn monotone_sampling_folds_pending() {
+        let mut m = mem();
+        let a = Addr(2);
+        m.store(a, 5, SimTime::ZERO);
+        m.store(a, 9, SimTime::ZERO);
+        assert_eq!(m.final_value(a), 9);
+        let (v, _) = m.poll(a, SimTime(1_000_000));
+        assert_eq!(v, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one memory partition")]
+    fn zero_partitions_rejected() {
+        let _ = Memory::new(CalibrationProfile::gtx280(), 0);
+    }
+
+    #[test]
+    fn cas_polling_occupies_full_atomic_slot() {
+        let cal = CalibrationProfile::gtx280();
+        let mut m = mem();
+        m.set_cas_polling(true);
+        let a = Addr(5);
+        let (_, r1) = m.poll(a, SimTime::ZERO);
+        assert_eq!(r1.as_nanos(), cal.atomic_add_ns + cal.mem_read_latency_ns);
+        // And the next poll queues behind it at the partition.
+        let (_, r2) = m.poll(a, SimTime::ZERO);
+        assert_eq!(
+            r2.as_nanos(),
+            2 * cal.atomic_add_ns + cal.mem_read_latency_ns
+        );
+    }
+
+    #[test]
+    fn final_value_of_untouched_address_is_zero() {
+        let m = mem();
+        assert_eq!(m.final_value(Addr(77)), 0);
+        assert_eq!(m.num_partitions(), 8);
+    }
+}

@@ -1,0 +1,183 @@
+//! Simulation results, decomposed per the paper's execution-time model.
+
+use blocksync_device::{SimDuration, SimTime};
+
+/// What a traced block was doing at a moment of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The block began its compute phase for `round`.
+    ComputeStart {
+        /// Round index.
+        round: usize,
+    },
+    /// The block finished computing and entered the barrier for `round`.
+    BarrierArrive {
+        /// Round index.
+        round: usize,
+    },
+    /// The block was released from the barrier for `round`.
+    BarrierRelease {
+        /// Round index.
+        round: usize,
+    },
+    /// The block completed its final round.
+    KernelDone,
+}
+
+/// One timeline event of a traced simulation (see
+/// [`SimConfig::with_trace`](crate::SimConfig::with_trace)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub time: SimTime,
+    /// Block id.
+    pub block: usize,
+    /// Event kind.
+    pub kind: TraceKind,
+}
+
+/// Result of one simulated kernel execution.
+///
+/// Follows the paper's Eq. 1 decomposition: launch (`t_O`), computation
+/// (`t_C`), synchronization (`t_S`). Synchronization time is derived the way
+/// the paper derives it in Section 7.3 — total time minus the time of the
+/// same kernel with the barrier removed — via [`SimReport::sync_time`].
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Display name of the synchronization method.
+    pub method: String,
+    /// Blocks in the grid.
+    pub n_blocks: usize,
+    /// Barrier rounds executed.
+    pub rounds: usize,
+    /// End-to-end simulated kernel time (launch included).
+    pub total: SimDuration,
+    /// Total kernel-launch time (`t_O` summed over launches; CPU modes fold
+    /// per-round launch overhead into sync, so this is the *first* launch).
+    pub launch: SimDuration,
+    /// Per-block total compute time.
+    pub per_block_compute: Vec<SimDuration>,
+    /// Per-block total time spent inside barriers (arrive-to-release), or
+    /// for CPU modes the per-round relaunch + straggler-wait overhead.
+    pub per_block_sync: Vec<SimDuration>,
+    /// Timeline events (empty unless tracing was enabled; CPU-synchronized
+    /// runs are analytic and never produce a trace).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimReport {
+    /// The computation-time reference: launch plus the longest per-block
+    /// compute sum — exactly what the paper measures by deleting the
+    /// `__gpu_sync()` call (a barrier-free persistent kernel's blocks run
+    /// their rounds back to back).
+    pub fn compute_reference(&self) -> SimDuration {
+        self.launch + self.max_compute()
+    }
+
+    /// Longest per-block compute sum.
+    pub fn max_compute(&self) -> SimDuration {
+        self.per_block_compute
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Synchronization time as the paper defines it: total minus the
+    /// barrier-free reference.
+    pub fn sync_time(&self) -> SimDuration {
+        self.total.saturating_sub(self.compute_reference())
+    }
+
+    /// Mean synchronization time per barrier round.
+    pub fn sync_per_round(&self) -> SimDuration {
+        if self.rounds == 0 {
+            SimDuration::ZERO
+        } else {
+            self.sync_time() / self.rounds as u64
+        }
+    }
+
+    /// Mean of the per-block direct sync measurements.
+    pub fn avg_block_sync(&self) -> SimDuration {
+        if self.per_block_sync.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: SimDuration = self.per_block_sync.iter().copied().sum();
+        sum / self.per_block_sync.len() as u64
+    }
+
+    /// Fraction of the kernel spent synchronizing (Figure 15's metric).
+    pub fn sync_fraction(&self) -> f64 {
+        if self.total.as_nanos() == 0 {
+            0.0
+        } else {
+            self.sync_time().as_nanos() as f64 / self.total.as_nanos() as f64
+        }
+    }
+
+    /// The paper's `rho = t_C / T`.
+    pub fn rho(&self) -> f64 {
+        if self.total.as_nanos() == 0 {
+            1.0
+        } else {
+            self.max_compute().as_nanos() as f64 / self.total.as_nanos() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            method: "test".into(),
+            n_blocks: 2,
+            rounds: 10,
+            total: SimDuration::from_micros(100),
+            launch: SimDuration::from_micros(7),
+            per_block_compute: vec![SimDuration::from_micros(60), SimDuration::from_micros(53)],
+            per_block_sync: vec![SimDuration::from_micros(20), SimDuration::from_micros(30)],
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn decomposition() {
+        let r = report();
+        assert_eq!(r.max_compute(), SimDuration::from_micros(60));
+        assert_eq!(r.compute_reference(), SimDuration::from_micros(67));
+        assert_eq!(r.sync_time(), SimDuration::from_micros(33));
+        assert_eq!(r.sync_per_round(), SimDuration::from_micros_f64(3.3));
+        assert_eq!(r.avg_block_sync(), SimDuration::from_micros(25));
+        assert!((r.sync_fraction() - 0.33).abs() < 1e-12);
+        assert!((r.rho() - 0.60).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_time_saturates() {
+        let mut r = report();
+        r.total = SimDuration::from_micros(50); // less than compute ref
+        assert_eq!(r.sync_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SimReport {
+            method: "empty".into(),
+            n_blocks: 0,
+            rounds: 0,
+            total: SimDuration::ZERO,
+            launch: SimDuration::ZERO,
+            per_block_compute: vec![],
+            per_block_sync: vec![],
+            trace: Vec::new(),
+        };
+        assert_eq!(r.max_compute(), SimDuration::ZERO);
+        assert_eq!(r.sync_per_round(), SimDuration::ZERO);
+        assert_eq!(r.avg_block_sync(), SimDuration::ZERO);
+        assert_eq!(r.sync_fraction(), 0.0);
+        assert_eq!(r.rho(), 1.0);
+    }
+}

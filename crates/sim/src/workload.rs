@@ -1,0 +1,97 @@
+//! Compute workloads driven through the simulator.
+//!
+//! A [`Workload`] tells the engine how long each block computes in each
+//! barrier-separated round. Workloads for the paper's three applications
+//! (FFT stages, Smith-Waterman anti-diagonals, bitonic steps) are derived in
+//! `blocksync-algos` from the algorithms' actual operation counts; this
+//! module provides the trait and the simple shapes used by the
+//! micro-benchmark and the tests.
+
+use blocksync_device::SimDuration;
+
+/// Per-block, per-round compute durations of a round-structured kernel.
+pub trait Workload {
+    /// Number of barrier-separated rounds.
+    fn rounds(&self) -> usize;
+
+    /// Compute time of block `bid` in round `round`.
+    fn compute(&self, bid: usize, round: usize) -> SimDuration;
+}
+
+/// Constant compute per block per round — the shape of the paper's
+/// micro-benchmark (Section 5.4): each thread computes the mean of two
+/// floats, so every block does identical work every round.
+#[derive(Debug, Clone)]
+pub struct ConstWorkload {
+    per_round: SimDuration,
+    rounds: usize,
+}
+
+impl ConstWorkload {
+    /// `rounds` rounds of `per_round` compute each.
+    pub fn new(per_round: SimDuration, rounds: usize) -> Self {
+        ConstWorkload { per_round, rounds }
+    }
+
+    /// Convenience: per-round compute in (fractional) microseconds.
+    pub fn from_micros(us: f64, rounds: usize) -> Self {
+        ConstWorkload::new(SimDuration::from_micros_f64(us), rounds)
+    }
+}
+
+impl Workload for ConstWorkload {
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn compute(&self, _bid: usize, _round: usize) -> SimDuration {
+        self.per_round
+    }
+}
+
+/// Workload defined by a closure — used by the algorithm cost models and by
+/// tests that need skew (stragglers) or per-round variation.
+pub struct ClosureWorkload<F: Fn(usize, usize) -> SimDuration> {
+    rounds: usize,
+    f: F,
+}
+
+impl<F: Fn(usize, usize) -> SimDuration> ClosureWorkload<F> {
+    /// `rounds` rounds; `f(bid, round)` gives the compute time.
+    pub fn new(rounds: usize, f: F) -> Self {
+        ClosureWorkload { rounds, f }
+    }
+}
+
+impl<F: Fn(usize, usize) -> SimDuration> Workload for ClosureWorkload<F> {
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn compute(&self, bid: usize, round: usize) -> SimDuration {
+        (self.f)(bid, round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_workload_is_uniform() {
+        let w = ConstWorkload::from_micros(0.5, 10);
+        assert_eq!(w.rounds(), 10);
+        assert_eq!(w.compute(0, 0), SimDuration::from_nanos(500));
+        assert_eq!(w.compute(29, 9), SimDuration::from_nanos(500));
+    }
+
+    #[test]
+    fn closure_workload_varies() {
+        let w = ClosureWorkload::new(3, |bid, round| {
+            SimDuration::from_nanos((bid as u64 + 1) * (round as u64 + 1) * 100)
+        });
+        assert_eq!(w.rounds(), 3);
+        assert_eq!(w.compute(0, 0).as_nanos(), 100);
+        assert_eq!(w.compute(2, 1).as_nanos(), 600);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests of the partitioned memory model against an order-free
+//! reference: whatever the queueing does to *timing*, the *values* must
+//! behave like a monotone shared counter/flag store.
+
+use blocksync_device::{CalibrationProfile, SimTime};
+use blocksync_sim::memory::{Addr, Memory};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum OpSpec {
+    AtomicAdd { addr: u8, delta: u8 },
+    Store { addr: u8, value: u32 },
+    Poll { addr: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        (0u8..6, 1u8..4).prop_map(|(addr, delta)| OpSpec::AtomicAdd { addr, delta }),
+        (0u8..6, 0u32..1000).prop_map(|(addr, value)| OpSpec::Store { addr, value }),
+        (0u8..6).prop_map(|addr| OpSpec::Poll { addr }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-address, the sum of atomic deltas is reflected in the final
+    /// value when no plain stores intervene; grants per partition are
+    /// strictly increasing (FIFO); reads return values that were actually
+    /// written.
+    #[test]
+    fn memory_respects_fifo_and_value_flow(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        gaps in proptest::collection::vec(0u64..500, 1..60),
+    ) {
+        let mut mem = Memory::new(CalibrationProfile::gtx280(), 4);
+        let mut now = SimTime::ZERO;
+        // Reference value model: per address, atomics accumulate on top of
+        // the max store (our protocols never interleave both on one
+        // address; the property tests only use one kind per address too).
+        let mut adds = [0u64; 6];
+        let mut store_max = [0u64; 6];
+        let mut last_grant_per_partition = std::collections::HashMap::new();
+
+        for (op, gap) in ops.iter().zip(gaps.iter().cycle()) {
+            now += blocksync_device::SimDuration(*gap);
+            match *op {
+                OpSpec::AtomicAdd { addr, delta } => {
+                    // Use addresses 0..3 for atomics only.
+                    let a = Addr(u64::from(addr % 3));
+                    let (grant, new) = mem.atomic_add(a, u64::from(delta), now);
+                    adds[(addr % 3) as usize] += u64::from(delta);
+                    prop_assert!(grant > now || grant.as_nanos() >= now.as_nanos());
+                    prop_assert!(new >= u64::from(delta));
+                    let p = a.0 % 4;
+                    if let Some(prev) = last_grant_per_partition.get(&p) {
+                        prop_assert!(grant > *prev, "partition FIFO violated");
+                    }
+                    last_grant_per_partition.insert(p, grant);
+                }
+                OpSpec::Store { addr, value } => {
+                    // Addresses 3..6 for stores only (monotone via max).
+                    let slot = 3 + (addr % 3) as usize;
+                    let a = Addr(slot as u64);
+                    store_max[slot] = store_max[slot].max(u64::from(value));
+                    // Monotone-store discipline: always store the running max,
+                    // as the barrier protocols' goal values do.
+                    let grant = mem.store(a, store_max[slot], now);
+                    prop_assert!(grant.as_nanos() > now.as_nanos());
+                }
+                OpSpec::Poll { addr } => {
+                    let a = Addr(u64::from(addr % 6));
+                    let (value, ret) = mem.poll(a, now);
+                    prop_assert!(ret > now);
+                    // A poll never sees MORE than has been issued so far.
+                    let bound = if (addr % 6) < 3 {
+                        adds[(addr % 6) as usize]
+                    } else {
+                        store_max[(addr % 6) as usize]
+                    };
+                    prop_assert!(value <= bound, "poll saw {value} > issued {bound}");
+                }
+            }
+        }
+
+        // Eventually (far in the future) every address shows its full value.
+        let far = SimTime(u64::MAX / 2);
+        for (i, &sum) in adds.iter().enumerate().take(3) {
+            let (v, _) = mem.poll(Addr(i as u64), far);
+            prop_assert_eq!(v, sum, "address {} final add sum", i);
+        }
+        for (i, &mx) in store_max.iter().enumerate().skip(3) {
+            let (v, _) = mem.poll(Addr(i as u64), far);
+            prop_assert_eq!(v, mx, "address {} final store max", i);
+        }
+    }
+
+    /// Service times are charged: k atomics to one address take at least
+    /// k * t_a of simulated time.
+    #[test]
+    fn atomics_cannot_be_faster_than_their_service_time(k in 1usize..50) {
+        let cal = CalibrationProfile::gtx280();
+        let t_a = cal.atomic_add_ns;
+        let mut mem = Memory::new(cal, 8);
+        let mut last = SimTime::ZERO;
+        for _ in 0..k {
+            let (grant, _) = mem.atomic_add(Addr(0), 1, SimTime::ZERO);
+            last = last.max(grant);
+        }
+        prop_assert!(last.as_nanos() >= k as u64 * t_a);
+    }
+}

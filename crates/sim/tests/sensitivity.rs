@@ -1,0 +1,142 @@
+//! Calibration sensitivity: each knob of the timing profile must move the
+//! simulated results in the physically sensible direction. These tests
+//! protect the calibration's meaning — if a refactor silently stopped
+//! charging, say, atomic service time, a figure could still "look right"
+//! while measuring nothing.
+
+use blocksync_core::{SyncMethod, TreeLevels};
+use blocksync_device::CalibrationProfile;
+use blocksync_sim::{simulate, ConstWorkload, SimConfig};
+
+fn sync_ns(method: SyncMethod, cal: CalibrationProfile, n: usize) -> u64 {
+    let w = ConstWorkload::from_micros(0.5, 60);
+    let cfg = SimConfig::new(n, 256, method).with_calibration(cal);
+    simulate(&cfg, &w).sync_per_round().as_nanos()
+}
+
+fn base() -> CalibrationProfile {
+    CalibrationProfile::gtx280()
+}
+
+#[test]
+fn atomic_cost_drives_simple_sync() {
+    let mut fast = base();
+    fast.atomic_add_ns /= 2;
+    let mut slow = base();
+    slow.atomic_add_ns *= 2;
+    let f = sync_ns(SyncMethod::GpuSimple, fast.clone(), 30);
+    let b = sync_ns(SyncMethod::GpuSimple, base(), 30);
+    let s = sync_ns(SyncMethod::GpuSimple, slow.clone(), 30);
+    assert!(f < b && b < s, "{f} {b} {s}");
+    // And the effect on the lock-free barrier (no atomics!) is nil.
+    let lf_fast = sync_ns(SyncMethod::GpuLockFree, fast, 30);
+    let lf_slow = sync_ns(SyncMethod::GpuLockFree, slow, 30);
+    assert_eq!(lf_fast, lf_slow, "lock-free must not depend on atomic cost");
+}
+
+#[test]
+fn read_latency_drives_every_spin_barrier() {
+    let mut slow = base();
+    slow.mem_read_latency_ns *= 3;
+    for m in [
+        SyncMethod::GpuSimple,
+        SyncMethod::GpuTree(TreeLevels::Two),
+        SyncMethod::GpuLockFree,
+        SyncMethod::Dissemination,
+    ] {
+        assert!(
+            sync_ns(m, slow.clone(), 16) > sync_ns(m, base(), 16),
+            "{m} must slow down with higher read latency"
+        );
+    }
+}
+
+#[test]
+fn write_visibility_drives_flag_barriers() {
+    let mut slow = base();
+    slow.write_visibility_ns += 1_000;
+    assert!(
+        sync_ns(SyncMethod::GpuLockFree, slow.clone(), 16)
+            > sync_ns(SyncMethod::GpuLockFree, base(), 16)
+    );
+    assert!(
+        sync_ns(SyncMethod::Dissemination, slow, 16)
+            > sync_ns(SyncMethod::Dissemination, base(), 16)
+    );
+}
+
+#[test]
+fn syncthreads_cost_only_hits_the_collector_design() {
+    let mut slow = base();
+    slow.syncthreads_ns += 2_000;
+    // Lock-free calls __syncthreads inside the collector.
+    assert!(
+        sync_ns(SyncMethod::GpuLockFree, slow.clone(), 16)
+            > sync_ns(SyncMethod::GpuLockFree, base(), 16)
+    );
+    // Simple sync has no intra-barrier __syncthreads in our program.
+    assert_eq!(
+        sync_ns(SyncMethod::GpuSimple, slow, 16),
+        sync_ns(SyncMethod::GpuSimple, base(), 16)
+    );
+}
+
+#[test]
+fn relaunch_overheads_drive_cpu_methods_only() {
+    let mut slow = base();
+    slow.implicit_round_overhead_ns *= 2;
+    slow.explicit_round_overhead_ns *= 2;
+    assert_eq!(
+        sync_ns(SyncMethod::CpuImplicit, slow.clone(), 16),
+        2 * sync_ns(SyncMethod::CpuImplicit, base(), 16)
+    );
+    assert!(
+        sync_ns(SyncMethod::CpuExplicit, slow.clone(), 16)
+            > sync_ns(SyncMethod::CpuExplicit, base(), 16)
+    );
+    assert_eq!(
+        sync_ns(SyncMethod::GpuLockFree, slow, 16),
+        sync_ns(SyncMethod::GpuLockFree, base(), 16),
+        "GPU barriers never touch the relaunch path"
+    );
+}
+
+#[test]
+fn launch_time_shifts_total_not_sync() {
+    let w = ConstWorkload::from_micros(0.5, 60);
+    let mut slow = base();
+    slow.kernel_launch_ns += 100_000;
+    let a = simulate(&SimConfig::new(8, 256, SyncMethod::GpuLockFree), &w);
+    let b = simulate(
+        &SimConfig::new(8, 256, SyncMethod::GpuLockFree).with_calibration(slow),
+        &w,
+    );
+    assert_eq!(b.total.as_nanos() - a.total.as_nanos(), 100_000);
+    assert_eq!(a.sync_time(), b.sync_time());
+}
+
+#[test]
+fn partition_count_relieves_lockfree_contention() {
+    let w = ConstWorkload::from_micros(0.5, 60);
+    let few = simulate(
+        &SimConfig::new(30, 256, SyncMethod::GpuLockFree).with_partitions(1),
+        &w,
+    );
+    let many = simulate(
+        &SimConfig::new(30, 256, SyncMethod::GpuLockFree).with_partitions(16),
+        &w,
+    );
+    assert!(
+        many.sync_per_round() < few.sync_per_round(),
+        "more partitions must relieve flag traffic: {:?} vs {:?}",
+        many.sync_per_round(),
+        few.sync_per_round()
+    );
+}
+
+#[test]
+fn unit_profile_is_orders_of_magnitude_faster() {
+    let gtx = sync_ns(SyncMethod::GpuSimple, base(), 30);
+    let unit = sync_ns(SyncMethod::GpuSimple, CalibrationProfile::unit(), 30);
+    assert!(unit * 50 < gtx, "unit {unit} vs gtx {gtx}");
+}

@@ -1,0 +1,45 @@
+//! Why the one-block-per-SM rule exists (paper, Section 5).
+//!
+//! CUDA blocks are non-preemptive: once scheduled on an SM, a block runs to
+//! completion. If a grid-wide spin barrier is launched with more blocks
+//! than SMs, the resident blocks spin waiting for blocks that can never be
+//! scheduled — deadlock. This example drives the simulator's block
+//! scheduler into exactly that state (safely: the engine detects the
+//! deadlock instead of hanging) and shows that CPU-relaunch
+//! synchronization, which frees SMs every round, handles the same grid
+//! fine.
+//!
+//! Run with: `cargo run --release --example deadlock`
+
+use blocksync::core::SyncMethod;
+use blocksync::device::GpuSpec;
+use blocksync::microbench::micro_workload;
+use blocksync::sim::{try_simulate, SimConfig};
+
+fn main() {
+    let spec = GpuSpec::gtx280();
+    let w = micro_workload(&spec, 256, 100);
+
+    println!("device: {} ({} SMs)\n", spec.name, spec.num_sms);
+
+    for n_blocks in [30usize, 31, 40] {
+        print!("{n_blocks:>3} blocks, gpu-lock-free barrier: ");
+        match try_simulate(&SimConfig::new(n_blocks, 256, SyncMethod::GpuLockFree), &w) {
+            Ok(r) => println!("completed in {}", r.total),
+            Err(e) => println!("{e}"),
+        }
+    }
+
+    println!();
+    for n_blocks in [30usize, 31, 40] {
+        let r = try_simulate(&SimConfig::new(n_blocks, 256, SyncMethod::CpuImplicit), &w)
+            .expect("CPU relaunch sync frees SMs every round");
+        println!(
+            "{n_blocks:>3} blocks, cpu-implicit relaunch: completed in {} (waves of <= 30)",
+            r.total
+        );
+    }
+
+    println!("\nThe paper's fix: launch at most one block per SM and occupy all shared");
+    println!("memory so the hardware scheduler cannot co-schedule a second block.");
+}

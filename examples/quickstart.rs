@@ -1,0 +1,56 @@
+//! Quickstart: run one kernel under every synchronization strategy.
+//!
+//! The kernel is the paper's micro-benchmark (mean of two floats per
+//! thread per round, Section 5.4). We execute it on the persistent-kernel
+//! host runtime with each of the paper's five synchronization methods,
+//! verify the results, and show the per-method time decomposition — then
+//! ask the GTX 280 simulator what the same configuration would cost on the
+//! paper's hardware.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use blocksync::core::SyncMethod;
+use blocksync::microbench::{run_host, simulate_micro};
+
+fn main() {
+    let n_blocks = 4;
+    let threads_per_block = 64;
+    let rounds = 2_000;
+
+    println!("host runtime: {n_blocks} blocks x {threads_per_block} threads, {rounds} rounds\n");
+    println!(
+        "{:>14}  {:>10}  {:>12}  {:>12}  {:>8}",
+        "method", "wall (ms)", "compute (ms)", "sync (ms)", "verified"
+    );
+    for method in SyncMethod::PAPER_METHODS {
+        let (stats, ok) =
+            run_host(n_blocks, threads_per_block, rounds, method).expect("valid configuration");
+        println!(
+            "{:>14}  {:>10.2}  {:>12.2}  {:>12.2}  {:>8}",
+            method.to_string(),
+            stats.wall.as_secs_f64() * 1e3,
+            stats.avg_compute().as_secs_f64() * 1e3,
+            stats.avg_sync().as_secs_f64() * 1e3,
+            ok
+        );
+    }
+
+    println!("\nGTX 280 simulator, same shape at 30 blocks x 256 threads, 10000 rounds:\n");
+    println!(
+        "{:>14}  {:>10}  {:>14}",
+        "method", "total (ms)", "sync/round (us)"
+    );
+    for method in SyncMethod::PAPER_METHODS {
+        let r = simulate_micro(30, 256, 2_000, method);
+        // Scale the 2000 simulated rounds to the paper's 10000.
+        let total_ms = r.total.as_millis_f64() * 5.0;
+        println!(
+            "{:>14}  {:>10.2}  {:>14.2}",
+            method.to_string(),
+            total_ms,
+            r.sync_per_round().as_micros_f64()
+        );
+    }
+    println!("\nPaper (Figure 11): CPU implicit ~65 ms total; GPU lock-free fastest,");
+    println!("flat in the block count; GPU simple linear in the block count.");
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Plot the CSV series produced by `cargo run -p blocksync-bench --release
+--bin all_figures` (written to target/paper_results/) as PNG figures
+mirroring the paper's Figures 11 and 13/14.
+
+Usage:
+    python3 scripts/plot_figures.py [results_dir] [out_dir]
+
+Requires matplotlib; no other dependencies.
+"""
+
+import csv
+import sys
+from pathlib import Path
+
+
+def read_csv(path: Path):
+    with path.open() as f:
+        rows = list(csv.reader(f))
+    header, data = rows[0], rows[1:]
+    xs = [int(r[0]) for r in data]
+    series = {
+        name: [float(r[i]) for r in data]
+        for i, name in enumerate(header)
+        if i > 0
+    }
+    return xs, series
+
+
+def plot_sweep(ax, path: Path, title: str, ylabel: str):
+    xs, series = read_csv(path)
+    for name, ys in series.items():
+        ax.plot(xs, ys, marker="o", markersize=3, label=name)
+    ax.set_title(title)
+    ax.set_xlabel("number of blocks")
+    ax.set_ylabel(ylabel)
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=7)
+
+
+def main():
+    results = Path(sys.argv[1] if len(sys.argv) > 1 else "target/paper_results")
+    out = Path(sys.argv[2] if len(sys.argv) > 2 else results)
+    out.mkdir(parents=True, exist_ok=True)
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    # Figure 11.
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    plot_sweep(ax, results / "fig11.csv", "Figure 11: micro-benchmark", "total time (ms)")
+    fig.tight_layout()
+    fig.savefig(out / "fig11.png", dpi=150)
+    print(f"wrote {out / 'fig11.png'}")
+
+    # Figures 13/14, three panels each.
+    for fig_name, ylabel in [("fig13", "kernel time (ms)"), ("fig14", "sync time (ms)")]:
+        fig, axes = plt.subplots(1, 3, figsize=(15, 4.5))
+        for ax, algo in zip(axes, ["fft", "swat", "bitonic_sort"]):
+            plot_sweep(ax, results / f"{fig_name}_{algo}.csv", f"{fig_name}: {algo}", ylabel)
+        fig.tight_layout()
+        fig.savefig(out / f"{fig_name}.png", dpi=150)
+        print(f"wrote {out / f'{fig_name}.png'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+//! The analytic model (Section 4) must describe the simulator: the CPU
+//! timelines match Eqs. 3–4 exactly, and the Eq. 2 speedup bound predicts
+//! the measured application speedups.
+
+use blocksync::core::SyncMethod;
+use blocksync::device::{CalibrationProfile, GpuSpec, SimDuration};
+use blocksync::microbench::micro_workload;
+use blocksync::model;
+use blocksync::sim::{simulate, SimConfig, Workload};
+
+#[test]
+fn cpu_explicit_matches_eq3_exactly() {
+    let cal = CalibrationProfile::gtx280();
+    let rounds = 137;
+    let w = micro_workload(&GpuSpec::gtx280(), 256, rounds);
+    let per_round_compute = w.compute(0, 0).as_nanos() as f64;
+    let r = simulate(&SimConfig::new(8, 256, SyncMethod::CpuExplicit), &w);
+    let predicted = model::total_explicit_uniform(
+        rounds,
+        0.0, // launch folded into the explicit round overhead
+        per_round_compute,
+        cal.explicit_round_overhead_ns as f64,
+    );
+    assert_eq!(r.total.as_nanos() as f64, predicted);
+}
+
+#[test]
+fn cpu_implicit_matches_eq4_exactly() {
+    let cal = CalibrationProfile::gtx280();
+    let rounds = 251;
+    let w = micro_workload(&GpuSpec::gtx280(), 256, rounds);
+    let per_round_compute = w.compute(0, 0).as_nanos() as f64;
+    let r = simulate(&SimConfig::new(8, 256, SyncMethod::CpuImplicit), &w);
+    let predicted = model::total_implicit_uniform(
+        rounds,
+        cal.kernel_launch_ns as f64,
+        per_round_compute,
+        cal.implicit_round_overhead_ns as f64,
+    );
+    assert_eq!(r.total.as_nanos() as f64, predicted);
+}
+
+#[test]
+fn gpu_total_matches_eq5_with_measured_barrier_cost() {
+    // Eq. 5 with the *measured* per-round barrier cost reproduces the
+    // total (closing the loop between the model and the event engine).
+    let cal = CalibrationProfile::gtx280();
+    let rounds = 300;
+    let w = micro_workload(&GpuSpec::gtx280(), 256, rounds);
+    let r = simulate(&SimConfig::new(16, 256, SyncMethod::GpuLockFree), &w);
+    let t_gs = r.sync_per_round().as_nanos() as f64;
+    let predicted = model::total_gpu_uniform(
+        rounds,
+        cal.kernel_launch_ns as f64,
+        w.compute(0, 0).as_nanos() as f64,
+        t_gs,
+    );
+    let actual = r.total.as_nanos() as f64;
+    let rel = (actual - predicted).abs() / actual;
+    assert!(rel < 0.01, "Eq. 5 off by {rel}");
+}
+
+#[test]
+fn eq2_speedup_bound_predicts_application_gains() {
+    // For each application: take rho from the CPU-implicit run and the
+    // sync speedup from the measured barrier costs; Eq. 2 must predict the
+    // measured kernel speedup within a few percent.
+    use blocksync::algos::{bitonic::BitonicWorkload, fft::FftWorkload, swat::SwatWorkload};
+    let spec = GpuSpec::gtx280();
+    let workloads: Vec<(&str, Box<dyn Workload>)> = vec![
+        ("fft", Box::new(FftWorkload::new(&spec, 1 << 14, 30))),
+        ("swat", Box::new(SwatWorkload::new(&spec, 512, 512, 30))),
+        (
+            "bitonic",
+            Box::new(BitonicWorkload::new(&spec, 1 << 13, 30)),
+        ),
+    ];
+    for (name, w) in workloads {
+        let imp = simulate(
+            &SimConfig::new(30, 256, SyncMethod::CpuImplicit),
+            w.as_ref(),
+        );
+        let lf = simulate(
+            &SimConfig::new(30, 256, SyncMethod::GpuLockFree),
+            w.as_ref(),
+        );
+        let measured_speedup = imp.total.as_nanos() as f64 / lf.total.as_nanos() as f64;
+
+        let rho = imp.compute_reference().as_nanos() as f64 / imp.total.as_nanos() as f64;
+        let ss = imp.sync_time().as_nanos() as f64 / lf.sync_time().as_nanos().max(1) as f64;
+        let predicted = model::kernel_speedup(rho, ss);
+
+        let rel = (measured_speedup - predicted).abs() / measured_speedup;
+        assert!(
+            rel < 0.05,
+            "{name}: measured {measured_speedup:.3} vs Eq.2 {predicted:.3} (rel {rel:.3})"
+        );
+        // And the hard ceiling holds.
+        assert!(measured_speedup <= model::max_speedup(rho) * 1.01, "{name}");
+    }
+}
+
+#[test]
+fn barrier_free_reference_has_zero_sync() {
+    let w = micro_workload(&GpuSpec::gtx280(), 256, 100);
+    let r = simulate(&SimConfig::new(12, 256, SyncMethod::NoSync), &w);
+    assert_eq!(r.sync_time(), SimDuration::ZERO);
+    assert_eq!(r.total, r.compute_reference());
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the inter-block barriers on real threads.
+//!
+//! The invariant under test is full barrier semantics with publication:
+//! after block `b` returns from its round-`r` wait, it must observe every
+//! other block's round-`r` write, and no block may be more than one round
+//! ahead. Violations (lost rounds, early release, missing Acquire/Release
+//! edges) fail the embedded assertions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use blocksync::core::{BarrierShared, SyncMethod, TreeLevels};
+use proptest::prelude::*;
+
+fn method_strategy() -> impl Strategy<Value = SyncMethod> {
+    prop_oneof![
+        Just(SyncMethod::GpuSimple),
+        Just(SyncMethod::GpuTree(TreeLevels::Two)),
+        Just(SyncMethod::GpuTree(TreeLevels::Three)),
+        Just(SyncMethod::GpuLockFree),
+        Just(SyncMethod::SenseReversing),
+        Just(SyncMethod::Dissemination),
+    ]
+}
+
+/// Counter-phase barrier exerciser (same invariant as the in-crate
+/// harness, re-stated here against the public API).
+fn exercise(shared: Arc<dyn BarrierShared>, n_blocks: usize, rounds: usize) {
+    let counters: Arc<Vec<AtomicU64>> =
+        Arc::new((0..n_blocks).map(|_| AtomicU64::new(0)).collect());
+    std::thread::scope(|s| {
+        for b in 0..n_blocks {
+            let shared = Arc::clone(&shared);
+            let counters = Arc::clone(&counters);
+            s.spawn(move || {
+                let mut w = shared.waiter(b);
+                for r in 0..rounds as u64 {
+                    counters[b].store(r + 1, Ordering::Relaxed);
+                    w.wait();
+                    for (other, c) in counters.iter().enumerate() {
+                        let seen = c.load(Ordering::Relaxed);
+                        assert!(
+                            seen > r && seen <= r + 2,
+                            "block {b} round {r}: block {other} at {seen}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+proptest! {
+    // Thread-heavy cases: keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn barriers_are_correct_for_any_shape(
+        method in method_strategy(),
+        n_blocks in 1usize..9,
+        rounds in 1usize..120,
+    ) {
+        let shared = method.build_barrier(n_blocks).expect("gpu-side method");
+        prop_assert_eq!(shared.num_blocks(), n_blocks);
+        exercise(shared, n_blocks, rounds);
+    }
+
+    #[test]
+    fn unpadded_lockfree_is_equally_correct(
+        n_blocks in 1usize..9,
+        rounds in 1usize..120,
+    ) {
+        let shared: Arc<dyn BarrierShared> =
+            Arc::new(blocksync::core::GpuLockFreeSync::new_unpadded(n_blocks));
+        exercise(shared, n_blocks, rounds);
+    }
+
+    #[test]
+    fn reset_counter_strategy_is_equally_correct(
+        n_blocks in 1usize..9,
+        rounds in 1usize..120,
+    ) {
+        let shared: Arc<dyn BarrierShared> = Arc::new(
+            blocksync::core::GpuSimpleSync::with_strategy(
+                n_blocks,
+                blocksync::core::ResetStrategy::ResetCounter,
+            ),
+        );
+        exercise(shared, n_blocks, rounds);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Data written before a barrier is visible after it — checked with a
+    /// rotating-writer pattern: in round r, block (r mod n) writes a token;
+    /// in round r+1 every block must read it.
+    #[test]
+    fn publication_across_rounds(
+        method in method_strategy(),
+        n_blocks in 2usize..7,
+        rounds in 2usize..60,
+    ) {
+        let shared = method.build_barrier(n_blocks).expect("gpu-side method");
+        let slot = Arc::new(AtomicU64::new(u64::MAX));
+        std::thread::scope(|s| {
+            for b in 0..n_blocks {
+                let shared = Arc::clone(&shared);
+                let slot = Arc::clone(&slot);
+                s.spawn(move || {
+                    let mut w = shared.waiter(b);
+                    for r in 0..rounds as u64 {
+                        if r as usize % n_blocks == b {
+                            slot.store(r * 1000 + b as u64, Ordering::Relaxed);
+                        }
+                        w.wait();
+                        let v = slot.load(Ordering::Relaxed);
+                        let writer = r as usize % n_blocks;
+                        assert_eq!(
+                            v,
+                            r * 1000 + writer as u64,
+                            "block {b} after round {r} saw stale token"
+                        );
+                        w.wait(); // second barrier so reads finish before the next write
+                    }
+                });
+            }
+        });
+    }
+}
