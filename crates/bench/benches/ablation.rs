@@ -20,7 +20,7 @@ fn drive(shared: Arc<dyn BarrierShared>, n: usize, rounds: u64) -> Duration {
             s.spawn(move || {
                 let mut w = shared.waiter(b);
                 for _ in 0..rounds {
-                    w.wait();
+                    w.wait().expect("fault-free bench barrier");
                 }
             });
         }

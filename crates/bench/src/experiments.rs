@@ -609,7 +609,8 @@ mod tests {
             o.gpu_at_31,
             Err(blocksync_sim::SimError::Deadlock {
                 resident: 30,
-                stalled: 1
+                stalled: 1,
+                ..
             })
         ));
     }

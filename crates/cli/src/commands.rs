@@ -7,18 +7,37 @@ use blocksync_algos::seqgen::{complex_signal, random_keys, related_dna, SplitMix
 use blocksync_algos::swat::{
     needleman_wunsch, smith_waterman, GapPenalties, GridNw, GridSwat, GridSwatBanded, Scoring,
 };
-use blocksync_core::{GridConfig, GridExecutor, KernelStats, RoundKernel, SyncMethod};
-use blocksync_microbench::run_host;
+use std::time::Duration;
+
+use blocksync_core::{GridConfig, GridExecutor, KernelStats, RoundKernel, SyncMethod, SyncPolicy};
+use blocksync_microbench::run_host_with;
 use blocksync_sim::{try_simulate, ConstWorkload, SimConfig, TraceKind};
 
 use crate::args::{parse_method, Args};
+
+/// Fault policy from `--sync-timeout SECONDS` (0 or absent = wait forever,
+/// the pre-policy behavior). A stuck run then fails with a diagnostic
+/// naming the stuck block instead of hanging the process.
+fn sync_policy(a: &Args) -> Result<SyncPolicy, String> {
+    let secs = a.get_f64("sync-timeout", 0.0);
+    if secs < 0.0 || !secs.is_finite() {
+        return Err(format!("--sync-timeout expects seconds >= 0, got {secs}"));
+    }
+    Ok(if secs == 0.0 {
+        SyncPolicy::default()
+    } else {
+        SyncPolicy::with_timeout(Duration::from_secs_f64(secs))
+    })
+}
 
 fn run_kernel<K: RoundKernel>(
     kernel: &K,
     blocks: usize,
     method: SyncMethod,
+    a: &Args,
 ) -> Result<KernelStats, String> {
-    GridExecutor::new(GridConfig::new(blocks, 64), method)
+    let cfg = GridConfig::new(blocks, 64).with_policy(sync_policy(a)?);
+    GridExecutor::new(cfg, method)
         .run(kernel)
         .map_err(|e| e.to_string())
 }
@@ -99,7 +118,7 @@ pub fn sort(a: &Args) -> Result<(), String> {
     let keys = random_keys(n, a.get_usize("seed", 42) as u64);
     let stats = if batch > 1 {
         let kernel = GridBitonicBatched::new(&keys, batch);
-        let stats = run_kernel(&kernel, blocks, method)?;
+        let stats = run_kernel(&kernel, blocks, method, a)?;
         for s in 0..batch {
             let seg = kernel.segment(s);
             if !seg.windows(2).all(|w| w[0] <= w[1]) {
@@ -109,7 +128,7 @@ pub fn sort(a: &Args) -> Result<(), String> {
         stats
     } else {
         let kernel = GridBitonic::new(&keys);
-        let stats = run_kernel(&kernel, blocks, method)?;
+        let stats = run_kernel(&kernel, blocks, method, a)?;
         let out = kernel.output();
         let mut expected = keys.clone();
         expected.sort_unstable();
@@ -133,7 +152,7 @@ pub fn align(a: &Args) -> Result<(), String> {
     let (scoring, gaps) = (Scoring::dna(), GapPenalties::dna());
     if a.has("global") {
         let kernel = GridNw::new(&sa, &sb, scoring, gaps);
-        let stats = run_kernel(&kernel, blocks, method)?;
+        let stats = run_kernel(&kernel, blocks, method, a)?;
         let expected = needleman_wunsch(&sa, &sb, scoring, gaps);
         if kernel.score() != expected {
             return Err("global score mismatch vs reference".into());
@@ -146,7 +165,7 @@ pub fn align(a: &Args) -> Result<(), String> {
     } else if a.has("band") {
         let band = a.get_usize("band", 16);
         let kernel = GridSwatBanded::new(&sa, &sb, band, scoring, gaps, blocks);
-        let stats = run_kernel(&kernel, blocks, method)?;
+        let stats = run_kernel(&kernel, blocks, method, a)?;
         println!(
             "banded (w={band}) Smith-Waterman score: {} over {} in-band cells",
             kernel.result().score,
@@ -155,7 +174,7 @@ pub fn align(a: &Args) -> Result<(), String> {
         println!("{stats}");
     } else {
         let kernel = GridSwat::new(&sa, &sb, scoring, gaps, blocks);
-        let stats = run_kernel(&kernel, blocks, method)?;
+        let stats = run_kernel(&kernel, blocks, method, a)?;
         let expected = smith_waterman(&sa, &sb, scoring, gaps);
         let got = kernel.result();
         if got.score != expected.score {
@@ -186,7 +205,7 @@ pub fn fft(a: &Args) -> Result<(), String> {
         Direction::Forward
     };
     let kernel = GridFft::new(&input, direction);
-    let stats = run_kernel(&kernel, blocks, method)?;
+    let stats = run_kernel(&kernel, blocks, method, a)?;
     // Round-trip verification (forward then inverse must reproduce input).
     let spectrum = kernel.output();
     let back_kernel = GridFft::new(
@@ -196,7 +215,7 @@ pub fn fft(a: &Args) -> Result<(), String> {
             Direction::Inverse => Direction::Forward,
         },
     );
-    run_kernel(&back_kernel, blocks, method)?;
+    run_kernel(&back_kernel, blocks, method, a)?;
     let err = blocksync_algos::fft::reference::max_error(&back_kernel.output(), &input);
     if err > 1e-2 {
         return Err(format!("round-trip error {err} too large"));
@@ -214,7 +233,7 @@ pub fn scan(a: &Args) -> Result<(), String> {
     let mut rng = SplitMix64::new(a.get_usize("seed", 1) as u64);
     let data: Vec<u64> = (0..n).map(|_| rng.next_u64() >> 40).collect();
     let kernel = GridScan::new(&data);
-    let stats = run_kernel(&kernel, blocks, method)?;
+    let stats = run_kernel(&kernel, blocks, method, a)?;
     if kernel.output() != inclusive_scan_reference(&data) {
         return Err("scan mismatch vs reference".into());
     }
@@ -231,8 +250,14 @@ pub fn micro(a: &Args) -> Result<(), String> {
     let blocks = a.get_usize("blocks", 4);
     let rounds = a.get_usize("rounds", 2_000);
     let method = parse_method(a.get("method", "gpu-lock-free"))?;
-    let (stats, ok) =
-        run_host(blocks, a.get_usize("tpb", 64), rounds, method).map_err(|e| e.to_string())?;
+    let (stats, ok) = run_host_with(
+        blocks,
+        a.get_usize("tpb", 64),
+        rounds,
+        method,
+        sync_policy(a)?,
+    )
+    .map_err(|e| e.to_string())?;
     if !ok {
         return Err("micro-benchmark produced wrong means".into());
     }
@@ -290,6 +315,35 @@ mod tests {
     fn scan_and_micro_commands() {
         scan(&args(&["scan", "--n", "5000", "--blocks", "3"])).unwrap();
         micro(&args(&["micro", "--blocks", "2", "--rounds", "100"])).unwrap();
+    }
+
+    #[test]
+    fn sync_timeout_flag() {
+        // A generous timeout must not perturb a healthy run.
+        sort(&args(&[
+            "sort",
+            "--n",
+            "1024",
+            "--blocks",
+            "3",
+            "--sync-timeout",
+            "30",
+        ]))
+        .unwrap();
+        // Invalid values are rejected with a usage error, not a panic.
+        let e = sort(&args(&["sort", "--n", "64", "--sync-timeout", "-1"])).unwrap_err();
+        assert!(e.contains("sync-timeout"), "{e}");
+        // Zero means "wait forever" (the default policy).
+        assert_eq!(
+            sync_policy(&args(&["--sync-timeout", "0"])).unwrap(),
+            SyncPolicy::default()
+        );
+        assert_eq!(
+            sync_policy(&args(&["--sync-timeout", "2.5"]))
+                .unwrap()
+                .timeout,
+            Some(Duration::from_millis(2500))
+        );
     }
 
     #[test]

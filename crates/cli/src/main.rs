@@ -65,6 +65,12 @@ COMMANDS:
   micro      the paper's Section 5.4 micro-benchmark on the host runtime
              --blocks N --rounds R --method M
 
+COMMON FLAGS:
+  --sync-timeout S   bound every barrier wait to S seconds (host-runtime
+                     commands); a stuck or crashed block then fails the run
+                     with a diagnostic naming it instead of hanging.
+                     0 or absent = wait forever.
+
 METHODS:
   cpu-explicit cpu-implicit gpu-simple gpu-tree-2 gpu-tree-3 gpu-lock-free
   sense-reversing dissemination no-sync"

@@ -1,4 +1,4 @@
-//! The inter-block barrier abstraction.
+//! The inter-block barrier abstraction and its fault-control plane.
 //!
 //! A barrier has two halves:
 //!
@@ -11,12 +11,308 @@
 //!   where that register lives).
 //!
 //! All implementations must provide **full barrier semantics with
-//! publication**: when [`BarrierWaiter::wait`] returns for round `r`, every
-//! write performed by any block before its round-`r` `wait` call is visible.
-//! Implementations achieve this with `Release` writes on arrival and
-//! `Acquire` reads on departure.
+//! publication**: when [`BarrierWaiter::wait`] returns `Ok` for round `r`,
+//! every write performed by any block before its round-`r` `wait` call is
+//! visible. Implementations achieve this with `Release` writes on arrival
+//! and `Acquire` reads on departure.
+//!
+//! ## Fault tolerance
+//!
+//! A spin barrier turns one failed block into a grid-wide hang: every peer
+//! spins forever on a flag that will never flip. Each barrier therefore
+//! embeds a [`BarrierControl`], which adds two recovery mechanisms governed
+//! by a [`SyncPolicy`]:
+//!
+//! * **Poisoning** — when a block's kernel panics (or a wait times out),
+//!   the barrier is poisoned; every spin loop checks the poison word (a
+//!   plain load, no atomic RMW) and unwinds with [`SyncFault::Poisoned`]
+//!   instead of spinning on.
+//! * **Bounded waits** — with `SyncPolicy::timeout` set, a spin loop that
+//!   exceeds the deadline poisons the barrier and returns
+//!   [`SyncFault::TimedOut`] carrying a [`StuckDiagnostic`]: which block
+//!   was stuck, at which round, on which flag, and which peers never
+//!   arrived.
+//!
+//! The default policy (no timeout, [`SpinStrategy::Yield`]) reproduces the
+//! pre-fault-tolerance spin behaviour exactly — 64 busy polls, then yield —
+//! and adds only the single plain poison load per poll to the hot path.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::utils::CachePadded;
+
+use crate::error::StuckDiagnostic;
+
+/// How a waiting block burns time between polls of its barrier flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SpinStrategy {
+    /// Pure busy-wait (`spin_loop` hint only). Matches the paper's GPU
+    /// discipline, where a spinning block owns its SM outright; on a host
+    /// with fewer cores than blocks it steals cycles from the blocks it is
+    /// waiting for.
+    Spin,
+    /// Busy-poll for a short burst (64 polls), then yield the timeslice to
+    /// the OS scheduler. The default, and the pre-existing behaviour of
+    /// this runtime.
+    #[default]
+    Yield,
+    /// Like `Yield`, but escalate to short sleeps when a wait drags on.
+    /// Lowest CPU burn while stuck; highest single-poll latency.
+    Backoff,
+}
+
+/// Fault-handling policy for barrier waits, carried by
+/// [`crate::GridConfig`] into every barrier the executor builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyncPolicy {
+    /// Give up a barrier wait after this long (`None` = wait forever, the
+    /// paper's semantics and the default).
+    pub timeout: Option<Duration>,
+    /// How to burn time between flag polls.
+    pub spin: SpinStrategy,
+}
+
+impl SyncPolicy {
+    /// Policy that times barrier waits out after `timeout`.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        SyncPolicy {
+            timeout: Some(timeout),
+            spin: SpinStrategy::default(),
+        }
+    }
+
+    /// Replace the spin strategy.
+    pub fn with_spin(mut self, spin: SpinStrategy) -> Self {
+        self.spin = spin;
+        self
+    }
+}
+
+/// What killed a barrier (recorded in the poison word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonCause {
+    /// A block's kernel code panicked.
+    Panic,
+    /// A block's barrier wait exceeded the policy timeout.
+    Timeout,
+}
+
+/// Why a [`BarrierWaiter::wait`] call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncFault {
+    /// A peer poisoned the barrier; this block unwound instead of spinning
+    /// on a flag that will never flip.
+    Poisoned {
+        /// The block that poisoned the barrier.
+        block: usize,
+        /// The round in which it did so.
+        round: usize,
+        /// Whether it panicked or timed out.
+        cause: PoisonCause,
+    },
+    /// This block's own wait exceeded the policy timeout.
+    TimedOut {
+        /// Who was stuck where, and which peers never arrived.
+        diagnostic: Box<StuckDiagnostic>,
+    },
+}
+
+/// Poison word layout: `[63] valid, [62] cause (1 = timeout),
+/// `[32..62] block`, `[0..32] round`. Zero means "not poisoned", so the hot
+/// path is a single plain load compared against zero.
+const POISON_VALID: u64 = 1 << 63;
+const POISON_TIMEOUT: u64 = 1 << 62;
+
+fn pack_poison(block: usize, round: usize, cause: PoisonCause) -> u64 {
+    let cause_bit = match cause {
+        PoisonCause::Panic => 0,
+        PoisonCause::Timeout => POISON_TIMEOUT,
+    };
+    POISON_VALID | cause_bit | ((block as u64 & 0x3fff_ffff) << 32) | (round as u64 & 0xffff_ffff)
+}
+
+fn unpack_poison(word: u64) -> (usize, usize, PoisonCause) {
+    let cause = if word & POISON_TIMEOUT != 0 {
+        PoisonCause::Timeout
+    } else {
+        PoisonCause::Panic
+    };
+    (
+        ((word >> 32) & 0x3fff_ffff) as usize,
+        (word & 0xffff_ffff) as usize,
+        cause,
+    )
+}
+
+/// Shared fault-control plane embedded in every barrier implementation:
+/// the poison word, the per-block progress table, and the [`SyncPolicy`].
+///
+/// Designed to stay off the barrier hot path: the poison check is one plain
+/// load per poll, the progress table is written with single-writer plain
+/// stores once per `wait()` call (never inside a spin loop), and the
+/// deadline is consulted only every [`BarrierControl::DEADLINE_STRIDE`]
+/// polls.
+pub struct BarrierControl {
+    policy: SyncPolicy,
+    poison: AtomicU64,
+    /// `arrivals[b]` = barrier rounds block `b` has entered. Single writer
+    /// (block `b`), so a plain store suffices; padded to keep the bookkeeping
+    /// writes from bouncing the peers' cache lines.
+    arrivals: Vec<CachePadded<AtomicU64>>,
+    /// `departures[b]` = barrier rounds block `b` has completed.
+    departures: Vec<CachePadded<AtomicU64>>,
+}
+
+impl BarrierControl {
+    /// Polls between deadline (`Instant::now`) checks.
+    pub const DEADLINE_STRIDE: u32 = 1024;
+
+    /// Control plane for `n_blocks` blocks under `policy`.
+    pub fn new(n_blocks: usize, policy: SyncPolicy) -> Self {
+        BarrierControl {
+            policy,
+            poison: AtomicU64::new(0),
+            arrivals: (0..n_blocks)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            departures: (0..n_blocks)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// The policy this barrier runs under.
+    pub fn policy(&self) -> &SyncPolicy {
+        &self.policy
+    }
+
+    /// Record that `block` has entered its round-`round` (0-based) wait.
+    #[inline]
+    pub fn record_arrival(&self, block: usize, round: u64) {
+        self.arrivals[block].store(round + 1, Ordering::Relaxed);
+    }
+
+    /// Record that `block` has completed its round-`round` wait.
+    #[inline]
+    pub fn record_departure(&self, block: usize, round: u64) {
+        self.departures[block].store(round + 1, Ordering::Relaxed);
+    }
+
+    /// Poison the barrier: every current and future wait returns
+    /// [`SyncFault::Poisoned`] naming `block`/`round`/`cause`. First caller
+    /// wins; later poisonings are ignored so the diagnostic stays stable.
+    pub fn poison(&self, block: usize, round: usize, cause: PoisonCause) {
+        let _ = self.poison.compare_exchange(
+            0,
+            pack_poison(block, round, cause),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Whether the barrier is poisoned, and by whom.
+    pub fn poisoned(&self) -> Option<(usize, usize, PoisonCause)> {
+        let word = self.poison.load(Ordering::Acquire);
+        (word != 0).then(|| unpack_poison(word))
+    }
+
+    /// Snapshot the per-block progress table (arrivals, departures).
+    pub fn progress(&self) -> (Vec<u64>, Vec<u64>) {
+        (
+            self.arrivals
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            self.departures
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+        )
+    }
+
+    /// Spin until `cond()` holds, subject to the policy: checks the poison
+    /// word each poll (plain load) and the deadline every
+    /// [`Self::DEADLINE_STRIDE`] polls.
+    ///
+    /// On timeout the barrier is poisoned (cause `Timeout`) so peers unwind
+    /// too, and the returned [`StuckDiagnostic`] names `block`, `round`,
+    /// and the `flag` description produced lazily by the caller.
+    ///
+    /// With the default policy (no timeout, [`SpinStrategy::Yield`]) this
+    /// is the pre-fault-tolerance spin loop — 64 busy polls then
+    /// `yield_now` — plus one plain load per poll.
+    #[inline]
+    pub fn wait_until(
+        &self,
+        block: usize,
+        round: u64,
+        barrier: &str,
+        flag: impl Fn() -> String,
+        mut cond: impl FnMut() -> bool,
+    ) -> Result<(), SyncFault> {
+        const SPIN_BURST: u32 = 64;
+        const YIELD_PHASE: u32 = 4096;
+
+        let deadline = self.policy.timeout.map(|t| (Instant::now() + t, t));
+        let mut polls = 0u32;
+        loop {
+            if cond() {
+                return Ok(());
+            }
+            let word = self.poison.load(Ordering::Relaxed);
+            if word != 0 {
+                // Re-load with Acquire so the poisoner's writes are visible.
+                let (pb, pr, cause) = unpack_poison(self.poison.load(Ordering::Acquire));
+                return Err(SyncFault::Poisoned {
+                    block: pb,
+                    round: pr,
+                    cause,
+                });
+            }
+            if let Some((when, timeout)) = deadline {
+                if polls % Self::DEADLINE_STRIDE == Self::DEADLINE_STRIDE - 1
+                    && Instant::now() >= when
+                {
+                    self.poison(block, round as usize, PoisonCause::Timeout);
+                    let (arrivals, departures) = self.progress();
+                    return Err(SyncFault::TimedOut {
+                        diagnostic: Box::new(StuckDiagnostic {
+                            barrier: barrier.to_string(),
+                            waiting_block: block,
+                            round: round as usize,
+                            flag: flag(),
+                            timeout,
+                            arrivals,
+                            departures,
+                        }),
+                    });
+                }
+            }
+            match self.policy.spin {
+                SpinStrategy::Spin => std::hint::spin_loop(),
+                SpinStrategy::Yield => {
+                    if polls < SPIN_BURST {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                SpinStrategy::Backoff => {
+                    if polls < SPIN_BURST {
+                        std::hint::spin_loop();
+                    } else if polls < YIELD_PHASE {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                }
+            }
+            polls = polls.wrapping_add(1);
+        }
+    }
+}
 
 /// Shared state of an inter-block barrier for a fixed number of blocks.
 pub trait BarrierShared: Send + Sync + 'static {
@@ -33,6 +329,9 @@ pub trait BarrierShared: Send + Sync + 'static {
 
     /// Short human-readable name for reports, e.g. `"gpu-simple"`.
     fn name(&self) -> &'static str;
+
+    /// The fault-control plane (poison word, progress table, policy).
+    fn control(&self) -> &BarrierControl;
 }
 
 /// Per-block handle to an inter-block barrier.
@@ -43,33 +342,16 @@ pub trait BarrierWaiter: Send {
     ///
     /// Equivalent to the paper's `__gpu_sync(goalVal)`; the goal value is
     /// internal per-round state.
-    fn wait(&mut self);
+    ///
+    /// # Errors
+    /// [`SyncFault::Poisoned`] if a peer panicked or timed out;
+    /// [`SyncFault::TimedOut`] if this block's own wait exceeded the
+    /// [`SyncPolicy`] timeout. After an error the barrier is permanently
+    /// poisoned; further waits fail too.
+    fn wait(&mut self) -> Result<(), SyncFault>;
 
     /// The block this waiter belongs to.
     fn block_id(&self) -> usize;
-}
-
-/// Spin until `cond()` holds, yielding to the OS scheduler after a short
-/// burst of busy polls.
-///
-/// On the GPU a spinning block owns its SM outright, so the paper's barriers
-/// busy-wait unconditionally. On a host machine with fewer cores than blocks
-/// an unconditional busy-wait inverts the experiment (waiters steal cycles
-/// from the blocks they are waiting for), so after `SPIN_BURST` polls we
-/// yield the timeslice. With at least as many cores as blocks the yield path
-/// is cold and the behaviour matches a pure spin.
-#[inline]
-pub(crate) fn spin_until(mut cond: impl FnMut() -> bool) {
-    const SPIN_BURST: u32 = 64;
-    let mut polls = 0u32;
-    while !cond() {
-        if polls < SPIN_BURST {
-            polls += 1;
-            std::hint::spin_loop();
-        } else {
-            std::thread::yield_now();
-        }
-    }
 }
 
 /// Convenience used by tests and benchmarks: build one waiter per block.
@@ -105,7 +387,7 @@ pub(crate) mod harness {
                         let prev = counters[b].load(Ordering::Relaxed);
                         assert_eq!(prev as usize, r, "block {b} lost a round");
                         counters[b].store(prev + 1, Ordering::Relaxed);
-                        w.wait();
+                        w.wait().expect("fault-free barrier must not fail");
                         // After the barrier every block must observe every
                         // other block's round-r increment.
                         for (other, c) in counters.iter().enumerate() {
@@ -127,5 +409,108 @@ pub(crate) mod harness {
         for c in counters.iter() {
             assert_eq!(c.load(Ordering::Relaxed) as usize, rounds);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poison_word_round_trips() {
+        for (b, r, c) in [
+            (0, 0, PoisonCause::Panic),
+            (29, 9999, PoisonCause::Timeout),
+            (5, 1, PoisonCause::Panic),
+        ] {
+            assert_eq!(unpack_poison(pack_poison(b, r, c)), (b, r, c));
+        }
+    }
+
+    #[test]
+    fn first_poisoner_wins() {
+        let ctl = BarrierControl::new(4, SyncPolicy::default());
+        assert_eq!(ctl.poisoned(), None);
+        ctl.poison(2, 7, PoisonCause::Panic);
+        ctl.poison(3, 8, PoisonCause::Timeout);
+        assert_eq!(ctl.poisoned(), Some((2, 7, PoisonCause::Panic)));
+    }
+
+    #[test]
+    fn wait_until_returns_ok_when_cond_holds() {
+        let ctl = BarrierControl::new(2, SyncPolicy::default());
+        ctl.wait_until(0, 0, "test", || unreachable!(), || true)
+            .unwrap();
+    }
+
+    #[test]
+    fn wait_until_unwinds_on_poison() {
+        let ctl = BarrierControl::new(2, SyncPolicy::default());
+        ctl.poison(1, 3, PoisonCause::Panic);
+        let err = ctl
+            .wait_until(0, 5, "test", || "flag".into(), || false)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SyncFault::Poisoned {
+                block: 1,
+                round: 3,
+                cause: PoisonCause::Panic
+            }
+        );
+    }
+
+    #[test]
+    fn wait_until_times_out_with_diagnostic() {
+        let ctl = BarrierControl::new(3, SyncPolicy::with_timeout(Duration::from_millis(10)));
+        ctl.record_arrival(0, 0);
+        ctl.record_arrival(2, 0);
+        let err = ctl
+            .wait_until(0, 0, "gpu-simple", || "g_mutex >= 3".into(), || false)
+            .unwrap_err();
+        match err {
+            SyncFault::TimedOut { diagnostic } => {
+                assert_eq!(diagnostic.waiting_block, 0);
+                assert_eq!(diagnostic.round, 0);
+                assert_eq!(diagnostic.barrier, "gpu-simple");
+                assert_eq!(diagnostic.flag, "g_mutex >= 3");
+                assert_eq!(diagnostic.stragglers(), vec![1]);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // The timeout poisoned the barrier for everyone else.
+        assert_eq!(ctl.poisoned(), Some((0, 0, PoisonCause::Timeout)));
+    }
+
+    #[test]
+    fn timeout_respected_under_each_spin_strategy() {
+        for spin in [
+            SpinStrategy::Spin,
+            SpinStrategy::Yield,
+            SpinStrategy::Backoff,
+        ] {
+            let policy = SyncPolicy::with_timeout(Duration::from_millis(10)).with_spin(spin);
+            let ctl = BarrierControl::new(1, policy);
+            let t0 = Instant::now();
+            let err = ctl
+                .wait_until(0, 0, "test", || "flag".into(), || false)
+                .unwrap_err();
+            assert!(matches!(err, SyncFault::TimedOut { .. }), "{spin:?}");
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "{spin:?} overshot wildly"
+            );
+        }
+    }
+
+    #[test]
+    fn progress_table_tracks_arrivals_and_departures() {
+        let ctl = BarrierControl::new(2, SyncPolicy::default());
+        ctl.record_arrival(0, 0);
+        ctl.record_departure(0, 0);
+        ctl.record_arrival(1, 0);
+        let (a, d) = ctl.progress();
+        assert_eq!(a, vec![1, 1]);
+        assert_eq!(d, vec![1, 0]);
     }
 }

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
 
-use crate::barrier::{spin_until, BarrierShared, BarrierWaiter};
+use crate::barrier::{BarrierControl, BarrierShared, BarrierWaiter, SyncFault, SyncPolicy};
 
 /// Shared state: `rounds x N` single-writer single-reader flags.
 pub struct DisseminationSync {
@@ -29,6 +29,7 @@ pub struct DisseminationSync {
     flags: Vec<Vec<CachePadded<AtomicU64>>>,
     n_blocks: usize,
     log_rounds: usize,
+    control: BarrierControl,
 }
 
 impl DisseminationSync {
@@ -37,6 +38,14 @@ impl DisseminationSync {
     /// # Panics
     /// Panics if `n_blocks == 0`.
     pub fn new(n_blocks: usize) -> Self {
+        Self::with_policy(n_blocks, SyncPolicy::default())
+    }
+
+    /// Barrier with an explicit fault policy.
+    ///
+    /// # Panics
+    /// Panics if `n_blocks == 0`.
+    pub fn with_policy(n_blocks: usize, policy: SyncPolicy) -> Self {
         assert!(n_blocks > 0, "barrier needs at least one block");
         let log_rounds = usize::BITS as usize - (n_blocks - 1).leading_zeros() as usize;
         let flags = (0..log_rounds)
@@ -50,6 +59,7 @@ impl DisseminationSync {
             flags,
             n_blocks,
             log_rounds,
+            control: BarrierControl::new(n_blocks, policy),
         }
     }
 
@@ -76,6 +86,10 @@ impl BarrierShared for DisseminationSync {
     fn name(&self) -> &'static str {
         "dissemination"
     }
+
+    fn control(&self) -> &BarrierControl {
+        &self.control
+    }
 }
 
 struct DisseminationWaiter {
@@ -85,11 +99,13 @@ struct DisseminationWaiter {
 }
 
 impl BarrierWaiter for DisseminationWaiter {
-    fn wait(&mut self) {
+    fn wait(&mut self) -> Result<(), SyncFault> {
         let s = &*self.shared;
+        let ctl = &s.control;
         let n = s.n_blocks;
         let goal = self.round + 1;
         let me = self.block_id;
+        ctl.record_arrival(me, self.round);
         for (k, level) in s.flags.iter().enumerate() {
             let dist = 1usize << k;
             let to = (me + dist) % n;
@@ -97,9 +113,17 @@ impl BarrierWaiter for DisseminationWaiter {
             // `dist` behind. Flags are per-destination, so each has one
             // writer (us) and one reader (the destination).
             level[to].store(goal, Ordering::Release);
-            spin_until(|| level[me].load(Ordering::Acquire) >= goal);
+            ctl.wait_until(
+                me,
+                self.round,
+                s.name(),
+                || format!("flags[{k}][{me}] >= {goal}"),
+                || level[me].load(Ordering::Acquire) >= goal,
+            )?;
         }
+        ctl.record_departure(me, self.round);
         self.round += 1;
+        Ok(())
     }
 
     fn block_id(&self) -> usize {
@@ -128,7 +152,7 @@ mod tests {
         let b = Arc::new(DisseminationSync::new(1));
         let mut w = Arc::clone(&b).waiter(0);
         for _ in 0..1000 {
-            w.wait();
+            w.wait().unwrap();
         }
     }
 
@@ -161,5 +185,25 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_blocks_rejected() {
         let _ = DisseminationSync::new(0);
+    }
+
+    #[test]
+    fn abandoned_barrier_times_out() {
+        use std::time::Duration;
+        let policy = SyncPolicy::with_timeout(Duration::from_millis(20));
+        let b = Arc::new(DisseminationSync::with_policy(4, policy));
+        let mut w = Arc::clone(&b).waiter(2);
+        match w.wait() {
+            Err(SyncFault::TimedOut { diagnostic }) => {
+                assert_eq!(diagnostic.waiting_block, 2);
+                assert_eq!(diagnostic.stragglers(), vec![0, 1, 3]);
+                assert!(
+                    diagnostic.flag.contains("flags[0][2]"),
+                    "{}",
+                    diagnostic.flag
+                );
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,197 @@
+//! Structured execution errors for the host runtime.
+//!
+//! Before this module existed, a panicking block tore down the whole process
+//! (`join().expect(...)`) and a stuck block hung it forever. Every failure
+//! mode of a [`crate::GridExecutor::run`] now surfaces as an [`ExecError`]
+//! naming the offending block and round, within the configured
+//! [`crate::SyncPolicy`] timeout.
+
+use std::fmt;
+use std::time::Duration;
+
+use blocksync_device::DeviceError;
+
+/// Per-block progress snapshot taken when a barrier wait gives up.
+///
+/// `arrivals[b]` is how many barrier rounds block `b` had *entered* and
+/// `departures[b]` how many it had *completed* at snapshot time; a block
+/// whose arrival count is behind the waiting block's round never reached the
+/// barrier (it is the straggler), while one that arrived but has not
+/// departed is itself a victim waiting for release.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckDiagnostic {
+    /// Barrier implementation name (e.g. `"gpu-lock-free"`).
+    pub barrier: String,
+    /// The block whose wait expired.
+    pub waiting_block: usize,
+    /// The barrier round (0-based) that block was waiting to complete.
+    pub round: usize,
+    /// Which flag/condition the block was spinning on, human-readable
+    /// (e.g. `"Arrayout[3] >= 7"`).
+    pub flag: String,
+    /// The timeout that expired.
+    pub timeout: Duration,
+    /// Barrier rounds entered, per block.
+    pub arrivals: Vec<u64>,
+    /// Barrier rounds completed, per block.
+    pub departures: Vec<u64>,
+}
+
+impl StuckDiagnostic {
+    /// Blocks that had not yet entered round `self.round`'s barrier — the
+    /// stragglers every arrived block was waiting for.
+    pub fn stragglers(&self) -> Vec<usize> {
+        self.arrivals
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a <= self.round as u64)
+            .map(|(b, _)| b)
+            .collect()
+    }
+}
+
+impl fmt::Display for StuckDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block {} stuck at {} barrier round {} (spinning on {}) after {:?}; ",
+            self.waiting_block, self.barrier, self.round, self.flag, self.timeout
+        )?;
+        let stragglers = self.stragglers();
+        if stragglers.is_empty() {
+            write!(f, "all blocks arrived (release lost?)")?;
+        } else {
+            write!(f, "never arrived: {stragglers:?}")?;
+        }
+        write!(f, "; arrivals {:?}", self.arrivals)
+    }
+}
+
+/// Why a kernel execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The grid shape is invalid for the device/method (pre-flight check).
+    Device(DeviceError),
+    /// The method claims to be GPU-side but produced no barrier object —
+    /// an internal inconsistency between `SyncMethod::is_gpu_side` and
+    /// `SyncMethod::build_barrier`.
+    BarrierUnavailable {
+        /// Display name of the offending method.
+        method: String,
+    },
+    /// A block's kernel code panicked; peers were unwound via barrier
+    /// poisoning instead of hanging.
+    BlockPanicked {
+        /// The block whose round panicked.
+        block: usize,
+        /// The round (0-based) in which it panicked.
+        round: usize,
+        /// Panic payload, if it was a string.
+        message: String,
+    },
+    /// A barrier wait exceeded the configured [`crate::SyncPolicy`] timeout.
+    BarrierTimeout {
+        /// Who was stuck, where, and which peers never arrived. Boxed to
+        /// keep the `Result` the hot path returns a couple of words wide.
+        diagnostic: Box<StuckDiagnostic>,
+    },
+}
+
+impl From<DeviceError> for ExecError {
+    fn from(e: DeviceError) -> Self {
+        ExecError::Device(e)
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Device(e) => e.fmt(f),
+            ExecError::BarrierUnavailable { method } => {
+                write!(f, "method {method} did not provide a barrier")
+            }
+            ExecError::BlockPanicked {
+                block,
+                round,
+                message,
+            } => {
+                write!(f, "block {block} panicked in round {round}: {message}")
+            }
+            ExecError::BarrierTimeout { diagnostic } => {
+                write!(f, "barrier timeout: {diagnostic}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> StuckDiagnostic {
+        StuckDiagnostic {
+            barrier: "gpu-simple".into(),
+            waiting_block: 0,
+            round: 3,
+            flag: "g_mutex >= 8".into(),
+            timeout: Duration::from_millis(50),
+            arrivals: vec![4, 3, 4, 4],
+            departures: vec![3, 3, 3, 3],
+        }
+    }
+
+    #[test]
+    fn stragglers_are_blocks_behind_the_round() {
+        assert_eq!(diag().stragglers(), vec![1]);
+    }
+
+    #[test]
+    fn display_names_block_round_and_stragglers() {
+        let s = ExecError::BarrierTimeout {
+            diagnostic: Box::new(diag()),
+        }
+        .to_string();
+        assert!(s.contains("block 0"), "{s}");
+        assert!(s.contains("round 3"), "{s}");
+        assert!(s.contains("[1]"), "{s}");
+        assert!(s.contains("g_mutex >= 8"), "{s}");
+    }
+
+    #[test]
+    fn panic_display() {
+        let s = ExecError::BlockPanicked {
+            block: 2,
+            round: 1,
+            message: "kernel bug".into(),
+        }
+        .to_string();
+        assert!(s.contains("block 2"), "{s}");
+        assert!(s.contains("round 1"), "{s}");
+        assert!(s.contains("kernel bug"), "{s}");
+    }
+
+    #[test]
+    fn device_error_wraps_with_source() {
+        use std::error::Error;
+        let e = ExecError::from(DeviceError::EmptyLaunch);
+        assert!(e.source().is_some());
+        assert_eq!(e, ExecError::Device(DeviceError::EmptyLaunch));
+    }
+
+    #[test]
+    fn all_arrived_reads_as_lost_release() {
+        let mut d = diag();
+        d.arrivals = vec![4, 4, 4, 4];
+        assert!(d.stragglers().is_empty());
+        assert!(d.to_string().contains("release lost"));
+    }
+}

@@ -24,14 +24,30 @@
 //!   exactly as the paper does in Section 7.3 ("with the synchronization
 //!   function `__gpu_sync()` removed"). Results of inter-block-dependent
 //!   kernels are garbage in this mode; only the timing is meaningful.
+//!
+//! ## Failure semantics
+//!
+//! Every mode is fault-tolerant under the [`SyncPolicy`] carried by
+//! [`GridConfig`]: a panicking block poisons the barrier (or dispatcher)
+//! so its peers unwind instead of spinning forever, and with a timeout set,
+//! a block stuck waiting gives up with a [`StuckDiagnostic`]. The run as a
+//! whole returns a structured [`ExecError`] naming the offending block and
+//! round. A block stuck *inside kernel code* cannot be preempted — kernels
+//! that want to honour the deadline should observe the [`AbortSignal`]
+//! passed to [`RoundKernel::on_launch`].
 
+use std::any::Any;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use blocksync_device::{DeviceError, GpuSpec};
+use blocksync_device::GpuSpec;
 use parking_lot::{Condvar, Mutex};
 
+use crate::barrier::{BarrierShared, PoisonCause, SyncFault, SyncPolicy};
+use crate::error::{ExecError, StuckDiagnostic};
 use crate::method::SyncMethod;
 use crate::stats::{BlockTimes, KernelStats};
 
@@ -45,6 +61,9 @@ pub struct GridConfig {
     pub threads_per_block: usize,
     /// Device model used for validation (defaults to the GTX 280).
     pub spec: GpuSpec,
+    /// Fault policy for barrier waits and CPU-mode rendezvous (defaults to
+    /// unbounded waits with the standard spin-then-yield loop).
+    pub policy: SyncPolicy,
 }
 
 impl GridConfig {
@@ -54,6 +73,7 @@ impl GridConfig {
             n_blocks,
             threads_per_block,
             spec: GpuSpec::gtx280(),
+            policy: SyncPolicy::default(),
         }
     }
 
@@ -63,12 +83,19 @@ impl GridConfig {
         self
     }
 
+    /// Replace the fault policy (timeout + spin strategy).
+    pub fn with_policy(mut self, policy: SyncPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Validate this grid for `method`.
     ///
     /// GPU-side barriers require the one-block-per-SM discipline, so
     /// `n_blocks` must not exceed the SM count; CPU-side methods relaunch
     /// kernels and may use any block count.
-    pub fn validate(&self, method: SyncMethod) -> Result<(), DeviceError> {
+    pub fn validate(&self, method: SyncMethod) -> Result<(), blocksync_device::DeviceError> {
+        use blocksync_device::DeviceError;
         if self.n_blocks == 0 || self.threads_per_block == 0 {
             return Err(DeviceError::EmptyLaunch);
         }
@@ -149,6 +176,34 @@ impl BlockCtx {
     }
 }
 
+/// Cooperative-cancellation handle handed to kernels at launch.
+///
+/// The executor raises it as soon as any block fails (panic or barrier
+/// timeout); long-running kernel rounds can poll [`AbortSignal::is_aborted`]
+/// and return early so the run can unwind within the policy timeout. OS
+/// threads cannot be preempted, so a round that ignores the signal and
+/// loops forever will still hang its own join — the signal is the
+/// cooperative half of the fault-tolerance contract.
+#[derive(Clone, Debug, Default)]
+pub struct AbortSignal(Arc<AtomicBool>);
+
+impl AbortSignal {
+    /// Fresh, un-raised signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raise the signal (idempotent).
+    pub fn abort(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the signal has been raised.
+    pub fn is_aborted(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
 /// A kernel structured as barrier-separated rounds.
 ///
 /// Invariant required for correctness under every [`SyncMethod`] except
@@ -161,6 +216,12 @@ pub trait RoundKernel: Sync {
 
     /// Execute round `round` for the block described by `ctx`.
     fn round(&self, ctx: &BlockCtx, round: usize);
+
+    /// Called once per [`GridExecutor::run`], before any block starts,
+    /// with the run's [`AbortSignal`]. Kernels with long rounds can keep a
+    /// clone and poll it to honour fault-unwind deadlines; the default
+    /// implementation ignores it.
+    fn on_launch(&self, _abort: &AbortSignal) {}
 }
 
 /// Blanket impl so closures can be kernels in tests/benches:
@@ -171,6 +232,87 @@ impl<F: Fn(&BlockCtx, usize) + Sync> RoundKernel for (usize, F) {
     }
     fn round(&self, ctx: &BlockCtx, round: usize) {
         (self.1)(ctx, round)
+    }
+}
+
+/// Best-effort string form of a panic payload.
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Merge per-block outcomes: all `Ok` yields the times, otherwise the
+/// *origin* failure wins — the error reported by the block where the fault
+/// actually happened (`BlockPanicked` naming itself, or the timeout whose
+/// diagnostic names the reporting block) — falling back to any derived
+/// poison error.
+fn collect_block_results(
+    results: Vec<Result<BlockTimes, ExecError>>,
+) -> Result<Vec<BlockTimes>, ExecError> {
+    let mut times = Vec::with_capacity(results.len());
+    let mut origin: Option<ExecError> = None;
+    let mut derived: Option<ExecError> = None;
+    for (b, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(t) => times.push(t),
+            Err(e) => {
+                times.push(BlockTimes::default());
+                let is_origin = match &e {
+                    ExecError::BlockPanicked { block, .. } => *block == b,
+                    ExecError::BarrierTimeout { diagnostic } => diagnostic.waiting_block == b,
+                    _ => true,
+                };
+                if is_origin {
+                    origin.get_or_insert(e);
+                } else {
+                    derived.get_or_insert(e);
+                }
+            }
+        }
+    }
+    match origin.or(derived) {
+        Some(e) => Err(e),
+        None => Ok(times),
+    }
+}
+
+/// Translate a barrier-level fault into the run-level error, rebuilding a
+/// progress snapshot for victims of a peer's timeout.
+fn fault_to_error(fault: SyncFault, barrier: &dyn BarrierShared) -> ExecError {
+    match fault {
+        SyncFault::TimedOut { diagnostic } => ExecError::BarrierTimeout { diagnostic },
+        SyncFault::Poisoned {
+            block,
+            round,
+            cause: PoisonCause::Panic,
+        } => ExecError::BlockPanicked {
+            block,
+            round,
+            message: "poisoned by peer panic".to_string(),
+        },
+        SyncFault::Poisoned {
+            block,
+            round,
+            cause: PoisonCause::Timeout,
+        } => {
+            let (arrivals, departures) = barrier.control().progress();
+            ExecError::BarrierTimeout {
+                diagnostic: Box::new(StuckDiagnostic {
+                    barrier: barrier.name().to_string(),
+                    waiting_block: block,
+                    round,
+                    flag: "poisoned by peer timeout".to_string(),
+                    timeout: barrier.control().policy().timeout.unwrap_or_default(),
+                    arrivals,
+                    departures,
+                }),
+            }
+        }
     }
 }
 
@@ -198,18 +340,30 @@ impl GridExecutor {
     }
 
     /// Run the kernel to completion and return the time decomposition.
-    pub fn run<K: RoundKernel>(&self, kernel: &K) -> Result<KernelStats, DeviceError> {
+    ///
+    /// # Errors
+    /// [`ExecError::Device`] if the grid shape is invalid for the method;
+    /// [`ExecError::BlockPanicked`] if any block's kernel code panicked;
+    /// [`ExecError::BarrierTimeout`] if a barrier wait (or CPU-mode
+    /// rendezvous) exceeded the [`SyncPolicy`] timeout.
+    pub fn run<K: RoundKernel>(&self, kernel: &K) -> Result<KernelStats, ExecError> {
         self.cfg.validate(self.method)?;
         let rounds = kernel.rounds();
         let n = self.cfg.n_blocks;
+        let abort = AbortSignal::new();
+        kernel.on_launch(&abort);
         let start = Instant::now();
         let per_block = match self.method {
-            SyncMethod::CpuExplicit => self.run_cpu_explicit(kernel, rounds),
-            SyncMethod::CpuImplicit => self.run_cpu_implicit(kernel, rounds),
-            SyncMethod::NoSync => self.run_persistent(kernel, rounds, None),
+            SyncMethod::CpuExplicit => self.run_cpu_explicit(kernel, rounds, &abort)?,
+            SyncMethod::CpuImplicit => self.run_cpu_implicit(kernel, rounds, &abort)?,
+            SyncMethod::NoSync => self.run_persistent(kernel, rounds, None, &abort)?,
             gpu => {
-                let barrier = gpu.build_barrier(n).expect("gpu method builds barrier");
-                self.run_persistent(kernel, rounds, Some(barrier))
+                let barrier = gpu.build_barrier_with(n, self.cfg.policy).ok_or_else(|| {
+                    ExecError::BarrierUnavailable {
+                        method: gpu.to_string(),
+                    }
+                })?;
+                self.run_persistent(kernel, rounds, Some(barrier), &abort)?
             }
         };
         Ok(KernelStats {
@@ -230,134 +384,342 @@ impl GridExecutor {
     }
 
     /// GPU-style persistent kernel: spawn once, barrier between rounds.
+    /// A panicking block poisons the barrier before unwinding so its peers
+    /// fail fast instead of spinning forever.
     fn run_persistent<K: RoundKernel>(
         &self,
         kernel: &K,
         rounds: usize,
-        barrier: Option<Arc<dyn crate::barrier::BarrierShared>>,
-    ) -> Vec<BlockTimes> {
+        barrier: Option<Arc<dyn BarrierShared>>,
+        abort: &AbortSignal,
+    ) -> Result<Vec<BlockTimes>, ExecError> {
         let n = self.cfg.n_blocks;
-        let mut times = vec![BlockTimes::default(); n];
-        std::thread::scope(|s| {
+        let results: Vec<Result<BlockTimes, ExecError>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)
                 .map(|b| {
                     let ctx = self.ctx(b);
                     let barrier = barrier.clone();
-                    s.spawn(move || {
-                        let mut waiter = barrier.map(|sh| sh.waiter(b));
+                    let abort = abort.clone();
+                    s.spawn(move || -> Result<BlockTimes, ExecError> {
+                        let mut waiter = barrier.clone().map(|sh| sh.waiter(b));
                         let mut t = BlockTimes::default();
                         for r in 0..rounds {
                             let t0 = Instant::now();
-                            kernel.round(&ctx, r);
+                            let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
+                            if let Err(payload) = outcome {
+                                if let Some(sh) = barrier.as_deref() {
+                                    sh.control().poison(b, r, PoisonCause::Panic);
+                                }
+                                abort.abort();
+                                return Err(ExecError::BlockPanicked {
+                                    block: b,
+                                    round: r,
+                                    message: payload_message(&*payload),
+                                });
+                            }
                             let t1 = Instant::now();
                             if let Some(w) = waiter.as_mut() {
-                                w.wait();
+                                if let Err(fault) = w.wait() {
+                                    abort.abort();
+                                    let sh = barrier.as_deref().expect("waiter implies barrier");
+                                    return Err(fault_to_error(fault, sh));
+                                }
                             }
                             let t2 = Instant::now();
                             t.compute += t1 - t0;
                             t.sync += t2 - t1;
                         }
-                        t
+                        Ok(t)
                     })
                 })
                 .collect();
-            for (b, h) in handles.into_iter().enumerate() {
-                times[b] = h.join().expect("block thread panicked");
-            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor block thread must not panic"))
+                .collect()
         });
-        times
+        collect_block_results(results)
     }
 
-    /// CPU explicit synchronization: spawn + join every round.
-    fn run_cpu_explicit<K: RoundKernel>(&self, kernel: &K, rounds: usize) -> Vec<BlockTimes> {
+    /// CPU explicit synchronization: spawn + join every round. The
+    /// "barrier" is the host's join, so the policy timeout bounds the
+    /// host's wait for all blocks to finish each round.
+    fn run_cpu_explicit<K: RoundKernel>(
+        &self,
+        kernel: &K,
+        rounds: usize,
+        abort: &AbortSignal,
+    ) -> Result<Vec<BlockTimes>, ExecError> {
+        struct RoundTracker {
+            state: Mutex<usize>, // blocks finished this round
+            cv: Condvar,
+        }
+
         let n = self.cfg.n_blocks;
         let mut times = vec![BlockTimes::default(); n];
         for r in 0..rounds {
             let round_start = Instant::now();
-            let mut computes = vec![Duration::ZERO; n];
+            let tracker = RoundTracker {
+                state: Mutex::new(0),
+                cv: Condvar::new(),
+            };
+            let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+            let mut outcomes: Vec<Result<Duration, ExecError>> = Vec::with_capacity(n);
+            // Completion states captured at the moment the deadline expired
+            // (the straggler may still finish between deadline and join).
+            let mut deadline_snapshot: Option<Vec<bool>> = None;
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..n)
                     .map(|b| {
                         let ctx = self.ctx(b);
+                        let tracker = &tracker;
+                        let done = &done;
                         s.spawn(move || {
                             let t0 = Instant::now();
-                            kernel.round(&ctx, r);
-                            t0.elapsed()
+                            let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
+                            let result = match outcome {
+                                Ok(()) => Ok(t0.elapsed()),
+                                Err(payload) => Err(ExecError::BlockPanicked {
+                                    block: b,
+                                    round: r,
+                                    message: payload_message(&*payload),
+                                }),
+                            };
+                            done[b].store(true, Ordering::Release);
+                            let mut g = tracker.state.lock();
+                            *g += 1;
+                            tracker.cv.notify_all();
+                            drop(g);
+                            result
                         })
                     })
                     .collect();
-                for (b, h) in handles.into_iter().enumerate() {
-                    computes[b] = h.join().expect("block thread panicked");
+
+                // The host-side "cudaThreadSynchronize": wait for all blocks,
+                // bounded by the policy timeout.
+                if let Some(timeout) = self.cfg.policy.timeout {
+                    let deadline = Instant::now() + timeout;
+                    let mut g = tracker.state.lock();
+                    while *g < n {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            deadline_snapshot =
+                                Some(done.iter().map(|d| d.load(Ordering::Acquire)).collect());
+                            // Ask cooperative stragglers to bail out so the
+                            // scope join below can complete.
+                            abort.abort();
+                            break;
+                        }
+                        let _ = tracker.cv.wait_for(&mut g, deadline - now);
+                    }
+                    drop(g);
+                }
+                for h in handles {
+                    outcomes.push(h.join().expect("executor block thread must not panic"));
                 }
             });
-            // Everything in the round that was not this block's own compute
-            // is launch/teardown/synchronize overhead — the t_CES of Eq. 3.
+
+            let mut origin: Option<ExecError> = None;
             let round_wall = round_start.elapsed();
-            for b in 0..n {
-                times[b].compute += computes[b];
-                times[b].sync += round_wall.saturating_sub(computes[b]);
+            for (b, outcome) in outcomes.into_iter().enumerate() {
+                match outcome {
+                    Ok(compute) => {
+                        times[b].compute += compute;
+                        times[b].sync += round_wall.saturating_sub(compute);
+                    }
+                    Err(e) => {
+                        origin.get_or_insert(e);
+                    }
+                }
+            }
+            if let Some(e) = origin {
+                return Err(e);
+            }
+            if let Some(snapshot) = deadline_snapshot {
+                // Any block not done at the deadline was the straggler,
+                // even if it finished between deadline and join.
+                let arrivals: Vec<u64> =
+                    snapshot.iter().map(|&d| r as u64 + u64::from(d)).collect();
+                let waiting_block = arrivals.iter().position(|&a| a > r as u64).unwrap_or(0);
+                return Err(ExecError::BarrierTimeout {
+                    diagnostic: Box::new(StuckDiagnostic {
+                        barrier: "cpu-explicit".to_string(),
+                        waiting_block,
+                        round: r,
+                        flag: format!("join of round {r}"),
+                        timeout: self.cfg.policy.timeout.unwrap_or_default(),
+                        departures: arrivals.iter().map(|a| a.saturating_sub(1)).collect(),
+                        arrivals,
+                    }),
+                });
             }
         }
-        times
+        Ok(times)
     }
 
     /// CPU implicit synchronization: persistent pool, centralized
-    /// rendezvous through the "driver" (mutex + condvar) per round.
-    fn run_cpu_implicit<K: RoundKernel>(&self, kernel: &K, rounds: usize) -> Vec<BlockTimes> {
+    /// rendezvous through the "driver" (mutex + condvar) per round. The
+    /// dispatcher carries its own poison/timeout state so a failed or
+    /// missing block releases every waiter.
+    fn run_cpu_implicit<K: RoundKernel>(
+        &self,
+        kernel: &K,
+        rounds: usize,
+        abort: &AbortSignal,
+    ) -> Result<Vec<BlockTimes>, ExecError> {
+        struct DispState {
+            arrived: usize,
+            epoch: u64,
+            /// Rendezvous rounds entered, per block.
+            progress: Vec<u64>,
+            poisoned: Option<(usize, usize, PoisonCause)>,
+        }
         struct Dispatcher {
-            state: Mutex<(usize, u64)>, // (arrived_count, released_epoch)
+            state: Mutex<DispState>,
             cv: Condvar,
             n: usize,
+            timeout: Option<Duration>,
         }
         impl Dispatcher {
-            /// Returns only when all `n` workers have finished epoch `e`.
-            fn rendezvous(&self, e: u64) {
+            /// Returns only when all `n` workers have finished epoch `e`,
+            /// the timeout expired, or the dispatcher was poisoned.
+            fn rendezvous(&self, block: usize, e: u64) -> Result<(), ExecError> {
                 let mut g = self.state.lock();
-                g.0 += 1;
-                if g.0 == self.n {
-                    g.0 = 0;
-                    g.1 = e + 1;
+                if let Some((pb, pr, cause)) = g.poisoned {
+                    return Err(self.poison_error(pb, pr, cause, &g));
+                }
+                g.progress[block] = e + 1;
+                g.arrived += 1;
+                if g.arrived == self.n {
+                    g.arrived = 0;
+                    g.epoch = e + 1;
                     self.cv.notify_all();
-                } else {
-                    while g.1 <= e {
-                        self.cv.wait(&mut g);
+                    return Ok(());
+                }
+                let start = Instant::now();
+                while g.epoch <= e && g.poisoned.is_none() {
+                    match self.timeout {
+                        None => self.cv.wait(&mut g),
+                        Some(timeout) => {
+                            let Some(remaining) = timeout.checked_sub(start.elapsed()) else {
+                                g.poisoned = Some((block, e as usize, PoisonCause::Timeout));
+                                self.cv.notify_all();
+                                let diagnostic =
+                                    Box::new(self.stuck_diagnostic(block, e, timeout, &g));
+                                return Err(ExecError::BarrierTimeout { diagnostic });
+                            };
+                            let _ = self.cv.wait_for(&mut g, remaining);
+                        }
                     }
+                }
+                if let Some((pb, pr, cause)) = g.poisoned {
+                    return Err(self.poison_error(pb, pr, cause, &g));
+                }
+                Ok(())
+            }
+
+            fn poison(&self, block: usize, round: usize, cause: PoisonCause) {
+                let mut g = self.state.lock();
+                if g.poisoned.is_none() {
+                    g.poisoned = Some((block, round, cause));
+                }
+                self.cv.notify_all();
+            }
+
+            fn stuck_diagnostic(
+                &self,
+                block: usize,
+                epoch: u64,
+                timeout: Duration,
+                g: &DispState,
+            ) -> StuckDiagnostic {
+                StuckDiagnostic {
+                    barrier: "cpu-implicit".to_string(),
+                    waiting_block: block,
+                    round: epoch as usize,
+                    flag: format!("dispatcher epoch > {epoch}"),
+                    timeout,
+                    arrivals: g.progress.clone(),
+                    departures: g.progress.iter().map(|&p| p.min(g.epoch)).collect(),
+                }
+            }
+
+            fn poison_error(
+                &self,
+                block: usize,
+                round: usize,
+                cause: PoisonCause,
+                g: &DispState,
+            ) -> ExecError {
+                match cause {
+                    PoisonCause::Panic => ExecError::BlockPanicked {
+                        block,
+                        round,
+                        message: "poisoned by peer panic".to_string(),
+                    },
+                    PoisonCause::Timeout => ExecError::BarrierTimeout {
+                        diagnostic: Box::new(self.stuck_diagnostic(
+                            block,
+                            round as u64,
+                            self.timeout.unwrap_or_default(),
+                            g,
+                        )),
+                    },
                 }
             }
         }
 
         let n = self.cfg.n_blocks;
         let disp = Dispatcher {
-            state: Mutex::new((0, 0)),
+            state: Mutex::new(DispState {
+                arrived: 0,
+                epoch: 0,
+                progress: vec![0; n],
+                poisoned: None,
+            }),
             cv: Condvar::new(),
             n,
+            timeout: self.cfg.policy.timeout,
         };
-        let mut times = vec![BlockTimes::default(); n];
-        std::thread::scope(|s| {
+        let results: Vec<Result<BlockTimes, ExecError>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)
                 .map(|b| {
                     let ctx = self.ctx(b);
                     let disp = &disp;
-                    s.spawn(move || {
+                    let abort = abort.clone();
+                    s.spawn(move || -> Result<BlockTimes, ExecError> {
                         let mut t = BlockTimes::default();
                         for r in 0..rounds {
                             let t0 = Instant::now();
-                            kernel.round(&ctx, r);
+                            let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
+                            if let Err(payload) = outcome {
+                                disp.poison(b, r, PoisonCause::Panic);
+                                abort.abort();
+                                return Err(ExecError::BlockPanicked {
+                                    block: b,
+                                    round: r,
+                                    message: payload_message(&*payload),
+                                });
+                            }
                             let t1 = Instant::now();
-                            disp.rendezvous(r as u64);
+                            if let Err(e) = disp.rendezvous(b, r as u64) {
+                                abort.abort();
+                                return Err(e);
+                            }
                             let t2 = Instant::now();
                             t.compute += t1 - t0;
                             t.sync += t2 - t1;
                         }
-                        t
+                        Ok(t)
                     })
                 })
                 .collect();
-            for (b, h) in handles.into_iter().enumerate() {
-                times[b] = h.join().expect("block thread panicked");
-            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor block thread must not panic"))
+                .collect()
         });
-        times
+        collect_block_results(results)
     }
 }
 
@@ -366,6 +728,7 @@ mod tests {
     use super::*;
     use crate::gmem::GlobalBuffer;
     use crate::method::TreeLevels;
+    use blocksync_device::DeviceError;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// Kernel where round r's work by each block depends on ALL blocks'
@@ -495,10 +858,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            DeviceError::TooManyBlocks {
+            ExecError::Device(DeviceError::TooManyBlocks {
                 requested: 31,
                 max: 30
-            }
+            })
         ));
         // CPU methods accept large grids (the paper runs up to 120 blocks).
         assert!(
@@ -514,7 +877,10 @@ mod tests {
         let err = GridExecutor::new(GridConfig::new(4, 513), SyncMethod::CpuImplicit)
             .run(&k)
             .unwrap_err();
-        assert!(matches!(err, DeviceError::TooManyThreads { .. }));
+        assert!(matches!(
+            err,
+            ExecError::Device(DeviceError::TooManyThreads { .. })
+        ));
     }
 
     #[test]
@@ -593,15 +959,82 @@ mod tests {
         assert_eq!(e.config().threads_per_block, 64);
     }
 
+    /// A panic in one block must surface as a structured error naming block
+    /// and round under a *device-side* barrier, with every peer unwound via
+    /// poisoning (no hang, no process abort).
     #[test]
-    #[should_panic(expected = "block thread panicked")]
     fn kernel_panic_propagates_gpu_mode() {
         let k = (3usize, |ctx: &BlockCtx, r: usize| {
             if r == 1 && ctx.block_id == 2 {
                 panic!("kernel bug");
             }
         });
-        let _ = GridExecutor::new(GridConfig::new(4, 8), SyncMethod::CpuExplicit).run(&k);
+        let err = GridExecutor::new(GridConfig::new(4, 8), SyncMethod::GpuLockFree)
+            .run(&k)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::BlockPanicked {
+                block: 2,
+                round: 1,
+                message: "kernel bug".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn kernel_panic_propagates_cpu_modes() {
+        for method in [SyncMethod::CpuExplicit, SyncMethod::CpuImplicit] {
+            let k = (3usize, |ctx: &BlockCtx, r: usize| {
+                if r == 1 && ctx.block_id == 2 {
+                    panic!("kernel bug");
+                }
+            });
+            let err = GridExecutor::new(GridConfig::new(4, 8), method)
+                .run(&k)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                ExecError::BlockPanicked {
+                    block: 2,
+                    round: 1,
+                    message: "kernel bug".to_string()
+                },
+                "{method}"
+            );
+        }
+    }
+
+    #[test]
+    fn abort_signal_is_delivered_and_raised_on_panic() {
+        use std::sync::Mutex as StdMutex;
+
+        struct Observing {
+            abort: StdMutex<Option<AbortSignal>>,
+        }
+        impl RoundKernel for Observing {
+            fn rounds(&self) -> usize {
+                2
+            }
+            fn round(&self, ctx: &BlockCtx, r: usize) {
+                if ctx.block_id == 0 && r == 0 {
+                    panic!("boom");
+                }
+            }
+            fn on_launch(&self, abort: &AbortSignal) {
+                *self.abort.lock().unwrap() = Some(abort.clone());
+            }
+        }
+
+        let k = Observing {
+            abort: StdMutex::new(None),
+        };
+        let err = GridExecutor::new(GridConfig::new(2, 8), SyncMethod::GpuSimple)
+            .run(&k)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::BlockPanicked { block: 0, .. }));
+        let signal = k.abort.lock().unwrap().clone().expect("on_launch ran");
+        assert!(signal.is_aborted(), "executor must raise abort on failure");
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Fault injection for exercising the runtime's failure semantics.
+//!
+//! A [`FaultPlan`] names a single (block, round) site and a [`FaultKind`];
+//! wrapping any [`RoundKernel`] in a [`FaultInjector`] makes that site
+//! misbehave while every other block runs the real kernel. The integration
+//! suite (`tests/fault_injection.rs`) and the property tests
+//! (`tests/prop_barriers.rs`) drive every [`crate::SyncMethod`] through
+//! injected panics, delays, and stragglers and assert that the executor
+//! reports the structured [`crate::ExecError`] naming exactly this site —
+//! within the policy timeout, never by hanging.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::executor::{AbortSignal, BlockCtx, RoundKernel};
+
+/// What the faulty block does when it reaches the planned site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic (simulates a kernel bug / device fault).
+    Panic,
+    /// Sleep for the given duration before doing the round's work
+    /// (simulates a transient slowdown; must NOT fail the run unless the
+    /// delay exceeds the policy timeout).
+    Delay(Duration),
+    /// Never finish the round: spin until the run's [`AbortSignal`] is
+    /// raised (simulates an infinite loop in kernel code that honours
+    /// cooperative cancellation).
+    Straggler,
+}
+
+/// A single planned fault at (block, round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Block that misbehaves.
+    pub block: usize,
+    /// Round (0-based) in which it misbehaves.
+    pub round: usize,
+    /// How it misbehaves.
+    pub kind: FaultKind,
+}
+
+impl FaultPlan {
+    /// Plan a panic at (block, round).
+    pub fn panic_at(block: usize, round: usize) -> Self {
+        FaultPlan {
+            block,
+            round,
+            kind: FaultKind::Panic,
+        }
+    }
+
+    /// Plan a delay of `by` at (block, round).
+    pub fn delay_at(block: usize, round: usize, by: Duration) -> Self {
+        FaultPlan {
+            block,
+            round,
+            kind: FaultKind::Delay(by),
+        }
+    }
+
+    /// Plan a cooperative infinite loop at (block, round).
+    pub fn straggler_at(block: usize, round: usize) -> Self {
+        FaultPlan {
+            block,
+            round,
+            kind: FaultKind::Straggler,
+        }
+    }
+}
+
+/// Backstop so a [`FaultKind::Straggler`] cannot hang a test run whose
+/// policy forgot a timeout: the loop gives up (panics) after this long.
+const STRAGGLER_BACKSTOP: Duration = Duration::from_secs(30);
+
+/// Wraps a kernel so one planned (block, round) misbehaves per
+/// [`FaultPlan`]; all other sites execute the inner kernel unchanged.
+pub struct FaultInjector<K> {
+    inner: K,
+    plan: FaultPlan,
+    abort: Mutex<Option<AbortSignal>>,
+}
+
+impl<K> FaultInjector<K> {
+    /// Inject `plan` into `inner`.
+    pub fn new(inner: K, plan: FaultPlan) -> Self {
+        FaultInjector {
+            inner,
+            plan,
+            abort: Mutex::new(None),
+        }
+    }
+
+    /// The wrapped kernel.
+    pub fn inner(&self) -> &K {
+        &self.inner
+    }
+
+    /// The injected plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+}
+
+impl<K: RoundKernel> RoundKernel for FaultInjector<K> {
+    fn rounds(&self) -> usize {
+        self.inner.rounds()
+    }
+
+    fn on_launch(&self, abort: &AbortSignal) {
+        *self.abort.lock().expect("abort slot poisoned") = Some(abort.clone());
+        self.inner.on_launch(abort);
+    }
+
+    fn round(&self, ctx: &BlockCtx, round: usize) {
+        if ctx.block_id == self.plan.block && round == self.plan.round {
+            match self.plan.kind {
+                FaultKind::Panic => {
+                    panic!("injected fault: block {} round {round}", self.plan.block)
+                }
+                FaultKind::Delay(by) => std::thread::sleep(by),
+                FaultKind::Straggler => {
+                    let abort = self
+                        .abort
+                        .lock()
+                        .expect("abort slot poisoned")
+                        .clone()
+                        .expect("executor must call on_launch before rounds");
+                    let start = Instant::now();
+                    while !abort.is_aborted() {
+                        assert!(
+                            start.elapsed() < STRAGGLER_BACKSTOP,
+                            "straggler never aborted — policy timeout missing?"
+                        );
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    // The run is failing; skip the real work.
+                    return;
+                }
+            }
+        }
+        self.inner.round(ctx, round);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barrier::SyncPolicy;
+    use crate::error::ExecError;
+    use crate::executor::{GridConfig, GridExecutor};
+    use crate::gmem::GlobalBuffer;
+    use crate::method::SyncMethod;
+
+    struct Increment {
+        slots: GlobalBuffer<u64>,
+        rounds: usize,
+    }
+
+    impl RoundKernel for Increment {
+        fn rounds(&self) -> usize {
+            self.rounds
+        }
+        fn round(&self, ctx: &BlockCtx, _round: usize) {
+            let b = ctx.block_id;
+            self.slots.set(b, self.slots.get(b) + 1);
+        }
+    }
+
+    #[test]
+    fn plan_constructors() {
+        assert_eq!(
+            FaultPlan::panic_at(1, 2),
+            FaultPlan {
+                block: 1,
+                round: 2,
+                kind: FaultKind::Panic
+            }
+        );
+        assert_eq!(FaultPlan::straggler_at(0, 0).kind, FaultKind::Straggler);
+        let d = FaultPlan::delay_at(3, 4, Duration::from_millis(5));
+        assert_eq!(d.kind, FaultKind::Delay(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn injected_panic_surfaces_as_block_panicked() {
+        let k = FaultInjector::new(
+            Increment {
+                slots: GlobalBuffer::new(4),
+                rounds: 5,
+            },
+            FaultPlan::panic_at(3, 2),
+        );
+        let err = GridExecutor::new(GridConfig::new(4, 8), SyncMethod::GpuSimple)
+            .run(&k)
+            .unwrap_err();
+        match err {
+            ExecError::BlockPanicked {
+                block,
+                round,
+                message,
+            } => {
+                assert_eq!((block, round), (3, 2));
+                assert!(message.contains("injected fault"), "{message}");
+            }
+            other => panic!("expected BlockPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_straggler_times_out() {
+        let k = FaultInjector::new(
+            Increment {
+                slots: GlobalBuffer::new(3),
+                rounds: 4,
+            },
+            FaultPlan::straggler_at(1, 1),
+        );
+        let cfg =
+            GridConfig::new(3, 8).with_policy(SyncPolicy::with_timeout(Duration::from_millis(50)));
+        let err = GridExecutor::new(cfg, SyncMethod::GpuLockFree)
+            .run(&k)
+            .unwrap_err();
+        match err {
+            ExecError::BarrierTimeout { diagnostic } => {
+                assert_eq!(diagnostic.round, 1);
+                assert_eq!(diagnostic.stragglers(), vec![1]);
+            }
+            other => panic!("expected BarrierTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_delay_within_timeout_is_harmless() {
+        let k = FaultInjector::new(
+            Increment {
+                slots: GlobalBuffer::new(3),
+                rounds: 4,
+            },
+            FaultPlan::delay_at(0, 2, Duration::from_millis(10)),
+        );
+        let cfg =
+            GridConfig::new(3, 8).with_policy(SyncPolicy::with_timeout(Duration::from_secs(5)));
+        let stats = GridExecutor::new(cfg, SyncMethod::GpuSimple)
+            .run(&k)
+            .unwrap();
+        assert_eq!(stats.rounds, 4);
+        assert!(k.inner().slots.to_vec().iter().all(|&v| v == 4));
+    }
+
+    #[test]
+    fn accessors_expose_inner_and_plan() {
+        let inj = FaultInjector::new(
+            Increment {
+                slots: GlobalBuffer::new(1),
+                rounds: 1,
+            },
+            FaultPlan::panic_at(0, 0),
+        );
+        assert_eq!(inj.plan(), FaultPlan::panic_at(0, 0));
+        assert_eq!(inj.inner().rounds, 1);
+    }
+}

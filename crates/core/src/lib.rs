@@ -67,7 +67,9 @@
 
 pub mod barrier;
 pub mod dissemination;
+pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod gmem;
 pub mod lockfree;
 pub mod method;
@@ -77,9 +79,13 @@ pub mod simple;
 pub mod stats;
 pub mod tree;
 
-pub use barrier::{BarrierShared, BarrierWaiter};
+pub use barrier::{
+    BarrierControl, BarrierShared, BarrierWaiter, PoisonCause, SpinStrategy, SyncFault, SyncPolicy,
+};
 pub use dissemination::DisseminationSync;
-pub use executor::{BlockCtx, GridConfig, GridExecutor, RoundKernel};
+pub use error::{ExecError, StuckDiagnostic};
+pub use executor::{AbortSignal, BlockCtx, GridConfig, GridExecutor, RoundKernel};
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use gmem::{GlobalBuffer, GlobalBuffer2d};
 pub use lockfree::{FuzzyLockFreeWaiter, GpuLockFreeSync};
 pub use method::{ResetStrategy, SyncMethod, TreeLevels};

@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
 
-use crate::barrier::{spin_until, BarrierShared, BarrierWaiter};
+use crate::barrier::{BarrierControl, BarrierShared, BarrierWaiter, SyncFault, SyncPolicy};
 
 enum Flags {
     Padded(Vec<CachePadded<AtomicU64>>),
@@ -71,6 +71,7 @@ pub struct GpuLockFreeSync {
     array_out: Flags,
     n_blocks: usize,
     collector: usize,
+    control: BarrierControl,
 }
 
 impl GpuLockFreeSync {
@@ -79,17 +80,25 @@ impl GpuLockFreeSync {
     /// # Panics
     /// Panics if `n_blocks == 0`.
     pub fn new(n_blocks: usize) -> Self {
-        Self::build(n_blocks, true)
+        Self::build(n_blocks, true, SyncPolicy::default())
     }
 
     /// Variant with densely packed flags (one `u64` apart), matching the
     /// paper's plain `int` arrays. On a cache-coherent CPU this induces
     /// false sharing — the `ablation_padding` bench quantifies it.
     pub fn new_unpadded(n_blocks: usize) -> Self {
-        Self::build(n_blocks, false)
+        Self::build(n_blocks, false, SyncPolicy::default())
     }
 
-    fn build(n_blocks: usize, padded: bool) -> Self {
+    /// Padded barrier with an explicit fault policy.
+    ///
+    /// # Panics
+    /// Panics if `n_blocks == 0`.
+    pub fn with_policy(n_blocks: usize, policy: SyncPolicy) -> Self {
+        Self::build(n_blocks, true, policy)
+    }
+
+    fn build(n_blocks: usize, padded: bool, policy: SyncPolicy) -> Self {
         assert!(n_blocks > 0, "barrier needs at least one block");
         GpuLockFreeSync {
             array_in: Flags::new(n_blocks, padded),
@@ -98,6 +107,7 @@ impl GpuLockFreeSync {
             // Figure 9 hard-codes block 1 as the collector; fall back to
             // block 0 when it is the only block.
             collector: if n_blocks > 1 { 1 } else { 0 },
+            control: BarrierControl::new(n_blocks, policy),
         }
     }
 
@@ -124,6 +134,10 @@ impl BarrierShared for GpuLockFreeSync {
     fn name(&self) -> &'static str {
         "gpu-lock-free"
     }
+
+    fn control(&self) -> &BarrierControl {
+        &self.control
+    }
 }
 
 struct LockFreeWaiter {
@@ -144,17 +158,25 @@ impl LockFreeWaiter {
     fn arrive_only(&mut self) {
         let s = &*self.shared;
         let goal = self.round + 1;
+        s.control.record_arrival(self.block_id, self.round);
         s.array_in.store(self.block_id, goal);
     }
 
     /// Complete the split-phase barrier begun by `arrive_only`.
-    fn depart_only(&mut self) {
+    fn depart_only(&mut self) -> Result<(), SyncFault> {
         let s = &*self.shared;
+        let ctl = &s.control;
         let goal = self.round + 1;
         let bid = self.block_id;
         if bid == s.collector {
             for i in 0..s.n_blocks {
-                spin_until(|| s.array_in.load(i) >= goal);
+                ctl.wait_until(
+                    bid,
+                    self.round,
+                    s.name(),
+                    || format!("Arrayin[{i}] >= {goal}"),
+                    || s.array_in.load(i) >= goal,
+                )?;
             }
             // __syncthreads() would order the collector's checking threads
             // here; within one OS thread it is a no-op.
@@ -162,16 +184,24 @@ impl LockFreeWaiter {
                 s.array_out.store(i, goal);
             }
         }
-        spin_until(|| s.array_out.load(bid) >= goal);
+        ctl.wait_until(
+            bid,
+            self.round,
+            s.name(),
+            || format!("Arrayout[{bid}] >= {goal}"),
+            || s.array_out.load(bid) >= goal,
+        )?;
+        ctl.record_departure(bid, self.round);
         self.round += 1;
+        Ok(())
     }
 }
 
 impl BarrierWaiter for LockFreeWaiter {
-    fn wait(&mut self) {
+    fn wait(&mut self) -> Result<(), SyncFault> {
         // Figure 9's three steps = arrive + (collect/broadcast + depart).
         self.arrive_only();
-        self.depart_only();
+        self.depart_only()
     }
 
     fn block_id(&self) -> usize {
@@ -222,18 +252,24 @@ impl FuzzyLockFreeWaiter {
 
     /// Block until every other block has arrived at this round's barrier.
     ///
+    /// # Errors
+    /// Propagates [`SyncFault`]s exactly like [`BarrierWaiter::wait`].
+    ///
     /// # Panics
     /// Panics if called without a preceding `arrive`.
-    pub fn depart(&mut self) {
+    pub fn depart(&mut self) -> Result<(), SyncFault> {
         assert!(self.arrived, "depart() without arrive()");
-        self.inner.depart_only();
         self.arrived = false;
+        self.inner.depart_only()
     }
 
     /// Non-split wait (`arrive` + `depart`).
-    pub fn wait(&mut self) {
+    ///
+    /// # Errors
+    /// Propagates [`SyncFault`]s exactly like [`BarrierWaiter::wait`].
+    pub fn wait(&mut self) -> Result<(), SyncFault> {
         self.arrive();
-        self.depart();
+        self.depart()
     }
 }
 
@@ -248,7 +284,7 @@ mod tests {
         assert_eq!(b.collector(), 0);
         let mut w = Arc::clone(&b).waiter(0);
         for _ in 0..1000 {
-            w.wait();
+            w.wait().unwrap();
         }
     }
 
@@ -301,7 +337,7 @@ mod tests {
                         w.arrive();
                         // Overlapped, round-independent work.
                         local = local.wrapping_mul(31).wrapping_add(r);
-                        w.depart();
+                        w.depart().unwrap();
                         for slot in slots.iter() {
                             let seen = slot.load(Ordering::Relaxed);
                             assert!(seen > r && seen <= r + 2);
@@ -318,7 +354,7 @@ mod tests {
         let shared = Arc::new(GpuLockFreeSync::new(1));
         let mut w = FuzzyLockFreeWaiter::new(shared, 0);
         for _ in 0..100 {
-            w.wait();
+            w.wait().unwrap();
         }
     }
 
@@ -336,12 +372,59 @@ mod tests {
     fn fuzzy_depart_without_arrive_rejected() {
         let shared = Arc::new(GpuLockFreeSync::new(1));
         let mut w = FuzzyLockFreeWaiter::new(shared, 0);
-        w.depart();
+        let _ = w.depart();
     }
 
     #[test]
     #[should_panic(expected = "at least one block")]
     fn zero_blocks_rejected() {
         let _ = GpuLockFreeSync::new(0);
+    }
+
+    #[test]
+    fn abandoned_barrier_times_out_and_poisons_peers() {
+        use crate::barrier::PoisonCause;
+        use std::time::Duration;
+        let policy = SyncPolicy::with_timeout(Duration::from_millis(30));
+        let shared = Arc::new(GpuLockFreeSync::with_policy(3, policy));
+        // Block 0 never arrives. Block 1 is the collector and times out on
+        // Arrayin[0]; block 2 must then see the poison rather than hang.
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = [1usize, 2]
+                .into_iter()
+                .map(|b| {
+                    let shared = Arc::clone(&shared);
+                    s.spawn(move || shared.waiter(b).wait())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let timed_out = results
+            .iter()
+            .filter(|r| matches!(r, Err(SyncFault::TimedOut { .. })))
+            .count();
+        let poisoned = results
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    Err(SyncFault::Poisoned {
+                        cause: PoisonCause::Timeout,
+                        ..
+                    })
+                )
+            })
+            .count();
+        assert_eq!(timed_out, 1, "{results:?}");
+        assert_eq!(poisoned, 1, "{results:?}");
+        if let Err(SyncFault::TimedOut { diagnostic }) = &results[0] {
+            assert_eq!(diagnostic.waiting_block, 1);
+            assert_eq!(diagnostic.stragglers(), vec![0]);
+            assert!(
+                diagnostic.flag.contains("Arrayin[0]"),
+                "{}",
+                diagnostic.flag
+            );
+        }
     }
 }

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::barrier::BarrierShared;
+use crate::barrier::{BarrierShared, SyncPolicy};
 use crate::dissemination::DisseminationSync;
 use crate::lockfree::GpuLockFreeSync;
 use crate::sense::SenseReversingSync;
@@ -127,12 +127,33 @@ impl SyncMethod {
     /// Returns `None` for CPU-side methods and `NoSync` (they have no
     /// device-side barrier object).
     pub fn build_barrier(self, n_blocks: usize) -> Option<Arc<dyn BarrierShared>> {
+        self.build_barrier_with(n_blocks, SyncPolicy::default())
+    }
+
+    /// Build the shared barrier state for a GPU-side method under an
+    /// explicit fault policy (timeout + spin strategy).
+    ///
+    /// Returns `None` for CPU-side methods and `NoSync` (they have no
+    /// device-side barrier object).
+    pub fn build_barrier_with(
+        self,
+        n_blocks: usize,
+        policy: SyncPolicy,
+    ) -> Option<Arc<dyn BarrierShared>> {
         match self {
-            SyncMethod::GpuSimple => Some(Arc::new(GpuSimpleSync::new(n_blocks))),
-            SyncMethod::GpuTree(levels) => Some(Arc::new(GpuTreeSync::new(n_blocks, levels))),
-            SyncMethod::GpuLockFree => Some(Arc::new(GpuLockFreeSync::new(n_blocks))),
-            SyncMethod::SenseReversing => Some(Arc::new(SenseReversingSync::new(n_blocks))),
-            SyncMethod::Dissemination => Some(Arc::new(DisseminationSync::new(n_blocks))),
+            SyncMethod::GpuSimple => Some(Arc::new(GpuSimpleSync::with_policy(n_blocks, policy))),
+            SyncMethod::GpuTree(levels) => {
+                Some(Arc::new(GpuTreeSync::with_policy(n_blocks, levels, policy)))
+            }
+            SyncMethod::GpuLockFree => {
+                Some(Arc::new(GpuLockFreeSync::with_policy(n_blocks, policy)))
+            }
+            SyncMethod::SenseReversing => {
+                Some(Arc::new(SenseReversingSync::with_policy(n_blocks, policy)))
+            }
+            SyncMethod::Dissemination => {
+                Some(Arc::new(DisseminationSync::with_policy(n_blocks, policy)))
+            }
             SyncMethod::CpuExplicit | SyncMethod::CpuImplicit | SyncMethod::NoSync => None,
         }
     }

@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crate::barrier::{spin_until, BarrierShared, BarrierWaiter};
+use crate::barrier::{BarrierControl, BarrierShared, BarrierWaiter, SyncFault, SyncPolicy};
 
 /// Shared state: arrival counter + global sense.
 pub struct SenseReversingSync {
@@ -21,6 +21,7 @@ pub struct SenseReversingSync {
     /// leaves once `sense > r`.
     sense: AtomicU64,
     n_blocks: usize,
+    control: BarrierControl,
 }
 
 impl SenseReversingSync {
@@ -29,11 +30,20 @@ impl SenseReversingSync {
     /// # Panics
     /// Panics if `n_blocks == 0`.
     pub fn new(n_blocks: usize) -> Self {
+        Self::with_policy(n_blocks, SyncPolicy::default())
+    }
+
+    /// Barrier with an explicit fault policy.
+    ///
+    /// # Panics
+    /// Panics if `n_blocks == 0`.
+    pub fn with_policy(n_blocks: usize, policy: SyncPolicy) -> Self {
         assert!(n_blocks > 0, "barrier needs at least one block");
         SenseReversingSync {
             count: AtomicUsize::new(0),
             sense: AtomicU64::new(0),
             n_blocks,
+            control: BarrierControl::new(n_blocks, policy),
         }
     }
 }
@@ -55,6 +65,10 @@ impl BarrierShared for SenseReversingSync {
     fn name(&self) -> &'static str {
         "sense-reversing"
     }
+
+    fn control(&self) -> &BarrierControl {
+        &self.control
+    }
 }
 
 struct SenseWaiter {
@@ -64,17 +78,28 @@ struct SenseWaiter {
 }
 
 impl BarrierWaiter for SenseWaiter {
-    fn wait(&mut self) {
+    fn wait(&mut self) -> Result<(), SyncFault> {
         let s = &*self.shared;
+        let ctl = &s.control;
+        let bid = self.block_id;
         let my_round = self.round;
+        ctl.record_arrival(bid, my_round);
         let arrived = s.count.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == s.n_blocks {
             s.count.store(0, Ordering::Relaxed);
             s.sense.fetch_add(1, Ordering::Release);
         } else {
-            spin_until(|| s.sense.load(Ordering::Acquire) > my_round);
+            ctl.wait_until(
+                bid,
+                my_round,
+                s.name(),
+                || format!("sense > {my_round}"),
+                || s.sense.load(Ordering::Acquire) > my_round,
+            )?;
         }
+        ctl.record_departure(bid, my_round);
         self.round += 1;
+        Ok(())
     }
 
     fn block_id(&self) -> usize {
@@ -108,5 +133,19 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_blocks_rejected() {
         let _ = SenseReversingSync::new(0);
+    }
+
+    #[test]
+    fn abandoned_barrier_times_out() {
+        use std::time::Duration;
+        let policy = SyncPolicy::with_timeout(Duration::from_millis(20));
+        let b = Arc::new(SenseReversingSync::with_policy(2, policy));
+        let mut w = Arc::clone(&b).waiter(0);
+        match w.wait() {
+            Err(SyncFault::TimedOut { diagnostic }) => {
+                assert_eq!(diagnostic.stragglers(), vec![1]);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
     }
 }

@@ -16,7 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::barrier::{spin_until, BarrierShared, BarrierWaiter};
+use crate::barrier::{BarrierControl, BarrierShared, BarrierWaiter, SyncFault, SyncPolicy};
 use crate::method::ResetStrategy;
 
 /// Shared state: the paper's `__device__ int g_mutex` (widened to 64 bits so
@@ -27,13 +27,18 @@ pub struct GpuSimpleSync {
     epoch: AtomicU64,
     n_blocks: usize,
     strategy: ResetStrategy,
+    control: BarrierControl,
 }
 
 impl GpuSimpleSync {
     /// Barrier for `n_blocks` blocks with the paper's increment-goal
     /// strategy.
     pub fn new(n_blocks: usize) -> Self {
-        Self::with_strategy(n_blocks, ResetStrategy::IncrementGoal)
+        Self::with_options(
+            n_blocks,
+            ResetStrategy::IncrementGoal,
+            SyncPolicy::default(),
+        )
     }
 
     /// Barrier with an explicit counter-recycling strategy.
@@ -41,12 +46,26 @@ impl GpuSimpleSync {
     /// # Panics
     /// Panics if `n_blocks == 0`.
     pub fn with_strategy(n_blocks: usize, strategy: ResetStrategy) -> Self {
+        Self::with_options(n_blocks, strategy, SyncPolicy::default())
+    }
+
+    /// Barrier with an explicit fault policy.
+    pub fn with_policy(n_blocks: usize, policy: SyncPolicy) -> Self {
+        Self::with_options(n_blocks, ResetStrategy::IncrementGoal, policy)
+    }
+
+    /// Barrier with both strategy and fault policy chosen.
+    ///
+    /// # Panics
+    /// Panics if `n_blocks == 0`.
+    pub fn with_options(n_blocks: usize, strategy: ResetStrategy, policy: SyncPolicy) -> Self {
         assert!(n_blocks > 0, "barrier needs at least one block");
         GpuSimpleSync {
             g_mutex: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
             n_blocks,
             strategy,
+            control: BarrierControl::new(n_blocks, policy),
         }
     }
 
@@ -73,6 +92,10 @@ impl BarrierShared for GpuSimpleSync {
     fn name(&self) -> &'static str {
         "gpu-simple"
     }
+
+    fn control(&self) -> &BarrierControl {
+        &self.control
+    }
 }
 
 struct SimpleWaiter {
@@ -83,9 +106,12 @@ struct SimpleWaiter {
 }
 
 impl BarrierWaiter for SimpleWaiter {
-    fn wait(&mut self) {
+    fn wait(&mut self) -> Result<(), SyncFault> {
         let s = &*self.shared;
+        let ctl = &s.control;
+        let bid = self.block_id;
         let n = s.n_blocks as u64;
+        ctl.record_arrival(bid, self.round);
         match s.strategy {
             ResetStrategy::IncrementGoal => {
                 // goalVal = N on the first call, then += N each call.
@@ -93,7 +119,13 @@ impl BarrierWaiter for SimpleWaiter {
                 s.g_mutex.fetch_add(1, Ordering::AcqRel);
                 // Monotone comparison (not equality) tolerates observing a
                 // later round's additions.
-                spin_until(|| s.g_mutex.load(Ordering::Acquire) >= goal);
+                ctl.wait_until(
+                    bid,
+                    self.round,
+                    s.name(),
+                    || format!("g_mutex >= {goal}"),
+                    || s.g_mutex.load(Ordering::Acquire) >= goal,
+                )?;
             }
             ResetStrategy::ResetCounter => {
                 let my_epoch = self.round;
@@ -107,11 +139,19 @@ impl BarrierWaiter for SimpleWaiter {
                     s.g_mutex.store(0, Ordering::Relaxed);
                     s.epoch.fetch_add(1, Ordering::Release);
                 } else {
-                    spin_until(|| s.epoch.load(Ordering::Acquire) > my_epoch);
+                    ctl.wait_until(
+                        bid,
+                        self.round,
+                        s.name(),
+                        || format!("epoch > {my_epoch}"),
+                        || s.epoch.load(Ordering::Acquire) > my_epoch,
+                    )?;
                 }
             }
         }
+        ctl.record_departure(bid, self.round);
         self.round += 1;
+        Ok(())
     }
 
     fn block_id(&self) -> usize {
@@ -129,7 +169,7 @@ mod tests {
         let b = Arc::new(GpuSimpleSync::new(1));
         let mut w = Arc::clone(&b).waiter(0);
         for _ in 0..1000 {
-            w.wait();
+            w.wait().unwrap();
         }
     }
 
@@ -176,5 +216,24 @@ mod tests {
         assert_eq!(b.num_blocks(), 5);
         assert_eq!(b.name(), "gpu-simple");
         assert_eq!(b.strategy(), ResetStrategy::IncrementGoal);
+    }
+
+    #[test]
+    fn abandoned_barrier_times_out_both_strategies() {
+        use std::time::Duration;
+        for strategy in [ResetStrategy::IncrementGoal, ResetStrategy::ResetCounter] {
+            let policy = SyncPolicy::with_timeout(Duration::from_millis(20));
+            let b = Arc::new(GpuSimpleSync::with_options(2, strategy, policy));
+            // Block 1 never arrives; block 0 must give up, not hang.
+            let mut w = Arc::clone(&b).waiter(0);
+            match w.wait() {
+                Err(SyncFault::TimedOut { diagnostic }) => {
+                    assert_eq!(diagnostic.waiting_block, 0);
+                    assert_eq!(diagnostic.round, 0);
+                    assert_eq!(diagnostic.stragglers(), vec![1], "{strategy:?}");
+                }
+                other => panic!("{strategy:?}: expected timeout, got {other:?}"),
+            }
+        }
     }
 }

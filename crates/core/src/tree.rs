@@ -21,7 +21,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::barrier::{spin_until, BarrierShared, BarrierWaiter};
+use crate::barrier::{BarrierControl, BarrierShared, BarrierWaiter, SyncFault, SyncPolicy};
 use crate::method::TreeLevels;
 
 /// Compute the paper's Eq. 8 group sizes for `n` blocks: `m = ceil(sqrt(n))`
@@ -104,6 +104,7 @@ pub struct GpuTreeSync {
     n_blocks: usize,
     name: &'static str,
     num_levels: usize,
+    control: BarrierControl,
 }
 
 impl GpuTreeSync {
@@ -112,7 +113,16 @@ impl GpuTreeSync {
     /// # Panics
     /// Panics if `n_blocks == 0`.
     pub fn new(n_blocks: usize, depth: TreeLevels) -> Self {
+        Self::with_policy(n_blocks, depth, SyncPolicy::default())
+    }
+
+    /// Build a tree barrier with an explicit fault policy.
+    ///
+    /// # Panics
+    /// Panics if `n_blocks == 0`.
+    pub fn with_policy(n_blocks: usize, depth: TreeLevels, policy: SyncPolicy) -> Self {
         assert!(n_blocks > 0, "barrier needs at least one block");
+        let control = BarrierControl::new(n_blocks, policy);
         let mut levels = Vec::new();
         match depth {
             TreeLevels::Two => {
@@ -127,6 +137,7 @@ impl GpuTreeSync {
                     n_blocks,
                     name: "gpu-tree-2",
                     num_levels: 2,
+                    control,
                 }
             }
             TreeLevels::Three => {
@@ -145,6 +156,7 @@ impl GpuTreeSync {
                     n_blocks,
                     name: "gpu-tree-3",
                     num_levels: 3,
+                    control,
                 }
             }
         }
@@ -178,6 +190,7 @@ impl GpuTreeSync {
             n_blocks,
             name: "gpu-tree-custom",
             num_levels,
+            control: BarrierControl::new(n_blocks, SyncPolicy::default()),
         }
     }
 
@@ -214,6 +227,10 @@ impl BarrierShared for GpuTreeSync {
     fn name(&self) -> &'static str {
         self.name
     }
+
+    fn control(&self) -> &BarrierControl {
+        &self.control
+    }
 }
 
 struct TreeWaiter {
@@ -223,15 +240,18 @@ struct TreeWaiter {
 }
 
 impl BarrierWaiter for TreeWaiter {
-    fn wait(&mut self) {
+    fn wait(&mut self) -> Result<(), SyncFault> {
         let s = &*self.shared;
+        let ctl = &s.control;
+        let bid = self.block_id;
         let goal_round = self.round + 1;
+        ctl.record_arrival(bid, self.round);
 
         // Ascend: participant id at level 0 is the block id; at level l+1 it
         // is the group index from level l (only leaders ascend).
         let mut participant = self.block_id;
         let mut ascending = true;
-        for level in &s.levels {
+        for (lvl, level) in s.levels.iter().enumerate() {
             if !ascending {
                 break;
             }
@@ -239,7 +259,13 @@ impl BarrierWaiter for TreeWaiter {
             let group_goal = goal_round * level.sizes[g] as u64;
             level.counters[g].fetch_add(1, Ordering::AcqRel);
             if level.leader[participant] {
-                spin_until(|| level.counters[g].load(Ordering::Acquire) >= group_goal);
+                ctl.wait_until(
+                    bid,
+                    self.round,
+                    s.name(),
+                    || format!("level[{lvl}].counters[{g}] >= {group_goal}"),
+                    || level.counters[g].load(Ordering::Acquire) >= group_goal,
+                )?;
                 participant = g;
             } else {
                 ascending = false;
@@ -251,8 +277,16 @@ impl BarrierWaiter for TreeWaiter {
             s.root.fetch_add(1, Ordering::AcqRel);
         }
         let root_goal = goal_round * s.root_width as u64;
-        spin_until(|| s.root.load(Ordering::Acquire) >= root_goal);
+        ctl.wait_until(
+            bid,
+            self.round,
+            s.name(),
+            || format!("root >= {root_goal}"),
+            || s.root.load(Ordering::Acquire) >= root_goal,
+        )?;
+        ctl.record_departure(bid, self.round);
         self.round += 1;
+        Ok(())
     }
 
     fn block_id(&self) -> usize {
@@ -363,5 +397,22 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_blocks_rejected() {
         let _ = GpuTreeSync::new(0, TreeLevels::Two);
+    }
+
+    #[test]
+    fn abandoned_barrier_times_out_both_depths() {
+        use std::time::Duration;
+        for depth in [TreeLevels::Two, TreeLevels::Three] {
+            let policy = SyncPolicy::with_timeout(Duration::from_millis(20));
+            let b = Arc::new(GpuTreeSync::with_policy(9, depth, policy));
+            let mut w = Arc::clone(&b).waiter(4);
+            match w.wait() {
+                Err(SyncFault::TimedOut { diagnostic }) => {
+                    assert_eq!(diagnostic.waiting_block, 4, "{depth:?}");
+                    assert_eq!(diagnostic.stragglers().len(), 8, "{depth:?}");
+                }
+                other => panic!("{depth:?}: expected timeout, got {other:?}"),
+            }
+        }
     }
 }

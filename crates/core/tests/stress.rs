@@ -46,7 +46,7 @@ fn hostile_exercise(shared: Arc<dyn BarrierShared>, n: usize, rounds: u64) {
                     // Unequal, varying work before arriving.
                     acc ^= jitter(r.wrapping_mul(31).wrapping_add(b as u64 * 7));
                     slots[b].store(r + 1, Ordering::Relaxed);
-                    w.wait();
+                    w.wait().unwrap();
                     for (other, slot) in slots.iter().enumerate() {
                         let seen = slot.load(Ordering::Relaxed);
                         assert!(
@@ -81,7 +81,7 @@ fn all_barriers_survive_empty_round_bursts() {
                 s.spawn(move || {
                     let mut w = shared.waiter(b);
                     for _ in 0..5_000 {
-                        w.wait();
+                        w.wait().unwrap();
                     }
                 });
             }

@@ -25,15 +25,13 @@
 //! protocol simulation (including queueing of polls behind atomics at the
 //! memory partitions), not table lookups.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimDuration;
 
 /// Per-operation virtual-time costs of the simulated device.
 ///
 /// All costs are in nanoseconds of simulated time. See the module docs for
 /// how the GTX 280 defaults were fitted.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationProfile {
     /// Service time of one atomic read-modify-write (`atomicAdd`,
     /// `atomicCAS`) at the memory partition owning the address. Atomics to

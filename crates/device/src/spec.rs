@@ -1,7 +1,5 @@
 //! Static architectural description of the simulated GPU.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::DeviceError;
 
 /// Architectural parameters of a CUDA-capable GPU, as relevant to the
@@ -12,7 +10,7 @@ use crate::error::DeviceError;
 /// GPU synchronization approaches means `num_sms` is also the maximum
 /// number of blocks a persistent kernel may use (see
 /// [`GpuSpec::max_persistent_blocks`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Marketing / model name, e.g. `"GeForce GTX 280"`.
     pub name: String,

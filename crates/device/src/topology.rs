@@ -8,18 +8,16 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a streaming multiprocessor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SmId(pub u32);
 
 /// Flat identifier of a thread block within a grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId(pub u32);
 
 /// Flat identifier of a thread within a block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(pub u32);
 
 impl fmt::Display for SmId {
@@ -41,7 +39,7 @@ impl fmt::Display for ThreadId {
 }
 
 /// Grid dimensions (`gridDim` in CUDA).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GridDim {
     /// Blocks along x.
     pub x: u32,
@@ -50,7 +48,7 @@ pub struct GridDim {
 }
 
 /// Block dimensions (`blockDim` in CUDA).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BlockDim {
     /// Threads along x.
     pub x: u32,
@@ -101,7 +99,7 @@ impl BlockDim {
 
 /// A kernel launch configuration: grid shape, block shape, and per-block
 /// dynamic shared memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LaunchConfig {
     /// Grid dimensions.
     pub grid: GridDim,

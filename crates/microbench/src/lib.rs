@@ -18,9 +18,10 @@
 #![warn(missing_docs)]
 
 use blocksync_core::{
-    BlockCtx, GlobalBuffer, GridConfig, GridExecutor, KernelStats, RoundKernel, SyncMethod,
+    BlockCtx, ExecError, GlobalBuffer, GridConfig, GridExecutor, KernelStats, RoundKernel,
+    SyncMethod, SyncPolicy,
 };
-use blocksync_device::{DeviceError, GpuSpec};
+use blocksync_device::GpuSpec;
 use blocksync_sim::{simulate, ConstWorkload, SimConfig, SimReport};
 
 /// Rounds the paper uses (Section 5.4).
@@ -87,10 +88,28 @@ pub fn run_host(
     threads_per_block: usize,
     rounds: usize,
     method: SyncMethod,
-) -> Result<(KernelStats, bool), DeviceError> {
+) -> Result<(KernelStats, bool), ExecError> {
+    run_host_with(
+        n_blocks,
+        threads_per_block,
+        rounds,
+        method,
+        SyncPolicy::default(),
+    )
+}
+
+/// [`run_host`] under an explicit fault [`SyncPolicy`] (barrier timeout
+/// and spin strategy).
+pub fn run_host_with(
+    n_blocks: usize,
+    threads_per_block: usize,
+    rounds: usize,
+    method: SyncMethod,
+    policy: SyncPolicy,
+) -> Result<(KernelStats, bool), ExecError> {
     let kernel = MeanKernel::for_grid(n_blocks, threads_per_block, rounds);
-    let stats =
-        GridExecutor::new(GridConfig::new(n_blocks, threads_per_block), method).run(&kernel)?;
+    let cfg = GridConfig::new(n_blocks, threads_per_block).with_policy(policy);
+    let stats = GridExecutor::new(cfg, method).run(&kernel)?;
     let ok = kernel.verify();
     Ok((stats, ok))
 }

@@ -3,7 +3,7 @@
 //! The paper gives a handful of scalar observations (Figure 11 and its
 //! discussion); this module inverts the Section 4/5 equations to recover
 //! the primitive costs a simulator must charge to land on them. It is the
-//! executable form of DESIGN.md §6 — the documentation of *where the
+//! executable form of DESIGN.md §7 — the documentation of *where the
 //! numbers in `CalibrationProfile::gtx280()` come from*.
 
 /// The scalar observations the paper reports for its micro-benchmark

@@ -129,6 +129,29 @@ impl SimConfig {
     }
 }
 
+/// One resident block frozen at the barrier when the deadlock watchdog
+/// fired: where it was and what it was doing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckBlock {
+    /// Block id.
+    pub block: usize,
+    /// The barrier round the block was in.
+    pub round: usize,
+    /// The barrier-program operation it was executing, human-readable
+    /// (e.g. `WaitGe { addr: Addr(3), goal: 1 }`).
+    pub op: String,
+}
+
+impl std::fmt::Display for StuckBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "block {} round {} at {}",
+            self.block, self.round, self.op
+        )
+    }
+}
+
 /// Why a simulation could not complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -137,23 +160,48 @@ pub enum SimError {
     /// The kernel deadlocked: resident blocks spin at a grid barrier that
     /// can never complete because unscheduled blocks cannot run — exactly
     /// the failure mode Section 5 of the paper designs around with the
-    /// one-block-per-SM rule.
+    /// one-block-per-SM rule. The watchdog reports where every resident
+    /// block was frozen.
     Deadlock {
         /// Blocks resident on SMs, spinning forever.
         resident: usize,
         /// Blocks that never got an SM.
         stalled: usize,
+        /// Per-block watchdog snapshot of the frozen resident blocks.
+        stuck: Vec<StuckBlock>,
     },
 }
+
+/// How many frozen blocks the Display form spells out before eliding.
+const DISPLAYED_STUCK: usize = 4;
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Invalid(e) => write!(f, "invalid simulation config: {e}"),
-            SimError::Deadlock { resident, stalled } => write!(
-                f,
-                "grid barrier deadlock: {resident} resident blocks spin forever while {stalled} blocks wait for an SM that will never free"
-            ),
+            SimError::Deadlock {
+                resident,
+                stalled,
+                stuck,
+            } => {
+                write!(
+                    f,
+                    "grid barrier deadlock: {resident} resident blocks spin forever while {stalled} blocks wait for an SM that will never free"
+                )?;
+                if !stuck.is_empty() {
+                    write!(f, "; watchdog: ")?;
+                    for (i, s) in stuck.iter().take(DISPLAYED_STUCK).enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{s}")?;
+                    }
+                    if stuck.len() > DISPLAYED_STUCK {
+                        write!(f, ", ... ({} more)", stuck.len() - DISPLAYED_STUCK)?;
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -338,10 +386,7 @@ impl<'a> Engine<'a> {
             if matches!(ev, Event::Poll { .. }) {
                 self.polls_since_progress += 1;
                 if self.polls_since_progress > deadlock_poll_budget {
-                    return Err(SimError::Deadlock {
-                        resident: self.cfg.n_blocks - self.launch_queue.len() - self.done_count,
-                        stalled: self.launch_queue.len(),
-                    });
+                    return Err(self.deadlock_error());
                 }
             } else {
                 self.polls_since_progress = 0;
@@ -405,14 +450,39 @@ impl<'a> Engine<'a> {
             }
         }
         if self.done_count != self.cfg.n_blocks {
-            return Err(SimError::Deadlock {
-                resident: self.cfg.n_blocks - self.launch_queue.len() - self.done_count,
-                stalled: self.launch_queue.len(),
-            });
+            return Err(self.deadlock_error());
         }
 
         let total = end.since(SimTime::ZERO);
         Ok(self.report(total, launch))
+    }
+
+    /// Watchdog snapshot: who is frozen where. Resident, unfinished blocks
+    /// are stuck mid-barrier; blocks still in the launch queue never ran at
+    /// all and are counted as `stalled` instead.
+    fn deadlock_error(&self) -> SimError {
+        let undispatched: std::collections::HashSet<usize> =
+            self.launch_queue.iter().copied().collect();
+        let stuck: Vec<StuckBlock> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(bid, b)| !b.done && !undispatched.contains(bid))
+            .map(|(bid, b)| StuckBlock {
+                block: bid,
+                round: b.round,
+                op: b
+                    .program
+                    .get(b.pc)
+                    .map(|op| format!("{op:?}"))
+                    .unwrap_or_else(|| "barrier exit".to_string()),
+            })
+            .collect();
+        SimError::Deadlock {
+            resident: self.cfg.n_blocks - self.launch_queue.len() - self.done_count,
+            stalled: self.launch_queue.len(),
+            stuck,
+        }
     }
 
     fn report(self, total: SimDuration, launch: SimDuration) -> SimReport {
@@ -723,9 +793,21 @@ mod tests {
         for m in [SyncMethod::GpuSimple, SyncMethod::GpuLockFree] {
             let err = try_simulate(&SimConfig::new(31, 64, m), &w).unwrap_err();
             match err {
-                SimError::Deadlock { resident, stalled } => {
+                SimError::Deadlock {
+                    resident,
+                    stalled,
+                    stuck,
+                } => {
                     assert_eq!(resident, 30, "{m}");
                     assert_eq!(stalled, 1, "{m}");
+                    // The watchdog names every frozen resident block, all
+                    // stuck in round 0 on a wait operation.
+                    assert_eq!(stuck.len(), 30, "{m}");
+                    assert!(stuck.iter().all(|s| s.round == 0), "{m}: {stuck:?}");
+                    assert!(
+                        stuck.iter().any(|s| s.op.contains("Wait")),
+                        "{m}: no block reported waiting: {stuck:?}"
+                    );
                 }
                 other => panic!("{m}: expected deadlock, got {other:?}"),
             }
@@ -800,12 +882,50 @@ mod tests {
         let e = SimError::Deadlock {
             resident: 30,
             stalled: 1,
+            stuck: vec![],
         };
         let msg = e.to_string();
         assert!(msg.contains("30 resident"));
         assert!(msg.contains("1 blocks wait"));
         let e = SimError::Invalid(blocksync_device::DeviceError::EmptyLaunch);
         assert!(e.to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn sim_error_display_includes_watchdog_and_elides_long_lists() {
+        let stuck: Vec<StuckBlock> = (0..6)
+            .map(|b| StuckBlock {
+                block: b,
+                round: 2,
+                op: format!("WaitGe {{ addr: Addr({b}), goal: 9 }}"),
+            })
+            .collect();
+        let msg = SimError::Deadlock {
+            resident: 6,
+            stalled: 0,
+            stuck,
+        }
+        .to_string();
+        assert!(msg.contains("watchdog: block 0 round 2 at WaitGe"), "{msg}");
+        assert!(msg.contains("... (2 more)"), "{msg}");
+    }
+
+    #[test]
+    fn watchdog_diagnostic_matches_real_deadlock_shape() {
+        // 31 blocks / 30 SMs: the classic oversubscription deadlock. The
+        // diagnostic must be structured enough to act on: every frozen
+        // block named with round and operation.
+        let w = ConstWorkload::from_micros(0.5, 5);
+        let err = try_simulate(&SimConfig::new(31, 64, SyncMethod::GpuSimple), &w).unwrap_err();
+        let SimError::Deadlock { stuck, .. } = err else {
+            panic!("expected deadlock");
+        };
+        let blocks: Vec<usize> = stuck.iter().map(|s| s.block).collect();
+        assert_eq!(blocks, (0..30).collect::<Vec<_>>());
+        // The display of each entry is self-describing.
+        let line = stuck[0].to_string();
+        assert!(line.contains("block 0"), "{line}");
+        assert!(line.contains("round 0"), "{line}");
     }
 
     #[test]

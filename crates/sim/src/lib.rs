@@ -54,6 +54,6 @@ pub mod program;
 pub mod report;
 pub mod workload;
 
-pub use engine::{simulate, try_simulate, SimConfig, SimError};
+pub use engine::{simulate, try_simulate, SimConfig, SimError, StuckBlock};
 pub use report::{SimReport, TraceEvent, TraceKind};
 pub use workload::{ClosureWorkload, ConstWorkload, Workload};

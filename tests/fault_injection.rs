@@ -1,0 +1,204 @@
+//! Cross-method fault-injection suite: every [`SyncMethod`] — including
+//! both CPU modes — must convert an injected fault into a structured
+//! [`ExecError`] naming the offending block and round, within the policy
+//! timeout. No test here may hang: detection latency is asserted against a
+//! hard bound well below the harness timeout.
+
+use std::time::{Duration, Instant};
+
+use blocksync::core::{
+    ExecError, FaultInjector, FaultPlan, GlobalBuffer, GridConfig, GridExecutor, RoundKernel,
+    SpinStrategy, SyncMethod, SyncPolicy, TreeLevels,
+};
+
+/// Every method with inter-block ordering guarantees.
+const ALL_SYNC_METHODS: [SyncMethod; 8] = [
+    SyncMethod::CpuExplicit,
+    SyncMethod::CpuImplicit,
+    SyncMethod::GpuSimple,
+    SyncMethod::GpuTree(TreeLevels::Two),
+    SyncMethod::GpuTree(TreeLevels::Three),
+    SyncMethod::GpuLockFree,
+    SyncMethod::SenseReversing,
+    SyncMethod::Dissemination,
+];
+
+struct Increment {
+    slots: GlobalBuffer<u64>,
+    rounds: usize,
+}
+
+impl Increment {
+    fn new(n: usize, rounds: usize) -> Self {
+        Increment {
+            slots: GlobalBuffer::new(n),
+            rounds,
+        }
+    }
+}
+
+impl RoundKernel for Increment {
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+    fn round(&self, ctx: &blocksync::core::BlockCtx, _round: usize) {
+        let b = ctx.block_id;
+        self.slots.set(b, self.slots.get(b) + 1);
+    }
+}
+
+#[test]
+fn injected_panic_names_block_and_round_under_every_method() {
+    for method in ALL_SYNC_METHODS {
+        let k = FaultInjector::new(Increment::new(4, 6), FaultPlan::panic_at(2, 3));
+        let cfg =
+            GridConfig::new(4, 8).with_policy(SyncPolicy::with_timeout(Duration::from_secs(20)));
+        let started = Instant::now();
+        let err = GridExecutor::new(cfg, method).run(&k).unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "{method}: detection too slow"
+        );
+        match err {
+            ExecError::BlockPanicked {
+                block,
+                round,
+                message,
+            } => {
+                assert_eq!((block, round), (2, 3), "{method}");
+                assert!(message.contains("injected fault"), "{method}: {message}");
+            }
+            other => panic!("{method}: expected BlockPanicked, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn panic_in_round_zero_and_last_round_are_both_caught() {
+    for method in [SyncMethod::GpuSimple, SyncMethod::CpuImplicit] {
+        for round in [0usize, 5] {
+            let k = FaultInjector::new(Increment::new(3, 6), FaultPlan::panic_at(0, round));
+            let err = GridExecutor::new(GridConfig::new(3, 8), method)
+                .run(&k)
+                .unwrap_err();
+            assert!(
+                matches!(err, ExecError::BlockPanicked { block: 0, round: r, .. } if r == round),
+                "{method} round {round}: got {err:?}"
+            );
+        }
+    }
+}
+
+/// A straggler (cooperatively-infinite loop) must trip the timeout with a
+/// diagnostic naming it — for every method, every spin strategy. This is
+/// the test that proves the CPU-implicit condvar rendezvous also honours
+/// the deadline, not just the device-side spin barriers.
+#[test]
+fn injected_straggler_times_out_under_every_method() {
+    for method in ALL_SYNC_METHODS {
+        for spin in [
+            SpinStrategy::Spin,
+            SpinStrategy::Yield,
+            SpinStrategy::Backoff,
+        ] {
+            let k = FaultInjector::new(Increment::new(3, 5), FaultPlan::straggler_at(1, 2));
+            let timeout = Duration::from_millis(80);
+            let cfg = GridConfig::new(3, 8)
+                .with_policy(SyncPolicy::with_timeout(timeout).with_spin(spin));
+            let started = Instant::now();
+            let err = GridExecutor::new(cfg, method).run(&k).unwrap_err();
+            let elapsed = started.elapsed();
+            assert!(
+                elapsed < Duration::from_secs(10),
+                "{method}/{spin:?}: unwind took {elapsed:?}"
+            );
+            match err {
+                ExecError::BarrierTimeout { diagnostic } => {
+                    assert_eq!(
+                        diagnostic.stragglers(),
+                        vec![1],
+                        "{method}/{spin:?}: {diagnostic}"
+                    );
+                    assert_eq!(diagnostic.round, 2, "{method}/{spin:?}");
+                    assert_eq!(diagnostic.timeout, timeout, "{method}/{spin:?}");
+                }
+                other => panic!("{method}/{spin:?}: expected BarrierTimeout, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// A transient delay shorter than the timeout must be absorbed: the run
+/// succeeds and results are correct.
+#[test]
+fn delay_within_timeout_is_absorbed_under_every_method() {
+    for method in ALL_SYNC_METHODS {
+        let k = FaultInjector::new(
+            Increment::new(3, 4),
+            FaultPlan::delay_at(2, 1, Duration::from_millis(20)),
+        );
+        let cfg =
+            GridConfig::new(3, 8).with_policy(SyncPolicy::with_timeout(Duration::from_secs(10)));
+        let stats = GridExecutor::new(cfg, method)
+            .run(&k)
+            .unwrap_or_else(|e| panic!("{method}: {e}"));
+        assert_eq!(stats.rounds, 4);
+        assert!(
+            k.inner().slots.to_vec().iter().all(|&v| v == 4),
+            "{method}: lost work"
+        );
+    }
+}
+
+/// Without a timeout configured (the default policy), a panic must still
+/// unwind every peer via barrier poisoning — bounded waits are an extra
+/// guarantee, not a prerequisite for panic safety.
+#[test]
+fn panic_unwinds_peers_even_without_a_timeout() {
+    for method in ALL_SYNC_METHODS {
+        let k = FaultInjector::new(Increment::new(4, 5), FaultPlan::panic_at(3, 1));
+        let started = Instant::now();
+        let err = GridExecutor::new(GridConfig::new(4, 8), method)
+            .run(&k)
+            .unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "{method}: poison propagation too slow"
+        );
+        assert!(
+            matches!(
+                err,
+                ExecError::BlockPanicked {
+                    block: 3,
+                    round: 1,
+                    ..
+                }
+            ),
+            "{method}: got {err:?}"
+        );
+    }
+}
+
+/// The error message (Display) must carry the block, the round, and — for
+/// timeouts — the stragglers, so operators can act on logs alone.
+#[test]
+fn error_displays_are_actionable() {
+    let k = FaultInjector::new(Increment::new(3, 4), FaultPlan::straggler_at(0, 1));
+    let cfg =
+        GridConfig::new(3, 8).with_policy(SyncPolicy::with_timeout(Duration::from_millis(60)));
+    let err = GridExecutor::new(cfg, SyncMethod::GpuLockFree)
+        .run(&k)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("round 1"), "{msg}");
+    assert!(msg.contains("[0]"), "{msg}");
+    assert!(msg.contains("gpu-lock-free"), "{msg}");
+
+    let k = FaultInjector::new(Increment::new(2, 2), FaultPlan::panic_at(1, 0));
+    let err = GridExecutor::new(GridConfig::new(2, 8), SyncMethod::GpuSimple)
+        .run(&k)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("block 1"), "{msg}");
+    assert!(msg.contains("round 0"), "{msg}");
+}

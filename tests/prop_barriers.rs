@@ -1,19 +1,46 @@
 //! Property-based tests of the inter-block barriers on real threads.
 //!
-//! The invariant under test is full barrier semantics with publication:
-//! after block `b` returns from its round-`r` wait, it must observe every
-//! other block's round-`r` write, and no block may be more than one round
-//! ahead. Violations (lost rounds, early release, missing Acquire/Release
-//! edges) fail the embedded assertions.
+//! Two invariant families:
+//!
+//! 1. **Barrier semantics with publication** — after block `b` returns from
+//!    its round-`r` wait, it must observe every other block's round-`r`
+//!    write, and no block may be more than one round ahead. Violations
+//!    (lost rounds, early release, missing Acquire/Release edges) fail the
+//!    embedded assertions.
+//! 2. **Failure semantics** — a fault injected at a random (block, round)
+//!    via [`FaultPlan`] must surface as a structured [`ExecError`] naming
+//!    exactly that site, within the policy timeout, for *every*
+//!    [`SyncMethod`]; and fault-free runs must produce bit-identical
+//!    results whether or not a `SyncPolicy` is configured (the
+//!    fault-tolerance plane must not perturb results).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use blocksync::core::{BarrierShared, SyncMethod, TreeLevels};
+use blocksync::core::{
+    BarrierShared, BlockCtx, ExecError, FaultInjector, FaultPlan, GlobalBuffer, GridConfig,
+    GridExecutor, RoundKernel, SpinStrategy, SyncMethod, SyncPolicy, TreeLevels,
+};
 use proptest::prelude::*;
 
 fn method_strategy() -> impl Strategy<Value = SyncMethod> {
     prop_oneof![
+        Just(SyncMethod::GpuSimple),
+        Just(SyncMethod::GpuTree(TreeLevels::Two)),
+        Just(SyncMethod::GpuTree(TreeLevels::Three)),
+        Just(SyncMethod::GpuLockFree),
+        Just(SyncMethod::SenseReversing),
+        Just(SyncMethod::Dissemination),
+    ]
+}
+
+/// All methods the executor can run with inter-block ordering guarantees
+/// (everything except `NoSync`), including both CPU modes.
+fn exec_method_strategy() -> impl Strategy<Value = SyncMethod> {
+    prop_oneof![
+        Just(SyncMethod::CpuExplicit),
+        Just(SyncMethod::CpuImplicit),
         Just(SyncMethod::GpuSimple),
         Just(SyncMethod::GpuTree(TreeLevels::Two)),
         Just(SyncMethod::GpuTree(TreeLevels::Three)),
@@ -36,7 +63,7 @@ fn exercise(shared: Arc<dyn BarrierShared>, n_blocks: usize, rounds: usize) {
                 let mut w = shared.waiter(b);
                 for r in 0..rounds as u64 {
                     counters[b].store(r + 1, Ordering::Relaxed);
-                    w.wait();
+                    w.wait().expect("fault-free barrier must not fail");
                     for (other, c) in counters.iter().enumerate() {
                         let seen = c.load(Ordering::Relaxed);
                         assert!(
@@ -114,7 +141,7 @@ proptest! {
                         if r as usize % n_blocks == b {
                             slot.store(r * 1000 + b as u64, Ordering::Relaxed);
                         }
-                        w.wait();
+                        w.wait().expect("fault-free barrier must not fail");
                         let v = slot.load(Ordering::Relaxed);
                         let writer = r as usize % n_blocks;
                         assert_eq!(
@@ -122,10 +149,107 @@ proptest! {
                             r * 1000 + writer as u64,
                             "block {b} after round {r} saw stale token"
                         );
-                        w.wait(); // second barrier so reads finish before the next write
+                        // Second barrier so reads finish before the next write.
+                        w.wait().expect("fault-free barrier must not fail");
                     }
                 });
             }
         });
+    }
+}
+
+/// Deterministic all-to-all kernel: logical step `t` runs as two barrier
+/// rounds — phase A reads every slot and stages a mixed update, phase B
+/// publishes it — so every block's result depends on every other block's
+/// previous step and the outcome is a pure function of (n_blocks, steps).
+struct MixKernel {
+    slots: GlobalBuffer<u64>,
+    scratch: GlobalBuffer<u64>,
+    rounds: usize,
+}
+
+impl MixKernel {
+    fn new(n_blocks: usize, steps: usize) -> Self {
+        let init: Vec<u64> = (0..n_blocks).map(|b| b as u64 + 1).collect();
+        MixKernel {
+            slots: GlobalBuffer::from_slice(&init),
+            scratch: GlobalBuffer::new(n_blocks),
+            rounds: steps * 2,
+        }
+    }
+}
+
+impl RoundKernel for MixKernel {
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+    fn round(&self, ctx: &BlockCtx, round: usize) {
+        let b = ctx.block_id;
+        if round.is_multiple_of(2) {
+            let mut acc = 0u64;
+            for i in 0..ctx.n_blocks {
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(self.slots.get(i));
+            }
+            self.scratch.set(b, acc.wrapping_add(b as u64));
+        } else {
+            self.slots.set(b, self.scratch.get(b));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A panic injected at any (block, round) must surface as
+    /// `ExecError::BlockPanicked` naming exactly that site, for every
+    /// method including both CPU modes — detected well within the policy
+    /// timeout, never by hanging the test.
+    #[test]
+    fn injected_panic_is_detected_for_every_method(
+        method in exec_method_strategy(),
+        block in 0usize..4,
+        step in 0usize..5,
+    ) {
+        let timeout = Duration::from_secs(20);
+        let k = FaultInjector::new(MixKernel::new(4, 5), FaultPlan::panic_at(block, step));
+        let cfg = GridConfig::new(4, 8).with_policy(SyncPolicy::with_timeout(timeout));
+        let started = Instant::now();
+        let err = GridExecutor::new(cfg, method).run(&k).unwrap_err();
+        prop_assert!(started.elapsed() < timeout, "detection exceeded the policy timeout");
+        match err {
+            ExecError::BlockPanicked { block: eb, round: er, message } => {
+                prop_assert_eq!((eb, er), (block, step));
+                prop_assert!(message.contains("injected fault"), "{}", message);
+            }
+            other => panic!("{method}: expected BlockPanicked, got {other:?}"),
+        }
+    }
+
+    /// The fault-tolerance plane must be invisible to healthy runs: the
+    /// same kernel produces bit-identical output with the default policy
+    /// (no timeout, legacy spin loop) and with any explicit policy.
+    #[test]
+    fn fault_free_runs_are_bit_identical_under_any_policy(
+        method in exec_method_strategy(),
+        n_blocks in 1usize..6,
+        steps in 1usize..30,
+        spin in prop_oneof![
+            Just(SpinStrategy::Spin),
+            Just(SpinStrategy::Yield),
+            Just(SpinStrategy::Backoff),
+        ],
+    ) {
+        let run = |policy: SyncPolicy| {
+            let k = MixKernel::new(n_blocks, steps);
+            GridExecutor::new(GridConfig::new(n_blocks, 8).with_policy(policy), method)
+                .run(&k)
+                .expect("fault-free run must succeed");
+            k.slots.to_vec()
+        };
+        let baseline = run(SyncPolicy::default());
+        let guarded = run(SyncPolicy::with_timeout(Duration::from_secs(30)).with_spin(spin));
+        prop_assert_eq!(baseline, guarded);
     }
 }

@@ -1,0 +1,243 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this vendored stand-in
+//! provides `Criterion`, `benchmark_group`, `BenchmarkId`, `Bencher::iter` /
+//! `iter_custom`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! It is a wall-clock harness, not a statistics engine: each benchmark runs
+//! `sample_size` samples, each sample auto-scaled to roughly
+//! `measurement_time / sample_size`, and the per-iteration mean and min are
+//! printed. Good enough to compare barrier shapes locally; no HTML reports,
+//! no outlier analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation's result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id with both a function name and a parameter, shown as `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Let `routine` time `iters` iterations itself and report the total.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self.measurement_time = self.measurement_time.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Total measurement budget per benchmark (default 2 s).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark and print its per-iteration timing.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let budget = self.measurement_time.max(Duration::from_millis(1));
+
+        // Calibrate: time one iteration, then scale so each sample fits the
+        // per-sample slice of the budget.
+        let mut probe = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut probe);
+        let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+        let per_sample = budget / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut done = 0u64;
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per = b.elapsed / iters as u32;
+            total += b.elapsed;
+            min = min.min(per);
+            done += iters;
+            // Never exceed twice the budget even if calibration was off.
+            if started.elapsed() > budget * 2 {
+                break;
+            }
+        }
+        let mean = total / done.max(1) as u32;
+        println!(
+            "bench {}/{:<40} mean {:>12?}  min {:>12?}  ({} iters)",
+            self.name, id.label, mean, min, done
+        );
+        self.criterion.ran += 1;
+        self
+    }
+
+    /// End the group (printing is per-benchmark; this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Entry point object passed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    ran: usize,
+}
+
+impl Criterion {
+    /// Start a new benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function(BenchmarkId::from_parameter(name), f);
+        self
+    }
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups; harness CLI flags (`--bench`,
+/// filters) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let _args: Vec<String> = std::env::args().collect();
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        let mut calls = 0u64;
+        group.bench_function(BenchmarkId::from_parameter("iter"), |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.bench_function(BenchmarkId::new("custom", 4), |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(0u64);
+                }
+                t0.elapsed()
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+        assert_eq!(c.ran, 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::utils::CachePadded`. The build environment has no network
+//! access to crates.io, so the real crate cannot be fetched; this vendored
+//! stand-in is API-compatible for the surface in use.
+
+/// Utilities (mirrors `crossbeam_utils`).
+pub mod utils {
+    use core::fmt;
+    use core::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line, preventing
+    /// false sharing between adjacent values.
+    ///
+    /// 128-byte alignment matches the real crate's choice on x86_64 /
+    /// aarch64 (two 64-byte lines, covering adjacent-line prefetchers).
+    #[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pad and align `value` to a cache line.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Consume the wrapper, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("CachePadded")
+                .field("value", &self.value)
+                .finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+
+    #[test]
+    fn aligns_to_128() {
+        assert_eq!(core::mem::align_of::<CachePadded<u64>>(), 128);
+        let v: Vec<CachePadded<u64>> = (0..4).map(CachePadded::new).collect();
+        let a = &*v[0] as *const u64 as usize;
+        let b = &*v[1] as *const u64 as usize;
+        assert!(b - a >= 128);
+    }
+
+    #[test]
+    fn derefs() {
+        let mut p = CachePadded::new(5u32);
+        *p += 1;
+        assert_eq!(*p, 6);
+        assert_eq!(p.into_inner(), 6);
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this vendored stand-in
+//! implements the API surface the test suites rely on:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`Strategy`] with `prop_map`, numeric range strategies, tuples,
+//!   [`Just`], [`prop_oneof!`], [`any`], and [`collection::vec`],
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike upstream proptest it does **no shrinking** and draws values from a
+//! deterministic per-case SplitMix64 stream, so failures reproduce exactly
+//! across runs and machines. Each generated test runs `ProptestConfig::cases`
+//! cases; a failing case panics with the case index in the message.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    /// Lengths may be given as `a..b` or `a..=b`.
+    pub trait IntoSizeRange {
+        /// (min, max-inclusive)
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec length range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty vec length range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// `vec(element, len)`: a vector of `element` draws with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = len.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max - self.min) as u64 + 1;
+            let n = self.min + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Generate property tests.
+///
+/// Supports the upstream form used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_prop(x in 0u32..10, v in collection::vec(any::<u32>(), 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case);
+                    let run = || {
+                        $(let $arg =
+                            $crate::strategy::Strategy::gen_value(&($strat), &mut rng);)+
+                        $body
+                    };
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest case {case}/{} of {} failed \
+                             (deterministic; rerun reproduces it)",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Choose uniformly between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assertion usable inside `proptest!` bodies (plain `assert!` here; the
+/// upstream early-return-Err machinery is unnecessary without shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion usable inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, y in -5i32..5, z in 0.5f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.5..2.0).contains(&z));
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u8..4, 1u8..3).prop_map(|(a, b)| (a, b))) {
+            prop_assert!(pair.0 < 4 && pair.1 >= 1);
+        }
+
+        #[test]
+        fn oneof_and_vec(
+            v in crate::collection::vec(any::<u32>(), 1..=8),
+            pick in prop_oneof![Just(1usize), Just(2usize)],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() <= 8);
+            prop_assert!(pick == 1 || pick == 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (0..5)
+            .map(|c| s.gen_value(&mut crate::test_runner::TestRng::for_case(c)))
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|c| s.gen_value(&mut crate::test_runner::TestRng::for_case(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
