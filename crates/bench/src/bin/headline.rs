@@ -2,10 +2,13 @@
 //! micro-benchmark speedups of GPU lock-free synchronization over CPU
 //! explicit (paper: 7.8x) and CPU implicit (paper: 3.7x) synchronization,
 //! and the application-level kernel-time improvements over CPU implicit
-//! sync (paper: FFT 8.8%, SWat 24.1%, bitonic sort 39.0%).
+//! sync (paper: FFT 8.8%, SWat 24.1%, bitonic sort 39.0%), plus the
+//! Eq. 1 `t = t_O + t_C + t_S` split behind them, per method.
 
 use blocksync_bench::experiments::{headline, AlgoKind};
 use blocksync_bench::harness::{format_table, pct};
+use blocksync_core::SyncMethod;
+use blocksync_microbench::simulate_micro;
 
 fn main() {
     let h = headline();
@@ -35,5 +38,30 @@ fn main() {
     println!(
         "{}",
         format_table(&["algorithm", "measured", "paper"], &rows)
+    );
+
+    // Where the speedups come from: the paper's Eq. 1 decomposition of the
+    // micro-benchmark at 30 blocks, per method. The methods differ only in
+    // t_S (and CPU explicit in t_O, which it pays once per round).
+    println!("Eq. 1 split per method (micro-benchmark, 30 blocks, 240 simulated rounds):\n");
+    let rows: Vec<Vec<String>> = SyncMethod::PAPER_METHODS
+        .iter()
+        .map(|&m| {
+            let r = simulate_micro(30, 256, 240, m);
+            vec![
+                m.to_string(),
+                format!("{:.3}", r.launch.as_millis_f64()),
+                format!("{:.3}", r.max_compute().as_millis_f64()),
+                format!("{:.3}", r.sync_time().as_millis_f64()),
+                pct(r.sync_fraction()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["method", "t_O (ms)", "t_C (ms)", "t_S (ms)", "sync frac"],
+            &rows
+        )
     );
 }

@@ -1,0 +1,76 @@
+//! Guard-rail for the telemetry plane's overhead budget: runs the
+//! host-runtime micro-benchmark with the event recorder off and on and
+//! compares the best-of-N wall times. Exits non-zero if the traced run is
+//! more than `--budget-pct` slower (plus a small absolute slack so short
+//! CI runs are not failed by scheduler noise).
+//!
+//! The recorder's hot-path cost is one pair of relaxed load+store per
+//! event and per histogram sample — no new atomic RMWs in any barrier
+//! spin loop — so enabled overhead must stay in the low single digits.
+//!
+//! Flags: `--blocks 4` `--rounds 2000` `--tpb 64` `--reps 5`
+//!        `--budget-pct 5` `--slack-ms 20`
+
+use std::time::Duration;
+
+use blocksync_core::{SyncMethod, TraceConfig};
+use blocksync_microbench::{run_host, run_host_traced};
+
+fn best_of(reps: usize, mut run: impl FnMut() -> Duration) -> Duration {
+    (0..reps).map(|_| run()).min().expect("reps >= 1")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |key: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == &format!("--{key}"))
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let blocks: usize = get("blocks", "4").parse().expect("--blocks integer");
+    let rounds: usize = get("rounds", "2000").parse().expect("--rounds integer");
+    let tpb: usize = get("tpb", "64").parse().expect("--tpb integer");
+    let reps: usize = get("reps", "5").parse().expect("--reps integer");
+    let budget_pct: f64 = get("budget-pct", "5").parse().expect("--budget-pct number");
+    let slack = Duration::from_millis(get("slack-ms", "20").parse().expect("--slack-ms integer"));
+
+    let method = SyncMethod::GpuLockFree;
+    // Warm up thread spawning and the allocator before timing anything.
+    let _ = run_host(blocks, tpb, rounds.min(200), method).expect("valid config");
+
+    let off = best_of(reps, || {
+        let (stats, ok) = run_host(blocks, tpb, rounds, method).expect("valid config");
+        assert!(ok, "untraced run failed verification");
+        stats.wall
+    });
+    let on = best_of(reps, || {
+        let (stats, ok) =
+            run_host_traced(blocks, tpb, rounds, method, TraceConfig::new()).expect("valid config");
+        assert!(ok, "traced run failed verification");
+        stats.wall
+    });
+
+    let overhead = on.saturating_sub(off);
+    let pct = if off.is_zero() {
+        0.0
+    } else {
+        100.0 * overhead.as_secs_f64() / off.as_secs_f64()
+    };
+    println!(
+        "{method}: {blocks} blocks x {rounds} rounds, best of {reps}: \
+         off {:.3} ms, on {:.3} ms, overhead {:.3} ms ({pct:.2}%)",
+        off.as_secs_f64() * 1e3,
+        on.as_secs_f64() * 1e3,
+        overhead.as_secs_f64() * 1e3,
+    );
+    if pct > budget_pct && overhead > slack {
+        eprintln!("FAIL: tracing overhead {pct:.2}% exceeds the {budget_pct}% budget");
+        std::process::exit(1);
+    }
+    println!(
+        "OK: within the {budget_pct}% budget (slack {} ms)",
+        slack.as_millis()
+    );
+}

@@ -9,8 +9,11 @@ use blocksync_algos::swat::{
 };
 use std::time::Duration;
 
-use blocksync_core::{GridConfig, GridExecutor, KernelStats, RoundKernel, SyncMethod, SyncPolicy};
-use blocksync_microbench::run_host_with;
+use blocksync_core::{
+    ChromeTraceBuilder, GridConfig, GridExecutor, KernelStats, RoundKernel, SyncMethod, SyncPolicy,
+    TraceConfig,
+};
+use blocksync_microbench::{run_host_traced, MeanKernel};
 use blocksync_sim::{try_simulate, ConstWorkload, SimConfig, TraceKind};
 
 use crate::args::{parse_method, Args};
@@ -30,7 +33,105 @@ fn sync_policy(a: &Args) -> Result<SyncPolicy, String> {
     })
 }
 
+/// Telemetry plane from shared flags: `--trace FILE` (record a barrier
+/// timeline and export chrome://tracing JSON) and/or `--metrics` (print
+/// aggregate histograms); `--trace-stride N` samples every Nth round.
+fn trace_config(a: &Args) -> Result<Option<TraceConfig>, String> {
+    if !a.has("trace") && !a.has("metrics") {
+        return Ok(None);
+    }
+    if a.has("trace") && a.get("trace", "").is_empty() {
+        return Err("--trace expects an output file (e.g. --trace out.json)".into());
+    }
+    let stride = a.get_usize("trace-stride", 1);
+    if stride == 0 {
+        return Err("--trace-stride expects an integer >= 1".into());
+    }
+    Ok(Some(TraceConfig::new().with_stride(stride)))
+}
+
+/// Emit whatever telemetry output the flags asked for. No-op when the run
+/// carried no telemetry and none was requested.
+fn report_telemetry(stats: &KernelStats, a: &Args) -> Result<(), String> {
+    let Some(t) = &stats.telemetry else {
+        if a.has("trace") || a.has("metrics") {
+            // Requested but the recorder is compiled out.
+            eprintln!("note: blocksync-core was built without the `trace` feature; no telemetry");
+        }
+        return Ok(());
+    };
+    let path = a.get("trace", "");
+    if !path.is_empty() {
+        std::fs::write(path, t.chrome_trace(&stats.method))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "wrote chrome://tracing timeline to {path} ({} events, {} dropped) — \
+             open via chrome://tracing or https://ui.perfetto.dev",
+            t.events.len(),
+            t.dropped
+        );
+    }
+    if a.has("metrics") {
+        println!(
+            "telemetry: {} events over {} sampled rounds (stride {}, {} dropped)",
+            t.events.len(),
+            t.rounds.len(),
+            t.stride,
+            t.dropped
+        );
+        println!(
+            "  spin polls/wait    mean {:>10.0}  p50 {:>10}  p99 {:>10}  max {:>10}",
+            t.spin_polls.mean(),
+            t.spin_polls.percentile(0.50),
+            t.spin_polls.percentile(0.99),
+            t.spin_polls.max()
+        );
+        println!(
+            "  sync/block/round   mean {:>8.1}us  p50 {:>8.1}us  p99 {:>8.1}us  max {:>8.1}us",
+            t.sync_ns.mean() / 1e3,
+            t.sync_ns.percentile(0.50) as f64 / 1e3,
+            t.sync_ns.percentile(0.99) as f64 / 1e3,
+            t.sync_ns.max() as f64 / 1e3
+        );
+        println!(
+            "  arrival skew/round mean {:>8.1}us  p50 {:>8.1}us  p99 {:>8.1}us  max {:>8.1}us",
+            t.arrival_skew_ns.mean() / 1e3,
+            t.arrival_skew_ns.percentile(0.50) as f64 / 1e3,
+            t.arrival_skew_ns.percentile(0.99) as f64 / 1e3,
+            t.arrival_skew_ns.max() as f64 / 1e3
+        );
+        if let Some(w) = t.worst_round() {
+            println!(
+                "  worst skew: round {} ({:.1} us, straggler block {})",
+                w.round,
+                w.arrival_skew.as_secs_f64() * 1e6,
+                w.straggler
+            );
+        }
+    }
+    Ok(())
+}
+
 fn run_kernel<K: RoundKernel>(
+    kernel: &K,
+    blocks: usize,
+    method: SyncMethod,
+    a: &Args,
+) -> Result<KernelStats, String> {
+    let mut cfg = GridConfig::new(blocks, 64).with_policy(sync_policy(a)?);
+    if let Some(tc) = trace_config(a)? {
+        cfg = cfg.with_trace(tc);
+    }
+    let stats = GridExecutor::new(cfg, method)
+        .run(kernel)
+        .map_err(|e| e.to_string())?;
+    report_telemetry(&stats, a)?;
+    Ok(stats)
+}
+
+/// [`run_kernel`] without telemetry — for auxiliary verification passes
+/// that must not overwrite the primary run's trace output.
+fn run_kernel_plain<K: RoundKernel>(
     kernel: &K,
     blocks: usize,
     method: SyncMethod,
@@ -105,8 +206,47 @@ pub fn simulate(a: &Args) -> Result<(), String> {
             };
             println!("  {:>10}  block {}  {}", e.time.to_string(), e.block, kind);
         }
+        // `--trace FILE` (vs bare `--trace`) also exports the timeline.
+        let path = a.get("trace", "");
+        if !path.is_empty() {
+            std::fs::write(path, sim_chrome_trace(&r.trace, method))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote chrome://tracing timeline to {path}");
+        }
     }
     Ok(())
+}
+
+/// Export the simulator timeline through the shared Chrome-trace writer:
+/// `compute` spans (compute start → barrier arrive), `sync` spans (arrive
+/// → release), and a `done` marker per block — the same track layout the
+/// host runtime's `--trace` produces.
+fn sim_chrome_trace(trace: &[blocksync_sim::TraceEvent], method: SyncMethod) -> String {
+    use std::collections::HashMap;
+    let mut b = ChromeTraceBuilder::new();
+    let mut open: HashMap<(usize, usize, bool), Duration> = HashMap::new();
+    for e in trace {
+        let at = Duration::from_nanos(e.time.as_nanos());
+        match e.kind {
+            TraceKind::ComputeStart { round } => {
+                open.insert((e.block, round, false), at);
+            }
+            TraceKind::BarrierArrive { round } => {
+                if let Some(s) = open.remove(&(e.block, round, false)) {
+                    b.complete("compute", "round", e.block, s, at, round);
+                }
+                open.insert((e.block, round, true), at);
+            }
+            TraceKind::BarrierRelease { round } => {
+                if let Some(s) = open.remove(&(e.block, round, true)) {
+                    b.complete("sync", "barrier", e.block, s, at, round);
+                }
+            }
+            TraceKind::KernelDone => b.instant("done", e.block, at),
+        }
+    }
+    let m = method.to_string();
+    b.finish(&[("method", m.as_str()), ("source", "simulator")])
 }
 
 /// `blocksync sort`.
@@ -215,7 +355,7 @@ pub fn fft(a: &Args) -> Result<(), String> {
             Direction::Inverse => Direction::Forward,
         },
     );
-    run_kernel(&back_kernel, blocks, method, a)?;
+    run_kernel_plain(&back_kernel, blocks, method, a)?;
     let err = blocksync_algos::fft::reference::max_error(&back_kernel.output(), &input);
     if err > 1e-2 {
         return Err(format!("round-trip error {err} too large"));
@@ -249,20 +389,68 @@ pub fn scan(a: &Args) -> Result<(), String> {
 pub fn micro(a: &Args) -> Result<(), String> {
     let blocks = a.get_usize("blocks", 4);
     let rounds = a.get_usize("rounds", 2_000);
+    let tpb = a.get_usize("tpb", 64);
     let method = parse_method(a.get("method", "gpu-lock-free"))?;
-    let (stats, ok) = run_host_with(
-        blocks,
-        a.get_usize("tpb", 64),
-        rounds,
-        method,
-        sync_policy(a)?,
-    )
-    .map_err(|e| e.to_string())?;
-    if !ok {
+    let kernel = MeanKernel::for_grid(blocks, tpb, rounds);
+    let mut cfg = GridConfig::new(blocks, tpb).with_policy(sync_policy(a)?);
+    if let Some(tc) = trace_config(a)? {
+        cfg = cfg.with_trace(tc);
+    }
+    let stats = GridExecutor::new(cfg, method)
+        .run(&kernel)
+        .map_err(|e| e.to_string())?;
+    if !kernel.verify() {
         return Err("micro-benchmark produced wrong means".into());
     }
     println!("mean-of-two-floats micro-benchmark — verified");
     println!("{stats}");
+    report_telemetry(&stats, a)?;
+    Ok(())
+}
+
+/// `blocksync trace` — run the micro-benchmark with the telemetry plane on
+/// and print the per-round skew/straggler table.
+pub fn trace(a: &Args) -> Result<(), String> {
+    let blocks = a.get_usize("blocks", 4);
+    let rounds = a.get_usize("rounds", 200);
+    let method = parse_method(a.get("method", "gpu-lock-free"))?;
+    let stride = a.get_usize("stride", 1);
+    if stride == 0 {
+        return Err("--stride expects an integer >= 1".into());
+    }
+    let tc = TraceConfig::new().with_stride(stride);
+    let (stats, ok) = run_host_traced(blocks, a.get_usize("tpb", 64), rounds, method, tc)
+        .map_err(|e| e.to_string())?;
+    if !ok {
+        return Err("micro-benchmark produced wrong means".into());
+    }
+    let Some(t) = &stats.telemetry else {
+        return Err("blocksync-core was built without the `trace` feature".into());
+    };
+    println!(
+        "{}: {} blocks x {} rounds — {} events over {} sampled rounds (stride {}, {} dropped)",
+        stats.method,
+        stats.n_blocks,
+        stats.rounds,
+        t.events.len(),
+        t.rounds.len(),
+        t.stride,
+        t.dropped
+    );
+    print!("{}", t.round_table(a.get_usize("limit", 20)));
+    println!(
+        "spin polls/wait: mean {:.0}, p99 {}; sync/block/round: mean {:.1} us, p99 {:.1} us",
+        t.spin_polls.mean(),
+        t.spin_polls.percentile(0.99),
+        t.sync_ns.mean() / 1e3,
+        t.sync_ns.percentile(0.99) as f64 / 1e3
+    );
+    let out = a.get("out", "");
+    if !out.is_empty() {
+        std::fs::write(out, t.chrome_trace(&stats.method))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote chrome://tracing timeline to {out}");
+    }
     Ok(())
 }
 
@@ -315,6 +503,57 @@ mod tests {
     fn scan_and_micro_commands() {
         scan(&args(&["scan", "--n", "5000", "--blocks", "3"])).unwrap();
         micro(&args(&["micro", "--blocks", "2", "--rounds", "100"])).unwrap();
+    }
+
+    #[test]
+    fn trace_command_and_flags() {
+        // The table view runs and verifies.
+        trace(&args(&["trace", "--blocks", "2", "--rounds", "50"])).unwrap();
+        trace(&args(&[
+            "trace", "--blocks", "2", "--rounds", "50", "--stride", "5",
+        ]))
+        .unwrap();
+        assert!(trace(&args(&["trace", "--stride", "0"])).is_err());
+        // `--metrics` prints the histogram summary without failing.
+        micro(&args(&[
+            "micro",
+            "--blocks",
+            "2",
+            "--rounds",
+            "50",
+            "--metrics",
+        ]))
+        .unwrap();
+        // Bare `--trace` on a host command needs a file path.
+        let e = micro(&args(&[
+            "micro", "--blocks", "2", "--rounds", "10", "--trace",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--trace"), "{e}");
+    }
+
+    #[test]
+    fn trace_flag_writes_chrome_json() {
+        let dir = std::env::temp_dir();
+        let host = dir.join("blocksync-cli-host-trace.json");
+        let sim = dir.join("blocksync-cli-sim-trace.json");
+        let host_s = host.to_str().unwrap();
+        let sim_s = sim.to_str().unwrap();
+        micro(&args(&[
+            "micro", "--blocks", "2", "--rounds", "40", "--trace", host_s,
+        ]))
+        .unwrap();
+        simulate(&args(&[
+            "simulate", "--blocks", "4", "--rounds", "20", "--trace", sim_s,
+        ]))
+        .unwrap();
+        for p in [&host, &sim] {
+            let json = std::fs::read_to_string(p).unwrap();
+            assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+            assert!(json.contains("\"ph\":\"X\""), "{json}");
+            assert!(json.contains("\"name\":\"sync\""), "{json}");
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! blocksync align    --len 600 --mutation 0.05 --blocks 6 [--global] [--band 16]
 //! blocksync fft      --log-n 12 --blocks 6 [--inverse]
 //! blocksync scan     --n 100000 --blocks 4
-//! blocksync micro    --blocks 4 --rounds 2000
+//! blocksync micro    --blocks 4 --rounds 2000 [--trace out.json] [--metrics]
+//! blocksync trace    --blocks 4 --rounds 200 --method lock-free
 //! ```
 //!
 //! Every subcommand prints what it verified, what it measured, and (for
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
         "fft" => commands::fft(&parsed),
         "scan" => commands::scan(&parsed),
         "micro" => commands::micro(&parsed),
+        "trace" => commands::trace(&parsed),
         other => Err(format!("unknown command {other:?}; run `blocksync help`")),
     };
     match result {
@@ -64,12 +66,25 @@ COMMANDS:
              --n LEN --blocks N --method M
   micro      the paper's Section 5.4 micro-benchmark on the host runtime
              --blocks N --rounds R --method M
+  trace      micro-benchmark with the telemetry plane on: per-round
+             arrival-skew/straggler table plus spin/sync histograms
+             --blocks N --rounds R --method M [--stride S] [--limit K]
+             [--out FILE]
 
 COMMON FLAGS:
   --sync-timeout S   bound every barrier wait to S seconds (host-runtime
                      commands); a stuck or crashed block then fails the run
                      with a diagnostic naming it instead of hanging.
                      0 or absent = wait forever.
+  --trace FILE       record a barrier timeline and write chrome://tracing
+                     JSON to FILE (host-runtime commands; open it via
+                     chrome://tracing or https://ui.perfetto.dev). On
+                     `simulate`, bare --trace prints the first simulator
+                     events and --trace FILE also exports the timeline.
+  --metrics          print aggregate telemetry after the run: spin polls
+                     per wait, sync time per block per round, and arrival
+                     skew per round (mean/p50/p99/max).
+  --trace-stride N   sample the timeline every Nth round (default 1).
 
 METHODS:
   cpu-explicit cpu-implicit gpu-simple gpu-tree-2 gpu-tree-3 gpu-lock-free

@@ -38,12 +38,13 @@
 //! and adds only the single plain poison load per poll to the hot path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::utils::CachePadded;
 
 use crate::error::StuckDiagnostic;
+use crate::trace::{EventRecorder, TraceEventKind};
 
 /// How a waiting block burns time between polls of its barrier flag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -163,6 +164,11 @@ pub struct BarrierControl {
     arrivals: Vec<CachePadded<AtomicU64>>,
     /// `departures[b]` = barrier rounds block `b` has completed.
     departures: Vec<CachePadded<AtomicU64>>,
+    /// Telemetry sink, attached by the executor when tracing is on. The
+    /// arrival/departure bookkeeping (called once per wait, outside the
+    /// spin loop) doubles as the event-emission point, so every barrier
+    /// implementation is traced without touching its spin code.
+    recorder: OnceLock<Arc<EventRecorder>>,
 }
 
 impl BarrierControl {
@@ -180,6 +186,7 @@ impl BarrierControl {
             departures: (0..n_blocks)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
+            recorder: OnceLock::new(),
         }
     }
 
@@ -188,28 +195,56 @@ impl BarrierControl {
         &self.policy
     }
 
+    /// Attach the telemetry recorder (first caller wins; the executor does
+    /// this once before spawning block threads).
+    pub fn attach_recorder(&self, rec: Arc<EventRecorder>) {
+        let _ = self.recorder.set(rec);
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<EventRecorder>> {
+        self.recorder.get()
+    }
+
     /// Record that `block` has entered its round-`round` (0-based) wait.
     #[inline]
     pub fn record_arrival(&self, block: usize, round: u64) {
         self.arrivals[block].store(round + 1, Ordering::Relaxed);
+        if let Some(rec) = self.recorder.get() {
+            rec.record(block, round as usize, TraceEventKind::BarrierArrive);
+        }
     }
 
     /// Record that `block` has completed its round-`round` wait.
     #[inline]
     pub fn record_departure(&self, block: usize, round: u64) {
         self.departures[block].store(round + 1, Ordering::Relaxed);
+        if let Some(rec) = self.recorder.get() {
+            rec.record(block, round as usize, TraceEventKind::BarrierDepart);
+        }
     }
 
     /// Poison the barrier: every current and future wait returns
     /// [`SyncFault::Poisoned`] naming `block`/`round`/`cause`. First caller
     /// wins; later poisonings are ignored so the diagnostic stays stable.
     pub fn poison(&self, block: usize, round: usize, cause: PoisonCause) {
-        let _ = self.poison.compare_exchange(
-            0,
-            pack_poison(block, round, cause),
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        );
+        let won = self
+            .poison
+            .compare_exchange(
+                0,
+                pack_poison(block, round, cause),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok();
+        if won {
+            // Poison is always raised from the failing block's own thread
+            // (panic unwind or its own timed-out wait), so the single-writer
+            // ring contract holds here too.
+            if let Some(rec) = self.recorder.get() {
+                rec.record(block, round, TraceEventKind::Poison);
+            }
+        }
     }
 
     /// Whether the barrier is poisoned, and by whom.
@@ -242,7 +277,9 @@ impl BarrierControl {
     ///
     /// With the default policy (no timeout, [`SpinStrategy::Yield`]) this
     /// is the pre-fault-tolerance spin loop — 64 busy polls then
-    /// `yield_now` — plus one plain load per poll.
+    /// `yield_now` — plus one plain load per poll. Telemetry never adds
+    /// work *inside* the loop: the poll count is recorded once, after it
+    /// exits (see [`EventRecorder::record_spin`]).
     #[inline]
     pub fn wait_until(
         &self,
@@ -259,12 +296,14 @@ impl BarrierControl {
         let mut polls = 0u32;
         loop {
             if cond() {
+                self.note_spin(block, polls);
                 return Ok(());
             }
             let word = self.poison.load(Ordering::Relaxed);
             if word != 0 {
                 // Re-load with Acquire so the poisoner's writes are visible.
                 let (pb, pr, cause) = unpack_poison(self.poison.load(Ordering::Acquire));
+                self.note_spin(block, polls);
                 return Err(SyncFault::Poisoned {
                     block: pb,
                     round: pr,
@@ -276,17 +315,20 @@ impl BarrierControl {
                     && Instant::now() >= when
                 {
                     self.poison(block, round as usize, PoisonCause::Timeout);
+                    self.note_spin(block, polls);
                     let (arrivals, departures) = self.progress();
+                    let diagnostic = StuckDiagnostic {
+                        barrier: barrier.to_string(),
+                        waiting_block: block,
+                        round: round as usize,
+                        flag: flag(),
+                        timeout,
+                        arrivals,
+                        departures,
+                        recent_events: self.straggler_trail(block, round),
+                    };
                     return Err(SyncFault::TimedOut {
-                        diagnostic: Box::new(StuckDiagnostic {
-                            barrier: barrier.to_string(),
-                            waiting_block: block,
-                            round: round as usize,
-                            flag: flag(),
-                            timeout,
-                            arrivals,
-                            departures,
-                        }),
+                        diagnostic: Box::new(diagnostic),
                     });
                 }
             }
@@ -311,6 +353,35 @@ impl BarrierControl {
             }
             polls = polls.wrapping_add(1);
         }
+    }
+
+    /// Record one completed wait's poll count (no-op without a recorder).
+    #[inline]
+    fn note_spin(&self, block: usize, polls: u32) {
+        if let Some(rec) = self.recorder.get() {
+            rec.record_spin(block, u64::from(polls));
+        }
+    }
+
+    /// Number of trace events attached to a timeout diagnostic.
+    const TRAIL_LEN: usize = 8;
+
+    /// The recent trace events of the primary straggler of `round` — the
+    /// first block whose arrival count is behind the waiting block — or of
+    /// the waiting block itself when everyone arrived (lost release).
+    pub(crate) fn straggler_trail(&self, waiting: usize, round: u64) -> Vec<String> {
+        let Some(rec) = self.recorder.get() else {
+            return Vec::new();
+        };
+        let straggler = self
+            .arrivals
+            .iter()
+            .position(|a| a.load(Ordering::Relaxed) <= round)
+            .unwrap_or(waiting);
+        rec.tail(straggler, Self::TRAIL_LEN)
+            .iter()
+            .map(|e| e.to_string())
+            .collect()
     }
 }
 

@@ -35,6 +35,10 @@ pub struct StuckDiagnostic {
     pub arrivals: Vec<u64>,
     /// Barrier rounds completed, per block.
     pub departures: Vec<u64>,
+    /// The last few trace events of the primary straggler (rendered
+    /// human-readable), when the run had tracing enabled — what the stuck
+    /// block was *doing*, not just where it stopped. Empty without a trace.
+    pub recent_events: Vec<String>,
 }
 
 impl StuckDiagnostic {
@@ -63,7 +67,11 @@ impl fmt::Display for StuckDiagnostic {
         } else {
             write!(f, "never arrived: {stragglers:?}")?;
         }
-        write!(f, "; arrivals {:?}", self.arrivals)
+        write!(f, "; arrivals {:?}", self.arrivals)?;
+        if !self.recent_events.is_empty() {
+            write!(f, "; straggler trail: [{}]", self.recent_events.join(", "))?;
+        }
+        Ok(())
     }
 }
 
@@ -146,6 +154,7 @@ mod tests {
             timeout: Duration::from_millis(50),
             arrivals: vec![4, 3, 4, 4],
             departures: vec![3, 3, 3, 3],
+            recent_events: Vec::new(),
         }
     }
 
@@ -185,6 +194,18 @@ mod tests {
         let e = ExecError::from(DeviceError::EmptyLaunch);
         assert!(e.source().is_some());
         assert_eq!(e, ExecError::Device(DeviceError::EmptyLaunch));
+    }
+
+    #[test]
+    fn display_appends_straggler_trail_when_present() {
+        let mut d = diag();
+        assert!(!d.to_string().contains("straggler trail"));
+        d.recent_events = vec!["round-start r3".into(), "arrive r3".into()];
+        let s = d.to_string();
+        assert!(
+            s.contains("straggler trail: [round-start r3, arrive r3]"),
+            "{s}"
+        );
     }
 
     #[test]

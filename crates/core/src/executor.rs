@@ -39,7 +39,7 @@
 use std::any::Any;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -50,6 +50,7 @@ use crate::barrier::{BarrierShared, PoisonCause, SyncFault, SyncPolicy};
 use crate::error::{ExecError, StuckDiagnostic};
 use crate::method::SyncMethod;
 use crate::stats::{BlockTimes, KernelStats};
+use crate::trace::{EventRecorder, TraceConfig, TraceEventKind};
 
 /// Grid shape for a kernel execution.
 #[derive(Debug, Clone)]
@@ -64,6 +65,11 @@ pub struct GridConfig {
     /// Fault policy for barrier waits and CPU-mode rendezvous (defaults to
     /// unbounded waits with the standard spin-then-yield loop).
     pub policy: SyncPolicy,
+    /// Telemetry configuration. `None` (the default) records nothing; with
+    /// a [`TraceConfig`] (and the `trace` feature compiled in, the
+    /// default), the run carries an event recorder and
+    /// [`KernelStats::telemetry`] is populated.
+    pub trace: Option<TraceConfig>,
 }
 
 impl GridConfig {
@@ -74,6 +80,7 @@ impl GridConfig {
             threads_per_block,
             spec: GpuSpec::gtx280(),
             policy: SyncPolicy::default(),
+            trace: None,
         }
     }
 
@@ -86,6 +93,12 @@ impl GridConfig {
     /// Replace the fault policy (timeout + spin strategy).
     pub fn with_policy(mut self, policy: SyncPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Enable telemetry under `trace` (event recording + histograms).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -310,8 +323,36 @@ fn fault_to_error(fault: SyncFault, barrier: &dyn BarrierShared) -> ExecError {
                     timeout: barrier.control().policy().timeout.unwrap_or_default(),
                     arrivals,
                     departures,
+                    recent_events: barrier.control().straggler_trail(block, round as u64),
                 }),
             }
+        }
+    }
+}
+
+/// One-shot launch gate for persistent modes: every block thread checks in
+/// and spins (yielding) until all peers exist. This pins down the "kernel
+/// launch" boundary — time before the gate opens is thread-spawn overhead
+/// (`t_O`), time after is round time — so round-0 sync no longer absorbs
+/// the stagger of late-spawned threads. One `fetch_add` per thread per
+/// *run*, well off the barrier hot path.
+struct StartGate {
+    arrived: AtomicUsize,
+    n: usize,
+}
+
+impl StartGate {
+    fn new(n: usize) -> Self {
+        StartGate {
+            arrived: AtomicUsize::new(0),
+            n,
+        }
+    }
+
+    fn wait(&self) {
+        self.arrived.fetch_add(1, Ordering::AcqRel);
+        while self.arrived.load(Ordering::Acquire) < self.n {
+            std::thread::yield_now();
         }
     }
 }
@@ -352,18 +393,42 @@ impl GridExecutor {
         let n = self.cfg.n_blocks;
         let abort = AbortSignal::new();
         kernel.on_launch(&abort);
+        // The recorder's epoch doubles as the run's time origin, so host-
+        // and block-side timestamps share one clock.
+        let recorder = self
+            .cfg
+            .trace
+            .as_ref()
+            .filter(|_| EventRecorder::ENABLED)
+            .map(|tc| Arc::new(EventRecorder::new(n, rounds, tc)));
         let start = Instant::now();
         let per_block = match self.method {
-            SyncMethod::CpuExplicit => self.run_cpu_explicit(kernel, rounds, &abort)?,
-            SyncMethod::CpuImplicit => self.run_cpu_implicit(kernel, rounds, &abort)?,
-            SyncMethod::NoSync => self.run_persistent(kernel, rounds, None, &abort)?,
+            SyncMethod::CpuExplicit => {
+                self.run_cpu_explicit(kernel, rounds, &abort, recorder.as_ref())?
+            }
+            SyncMethod::CpuImplicit => {
+                self.run_cpu_implicit(kernel, rounds, &abort, start, recorder.as_ref())?
+            }
+            SyncMethod::NoSync => {
+                self.run_persistent(kernel, rounds, None, &abort, start, recorder.as_ref())?
+            }
             gpu => {
                 let barrier = gpu.build_barrier_with(n, self.cfg.policy).ok_or_else(|| {
                     ExecError::BarrierUnavailable {
                         method: gpu.to_string(),
                     }
                 })?;
-                self.run_persistent(kernel, rounds, Some(barrier), &abort)?
+                if let Some(rec) = recorder.as_ref() {
+                    barrier.control().attach_recorder(Arc::clone(rec));
+                }
+                self.run_persistent(
+                    kernel,
+                    rounds,
+                    Some(barrier),
+                    &abort,
+                    start,
+                    recorder.as_ref(),
+                )?
             }
         };
         Ok(KernelStats {
@@ -371,7 +436,9 @@ impl GridExecutor {
             n_blocks: n,
             rounds,
             wall: start.elapsed(),
+            launch: per_block.iter().map(|b| b.launch).max().unwrap_or_default(),
             per_block,
+            telemetry: recorder.map(|rec| Box::new(rec.finish())),
         })
     }
 
@@ -392,21 +459,37 @@ impl GridExecutor {
         rounds: usize,
         barrier: Option<Arc<dyn BarrierShared>>,
         abort: &AbortSignal,
+        run_start: Instant,
+        recorder: Option<&Arc<EventRecorder>>,
     ) -> Result<Vec<BlockTimes>, ExecError> {
         let n = self.cfg.n_blocks;
+        let gate = StartGate::new(n);
         let results: Vec<Result<BlockTimes, ExecError>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)
                 .map(|b| {
                     let ctx = self.ctx(b);
                     let barrier = barrier.clone();
                     let abort = abort.clone();
+                    let gate = &gate;
+                    let recorder = recorder.cloned();
                     s.spawn(move || -> Result<BlockTimes, ExecError> {
                         let mut waiter = barrier.clone().map(|sh| sh.waiter(b));
                         let mut t = BlockTimes::default();
+                        // The launch gate: no block starts round 0 until
+                        // every thread exists, so the time to here is the
+                        // run's spawn overhead (t_O), not round-0 sync skew.
+                        gate.wait();
+                        t.launch = run_start.elapsed();
                         for r in 0..rounds {
                             let t0 = Instant::now();
+                            if let Some(rec) = recorder.as_deref() {
+                                rec.record(b, r, TraceEventKind::RoundStart);
+                            }
                             let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
                             if let Err(payload) = outcome {
+                                if let Some(rec) = recorder.as_deref() {
+                                    rec.record(b, r, TraceEventKind::Abort);
+                                }
                                 if let Some(sh) = barrier.as_deref() {
                                     sh.control().poison(b, r, PoisonCause::Panic);
                                 }
@@ -418,6 +501,9 @@ impl GridExecutor {
                                 });
                             }
                             let t1 = Instant::now();
+                            if let Some(rec) = recorder.as_deref() {
+                                rec.record(b, r, TraceEventKind::RoundEnd);
+                            }
                             if let Some(w) = waiter.as_mut() {
                                 if let Err(fault) = w.wait() {
                                     abort.abort();
@@ -428,6 +514,11 @@ impl GridExecutor {
                             let t2 = Instant::now();
                             t.compute += t1 - t0;
                             t.sync += t2 - t1;
+                            if let Some(rec) = recorder.as_deref() {
+                                if rec.sampled(r) {
+                                    rec.record_sync(b, (t2 - t1).as_nanos() as u64);
+                                }
+                            }
                         }
                         Ok(t)
                     })
@@ -444,15 +535,29 @@ impl GridExecutor {
     /// CPU explicit synchronization: spawn + join every round. The
     /// "barrier" is the host's join, so the policy timeout bounds the
     /// host's wait for all blocks to finish each round.
+    ///
+    /// Time attribution per block per round: spawn delay (thread creation
+    /// until the kernel starts) goes to `launch`, the kernel body to
+    /// `compute`, and finish-until-release (everyone joined) to `sync` — so
+    /// `sync` measures the synchronizing wait itself and no longer absorbs
+    /// thread-startup overhead on short runs.
     fn run_cpu_explicit<K: RoundKernel>(
         &self,
         kernel: &K,
         rounds: usize,
         abort: &AbortSignal,
+        recorder: Option<&Arc<EventRecorder>>,
     ) -> Result<Vec<BlockTimes>, ExecError> {
         struct RoundTracker {
             state: Mutex<usize>, // blocks finished this round
             cv: Condvar,
+        }
+        /// One block's successful round: spawn delay, kernel time, and the
+        /// instant it finished (arrived at the host-side join "barrier").
+        struct RoundDone {
+            spawn_delay: Duration,
+            compute: Duration,
+            arrived: Instant,
         }
 
         let n = self.cfg.n_blocks;
@@ -464,7 +569,7 @@ impl GridExecutor {
                 cv: Condvar::new(),
             };
             let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-            let mut outcomes: Vec<Result<Duration, ExecError>> = Vec::with_capacity(n);
+            let mut outcomes: Vec<Result<RoundDone, ExecError>> = Vec::with_capacity(n);
             // Completion states captured at the moment the deadline expired
             // (the straggler may still finish between deadline and join).
             let mut deadline_snapshot: Option<Vec<bool>> = None;
@@ -474,16 +579,39 @@ impl GridExecutor {
                         let ctx = self.ctx(b);
                         let tracker = &tracker;
                         let done = &done;
+                        let recorder = recorder.cloned();
                         s.spawn(move || {
                             let t0 = Instant::now();
+                            // Round r's thread for block b is the ring's
+                            // writer this round; the host's join below and
+                            // the next spawn give the handoff edges.
+                            if let Some(rec) = recorder.as_deref() {
+                                rec.record(b, r, TraceEventKind::RoundStart);
+                            }
                             let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
                             let result = match outcome {
-                                Ok(()) => Ok(t0.elapsed()),
-                                Err(payload) => Err(ExecError::BlockPanicked {
-                                    block: b,
-                                    round: r,
-                                    message: payload_message(&*payload),
-                                }),
+                                Ok(()) => {
+                                    let arrived = Instant::now();
+                                    if let Some(rec) = recorder.as_deref() {
+                                        rec.record(b, r, TraceEventKind::RoundEnd);
+                                        rec.record(b, r, TraceEventKind::BarrierArrive);
+                                    }
+                                    Ok(RoundDone {
+                                        spawn_delay: t0 - round_start,
+                                        compute: arrived - t0,
+                                        arrived,
+                                    })
+                                }
+                                Err(payload) => {
+                                    if let Some(rec) = recorder.as_deref() {
+                                        rec.record(b, r, TraceEventKind::Abort);
+                                    }
+                                    Err(ExecError::BlockPanicked {
+                                        block: b,
+                                        round: r,
+                                        message: payload_message(&*payload),
+                                    })
+                                }
                             };
                             done[b].store(true, Ordering::Release);
                             let mut g = tracker.state.lock();
@@ -519,13 +647,17 @@ impl GridExecutor {
                 }
             });
 
+            // Every block is released the moment the last join completed.
+            let release = Instant::now();
             let mut origin: Option<ExecError> = None;
-            let round_wall = round_start.elapsed();
+            let mut released: Vec<(usize, Instant)> = Vec::new();
             for (b, outcome) in outcomes.into_iter().enumerate() {
                 match outcome {
-                    Ok(compute) => {
-                        times[b].compute += compute;
-                        times[b].sync += round_wall.saturating_sub(compute);
+                    Ok(d) => {
+                        times[b].launch += d.spawn_delay;
+                        times[b].compute += d.compute;
+                        times[b].sync += release.saturating_duration_since(d.arrived);
+                        released.push((b, d.arrived));
                     }
                     Err(e) => {
                         origin.get_or_insert(e);
@@ -541,6 +673,10 @@ impl GridExecutor {
                 let arrivals: Vec<u64> =
                     snapshot.iter().map(|&d| r as u64 + u64::from(d)).collect();
                 let waiting_block = arrivals.iter().position(|&a| a > r as u64).unwrap_or(0);
+                let straggler = arrivals
+                    .iter()
+                    .position(|&a| a <= r as u64)
+                    .unwrap_or(waiting_block);
                 return Err(ExecError::BarrierTimeout {
                     diagnostic: Box::new(StuckDiagnostic {
                         barrier: "cpu-explicit".to_string(),
@@ -550,8 +686,32 @@ impl GridExecutor {
                         timeout: self.cfg.policy.timeout.unwrap_or_default(),
                         departures: arrivals.iter().map(|a| a.saturating_sub(1)).collect(),
                         arrivals,
+                        recent_events: recorder
+                            .map(|rec| {
+                                rec.tail(straggler, 8)
+                                    .iter()
+                                    .map(|e| e.to_string())
+                                    .collect()
+                            })
+                            .unwrap_or_default(),
                     }),
                 });
+            }
+            // Host-stamped departures: every block leaves the join barrier
+            // at `release`, the same instant the sync accounting uses.
+            // Round r's thread has joined, so writing its ring here is the
+            // sequential half of the single-writer handoff.
+            if let Some(rec) = recorder {
+                let at = release.saturating_duration_since(rec.epoch());
+                for &(b, arrived) in &released {
+                    rec.record_at(b, r, TraceEventKind::BarrierDepart, at);
+                    if rec.sampled(r) {
+                        rec.record_sync(
+                            b,
+                            release.saturating_duration_since(arrived).as_nanos() as u64,
+                        );
+                    }
+                }
             }
         }
         Ok(times)
@@ -566,6 +726,8 @@ impl GridExecutor {
         kernel: &K,
         rounds: usize,
         abort: &AbortSignal,
+        run_start: Instant,
+        recorder: Option<&Arc<EventRecorder>>,
     ) -> Result<Vec<BlockTimes>, ExecError> {
         struct DispState {
             arrived: usize,
@@ -579,6 +741,7 @@ impl GridExecutor {
             cv: Condvar,
             n: usize,
             timeout: Option<Duration>,
+            recorder: Option<Arc<EventRecorder>>,
         }
         impl Dispatcher {
             /// Returns only when all `n` workers have finished epoch `e`,
@@ -618,12 +781,15 @@ impl GridExecutor {
                 Ok(())
             }
 
-            fn poison(&self, block: usize, round: usize, cause: PoisonCause) {
+            /// Returns whether this call set the poison (first caller wins).
+            fn poison(&self, block: usize, round: usize, cause: PoisonCause) -> bool {
                 let mut g = self.state.lock();
-                if g.poisoned.is_none() {
+                let won = g.poisoned.is_none();
+                if won {
                     g.poisoned = Some((block, round, cause));
                 }
                 self.cv.notify_all();
+                won
             }
 
             fn stuck_diagnostic(
@@ -633,6 +799,7 @@ impl GridExecutor {
                 timeout: Duration,
                 g: &DispState,
             ) -> StuckDiagnostic {
+                let straggler = g.progress.iter().position(|&p| p <= epoch).unwrap_or(block);
                 StuckDiagnostic {
                     barrier: "cpu-implicit".to_string(),
                     waiting_block: block,
@@ -641,6 +808,16 @@ impl GridExecutor {
                     timeout,
                     arrivals: g.progress.clone(),
                     departures: g.progress.iter().map(|&p| p.min(g.epoch)).collect(),
+                    recent_events: self
+                        .recorder
+                        .as_deref()
+                        .map(|rec| {
+                            rec.tail(straggler, 8)
+                                .iter()
+                                .map(|e| e.to_string())
+                                .collect()
+                        })
+                        .unwrap_or_default(),
                 }
             }
 
@@ -680,20 +857,36 @@ impl GridExecutor {
             cv: Condvar::new(),
             n,
             timeout: self.cfg.policy.timeout,
+            recorder: recorder.cloned(),
         };
+        let gate = StartGate::new(n);
         let results: Vec<Result<BlockTimes, ExecError>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)
                 .map(|b| {
                     let ctx = self.ctx(b);
                     let disp = &disp;
                     let abort = abort.clone();
+                    let gate = &gate;
+                    let recorder = recorder.cloned();
                     s.spawn(move || -> Result<BlockTimes, ExecError> {
                         let mut t = BlockTimes::default();
+                        gate.wait();
+                        t.launch = run_start.elapsed();
                         for r in 0..rounds {
                             let t0 = Instant::now();
+                            if let Some(rec) = recorder.as_deref() {
+                                rec.record(b, r, TraceEventKind::RoundStart);
+                            }
                             let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
                             if let Err(payload) = outcome {
-                                disp.poison(b, r, PoisonCause::Panic);
+                                if let Some(rec) = recorder.as_deref() {
+                                    rec.record(b, r, TraceEventKind::Abort);
+                                }
+                                if disp.poison(b, r, PoisonCause::Panic) {
+                                    if let Some(rec) = recorder.as_deref() {
+                                        rec.record(b, r, TraceEventKind::Poison);
+                                    }
+                                }
                                 abort.abort();
                                 return Err(ExecError::BlockPanicked {
                                     block: b,
@@ -702,11 +895,21 @@ impl GridExecutor {
                                 });
                             }
                             let t1 = Instant::now();
+                            if let Some(rec) = recorder.as_deref() {
+                                rec.record(b, r, TraceEventKind::RoundEnd);
+                                rec.record(b, r, TraceEventKind::BarrierArrive);
+                            }
                             if let Err(e) = disp.rendezvous(b, r as u64) {
                                 abort.abort();
                                 return Err(e);
                             }
                             let t2 = Instant::now();
+                            if let Some(rec) = recorder.as_deref() {
+                                rec.record(b, r, TraceEventKind::BarrierDepart);
+                                if rec.sampled(r) {
+                                    rec.record_sync(b, (t2 - t1).as_nanos() as u64);
+                                }
+                            }
                             t.compute += t1 - t0;
                             t.sync += t2 - t1;
                         }
@@ -1035,6 +1238,91 @@ mod tests {
         assert!(matches!(err, ExecError::BlockPanicked { block: 0, .. }));
         let signal = k.abort.lock().unwrap().clone().expect("on_launch ran");
         assert!(signal.is_aborted(), "executor must raise abort on failure");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_run_attaches_telemetry_everywhere() {
+        use crate::trace::TraceEventKind;
+        let rounds = 20;
+        for method in [
+            SyncMethod::CpuExplicit,
+            SyncMethod::CpuImplicit,
+            SyncMethod::GpuSimple,
+            SyncMethod::GpuTree(TreeLevels::Two),
+            SyncMethod::GpuTree(TreeLevels::Three),
+            SyncMethod::GpuLockFree,
+            SyncMethod::SenseReversing,
+            SyncMethod::Dissemination,
+        ] {
+            let k = (rounds, |_: &BlockCtx, _: usize| {});
+            let cfg = GridConfig::new(3, 8).with_trace(crate::TraceConfig::default());
+            let stats = GridExecutor::new(cfg, method).run(&k).unwrap();
+            let t = stats.telemetry.as_deref().expect("telemetry attached");
+            assert_eq!(t.dropped, 0, "{method}");
+            assert_eq!(
+                t.count(TraceEventKind::BarrierArrive),
+                3 * rounds,
+                "{method}"
+            );
+            assert_eq!(
+                t.count(TraceEventKind::BarrierDepart),
+                3 * rounds,
+                "{method}"
+            );
+            assert_eq!(t.count(TraceEventKind::RoundStart), 3 * rounds, "{method}");
+            assert_eq!(t.rounds.len(), rounds, "{method}");
+            // One sync sample per block per round.
+            assert_eq!(t.sync_ns.count(), (3 * rounds) as u64, "{method}");
+        }
+    }
+
+    #[test]
+    fn untraced_run_has_no_telemetry() {
+        let k = (5usize, |_: &BlockCtx, _: usize| {});
+        let stats = GridExecutor::new(GridConfig::new(2, 8), SyncMethod::GpuSimple)
+            .run(&k)
+            .unwrap();
+        assert!(stats.telemetry.is_none());
+    }
+
+    #[test]
+    fn launch_is_separated_from_in_round_time() {
+        // Regression (launch/sync split): on a short run, per-round sync
+        // must not absorb thread-startup overhead. The launch figure is
+        // nonzero (threads really are spawned) and the decomposition stays
+        // within wall time.
+        for method in [
+            SyncMethod::CpuExplicit,
+            SyncMethod::CpuImplicit,
+            SyncMethod::GpuSimple,
+        ] {
+            let k = (3usize, |_: &BlockCtx, _: usize| {});
+            let stats = GridExecutor::new(GridConfig::new(4, 8), method)
+                .run(&k)
+                .unwrap();
+            assert!(stats.launch > Duration::ZERO, "{method}: zero launch");
+            let slowest = stats
+                .per_block
+                .iter()
+                .map(|b| b.compute + b.sync)
+                .max()
+                .unwrap();
+            // Launch + slowest in-round time can't exceed what the wall
+            // clock saw (join noise only adds to wall).
+            let accounted = if method == SyncMethod::CpuExplicit {
+                // Explicit re-spawns per round; per-block launch already
+                // aggregates every round's spawn delay.
+                stats.avg_launch() + slowest
+            } else {
+                stats.launch + slowest
+            };
+            assert!(
+                accounted <= stats.wall + Duration::from_millis(5),
+                "{method}: accounted {accounted:?} vs wall {:?}",
+                stats.wall
+            );
+        }
     }
 
     #[test]

@@ -73,10 +73,12 @@ pub mod fault;
 pub mod gmem;
 pub mod lockfree;
 pub mod method;
+pub mod metrics;
 pub mod scalar;
 pub mod sense;
 pub mod simple;
 pub mod stats;
+pub mod trace;
 pub mod tree;
 
 pub use barrier::{
@@ -89,8 +91,13 @@ pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use gmem::{GlobalBuffer, GlobalBuffer2d};
 pub use lockfree::{FuzzyLockFreeWaiter, GpuLockFreeSync};
 pub use method::{ResetStrategy, SyncMethod, TreeLevels};
+pub use metrics::{BlockHistogram, Histogram};
 pub use scalar::DeviceScalar;
 pub use sense::SenseReversingSync;
 pub use simple::GpuSimpleSync;
 pub use stats::{BlockTimes, KernelStats};
+pub use trace::{
+    ChromeTraceBuilder, EventRecorder, RoundTelemetry, Telemetry, TraceConfig, TraceEvent,
+    TraceEventKind,
+};
 pub use tree::GpuTreeSync;

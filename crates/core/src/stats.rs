@@ -8,21 +8,29 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::trace::Telemetry;
+
 /// Per-block time decomposition for one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BlockTimes {
+    /// Launch overhead attributed to the block (`t_O`): time from run start
+    /// until the block began its first round (persistent modes), or its
+    /// accumulated per-round spawn delays (CPU explicit).
+    pub launch: Duration,
     /// Time the block spent inside kernel rounds (`t_C` aggregate).
     pub compute: Duration,
     /// Time the block spent arriving at / waiting in barriers (`t_S`
     /// aggregate). For CPU-synchronized runs, this is the per-round
-    /// dispatch/teardown overhead attributed to the block.
+    /// dispatch/teardown overhead attributed to the block, *excluding* the
+    /// spawn delays accounted under `launch`.
     pub sync: Duration,
 }
 
 impl BlockTimes {
-    /// compute + sync.
+    /// launch + compute + sync — the paper's `t = t_O + t_C + t_S` (Eq. 1)
+    /// for one block.
     pub fn total(&self) -> Duration {
-        self.compute + self.sync
+        self.launch + self.compute + self.sync
     }
 }
 
@@ -35,14 +43,29 @@ pub struct KernelStats {
     pub n_blocks: usize,
     /// Barrier rounds executed.
     pub rounds: usize,
-    /// End-to-end wall time of the run (includes thread startup — the
-    /// "kernel launch" of the host runtime).
+    /// End-to-end wall time of the run: launch overhead plus the in-round
+    /// time of the slowest block (`wall ≈ launch + max_b(compute + sync)`,
+    /// up to join/teardown noise).
     pub wall: Duration,
+    /// The run's launch overhead (`t_O`): the largest per-block launch time
+    /// — the thread-startup "kernel launch" of the host runtime. Kept out
+    /// of the per-block `sync` figures so [`KernelStats::sync_per_round`]
+    /// measures barriers, not thread spawns, even on short runs.
+    pub launch: Duration,
     /// Per-block decomposition, indexed by block id.
     pub per_block: Vec<BlockTimes>,
+    /// Aggregated trace telemetry, present when the run was configured with
+    /// a [`crate::TraceConfig`] and the `trace` feature is compiled in.
+    /// Boxed: it is large and most runs do not carry it.
+    pub telemetry: Option<Box<Telemetry>>,
 }
 
 impl KernelStats {
+    /// Mean per-block launch overhead.
+    pub fn avg_launch(&self) -> Duration {
+        mean(self.per_block.iter().map(|b| b.launch))
+    }
+
     /// Mean per-block computation time.
     pub fn avg_compute(&self) -> Duration {
         mean(self.per_block.iter().map(|b| b.compute))
@@ -95,11 +118,12 @@ impl fmt::Display for KernelStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: {} blocks x {} rounds in {:.3} ms (compute {:.3} ms, sync {:.3} ms, {:.1}% sync)",
+            "{}: {} blocks x {} rounds in {:.3} ms (launch {:.3} ms, compute {:.3} ms, sync {:.3} ms, {:.1}% sync)",
             self.method,
             self.n_blocks,
             self.rounds,
             self.wall.as_secs_f64() * 1e3,
+            self.launch.as_secs_f64() * 1e3,
             self.avg_compute().as_secs_f64() * 1e3,
             self.avg_sync().as_secs_f64() * 1e3,
             self.sync_fraction() * 100.0
@@ -131,17 +155,39 @@ mod tests {
             n_blocks: per_block.len(),
             rounds,
             wall: Duration::from_millis(10),
+            launch: per_block.iter().map(|b| b.launch).max().unwrap_or_default(),
             per_block,
+            telemetry: None,
         }
     }
 
     #[test]
     fn block_times_total() {
         let b = BlockTimes {
+            launch: Duration::from_millis(1),
             compute: Duration::from_millis(3),
             sync: Duration::from_millis(2),
         };
-        assert_eq!(b.total(), Duration::from_millis(5));
+        assert_eq!(b.total(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn launch_is_separate_from_sync() {
+        // Regression for the doc/behaviour mismatch: launch overhead must
+        // not leak into the per-round sync figure.
+        let s = stats(
+            vec![BlockTimes {
+                launch: Duration::from_millis(8),
+                compute: Duration::from_millis(2),
+                sync: Duration::from_millis(4),
+            }],
+            4,
+        );
+        assert_eq!(s.launch, Duration::from_millis(8));
+        assert_eq!(s.avg_launch(), Duration::from_millis(8));
+        assert_eq!(s.sync_per_round(), Duration::from_millis(1));
+        // sync_fraction considers only in-round time.
+        assert!((s.sync_fraction() - 4.0 / 6.0).abs() < 1e-12);
     }
 
     #[test]
@@ -149,10 +195,12 @@ mod tests {
         let s = stats(
             vec![
                 BlockTimes {
+                    launch: Duration::ZERO,
                     compute: Duration::from_millis(2),
                     sync: Duration::from_millis(2),
                 },
                 BlockTimes {
+                    launch: Duration::ZERO,
                     compute: Duration::from_millis(4),
                     sync: Duration::from_millis(6),
                 },
@@ -171,6 +219,7 @@ mod tests {
     fn display_is_one_line_summary() {
         let s = stats(
             vec![BlockTimes {
+                launch: Duration::ZERO,
                 compute: Duration::from_millis(2),
                 sync: Duration::from_millis(2),
             }],

@@ -19,7 +19,7 @@
 
 use blocksync_core::{
     BlockCtx, ExecError, GlobalBuffer, GridConfig, GridExecutor, KernelStats, RoundKernel,
-    SyncMethod, SyncPolicy,
+    SyncMethod, SyncPolicy, TraceConfig,
 };
 use blocksync_device::GpuSpec;
 use blocksync_sim::{simulate, ConstWorkload, SimConfig, SimReport};
@@ -109,6 +109,26 @@ pub fn run_host_with(
 ) -> Result<(KernelStats, bool), ExecError> {
     let kernel = MeanKernel::for_grid(n_blocks, threads_per_block, rounds);
     let cfg = GridConfig::new(n_blocks, threads_per_block).with_policy(policy);
+    let stats = GridExecutor::new(cfg, method).run(&kernel)?;
+    let ok = kernel.verify();
+    Ok((stats, ok))
+}
+
+/// [`run_host`] with the telemetry plane on: the returned stats carry
+/// `telemetry` (per-round skew, sync spans, spin histograms) when the
+/// `trace` feature is compiled into `blocksync-core`, and behave exactly
+/// like [`run_host`] when it is not.
+pub fn run_host_traced(
+    n_blocks: usize,
+    threads_per_block: usize,
+    rounds: usize,
+    method: SyncMethod,
+    trace: TraceConfig,
+) -> Result<(KernelStats, bool), ExecError> {
+    let kernel = MeanKernel::for_grid(n_blocks, threads_per_block, rounds);
+    let cfg = GridConfig::new(n_blocks, threads_per_block)
+        .with_policy(SyncPolicy::default())
+        .with_trace(trace);
     let stats = GridExecutor::new(cfg, method).run(&kernel)?;
     let ok = kernel.verify();
     Ok((stats, ok))
@@ -213,6 +233,21 @@ mod tests {
             SyncMethod::GpuLockFree,
         ] {
             assert!(sim_sync_per_round_ns(16, m) < ce, "{m}");
+        }
+    }
+
+    #[test]
+    fn traced_run_verifies_and_carries_telemetry() {
+        let (stats, ok) =
+            run_host_traced(3, 8, 20, SyncMethod::GpuLockFree, TraceConfig::default()).unwrap();
+        assert!(ok, "tracing must not perturb results");
+        assert_eq!(
+            stats.telemetry.is_some(),
+            blocksync_core::EventRecorder::ENABLED
+        );
+        if let Some(t) = &stats.telemetry {
+            assert_eq!(t.rounds.len(), 20);
+            assert_eq!(t.dropped, 0);
         }
     }
 

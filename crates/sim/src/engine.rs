@@ -140,6 +140,10 @@ pub struct StuckBlock {
     /// The barrier-program operation it was executing, human-readable
     /// (e.g. `WaitGe { addr: Addr(3), goal: 1 }`).
     pub op: String,
+    /// The block's last few timeline events (rendered human-readable) when
+    /// the run had [`SimConfig::trace`] on — what the block was doing
+    /// before it froze. Empty without a trace.
+    pub recent: Vec<String>,
 }
 
 impl std::fmt::Display for StuckBlock {
@@ -148,7 +152,11 @@ impl std::fmt::Display for StuckBlock {
             f,
             "block {} round {} at {}",
             self.block, self.round, self.op
-        )
+        )?;
+        if !self.recent.is_empty() {
+            write!(f, " (trail: {})", self.recent.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
@@ -461,6 +469,8 @@ impl<'a> Engine<'a> {
     /// are stuck mid-barrier; blocks still in the launch queue never ran at
     /// all and are counted as `stalled` instead.
     fn deadlock_error(&self) -> SimError {
+        /// Trace events attached per frozen block.
+        const TRAIL_LEN: usize = 4;
         let undispatched: std::collections::HashSet<usize> =
             self.launch_queue.iter().copied().collect();
         let stuck: Vec<StuckBlock> = self
@@ -468,14 +478,22 @@ impl<'a> Engine<'a> {
             .iter()
             .enumerate()
             .filter(|(bid, b)| !b.done && !undispatched.contains(bid))
-            .map(|(bid, b)| StuckBlock {
-                block: bid,
-                round: b.round,
-                op: b
-                    .program
-                    .get(b.pc)
-                    .map(|op| format!("{op:?}"))
-                    .unwrap_or_else(|| "barrier exit".to_string()),
+            .map(|(bid, b)| {
+                let mine: Vec<&TraceEvent> = self.trace.iter().filter(|e| e.block == bid).collect();
+                let recent = mine[mine.len().saturating_sub(TRAIL_LEN)..]
+                    .iter()
+                    .map(|e| format!("{:?}", e.kind))
+                    .collect();
+                StuckBlock {
+                    block: bid,
+                    round: b.round,
+                    op: b
+                        .program
+                        .get(b.pc)
+                        .map(|op| format!("{op:?}"))
+                        .unwrap_or_else(|| "barrier exit".to_string()),
+                    recent,
+                }
             })
             .collect();
         SimError::Deadlock {
@@ -898,6 +916,7 @@ mod tests {
                 block: b,
                 round: 2,
                 op: format!("WaitGe {{ addr: Addr({b}), goal: 9 }}"),
+                recent: Vec::new(),
             })
             .collect();
         let msg = SimError::Deadlock {
@@ -926,6 +945,27 @@ mod tests {
         let line = stuck[0].to_string();
         assert!(line.contains("block 0"), "{line}");
         assert!(line.contains("round 0"), "{line}");
+        // Untraced run: no event trail to attach.
+        assert!(stuck.iter().all(|s| s.recent.is_empty()), "{stuck:?}");
+    }
+
+    #[test]
+    fn traced_deadlock_attaches_recent_events() {
+        // With tracing on, the watchdog shows what each frozen block was
+        // doing (its last timeline events), not just where it stopped.
+        let w = ConstWorkload::from_micros(0.5, 5);
+        let cfg = SimConfig::new(31, 64, SyncMethod::GpuSimple).with_trace();
+        let err = try_simulate(&cfg, &w).unwrap_err();
+        let SimError::Deadlock { stuck, .. } = err else {
+            panic!("expected deadlock");
+        };
+        assert!(
+            stuck.iter().all(|s| !s.recent.is_empty()),
+            "resident blocks computed and arrived before freezing: {stuck:?}"
+        );
+        let line = stuck[0].to_string();
+        assert!(line.contains("trail:"), "{line}");
+        assert!(line.contains("BarrierArrive"), "{line}");
     }
 
     #[test]
