@@ -1,0 +1,333 @@
+//! Bench-in-CI baseline records.
+//!
+//! The `headline` and `autotune` bins emit `BENCH_*.json` files with a
+//! deliberately tiny, stable schema:
+//!
+//! ```json
+//! {
+//!   "records": [
+//!     {"method": "sim:gpu-lock-free", "blocks": 30, "ns_per_round": 1072.0}
+//!   ]
+//! }
+//! ```
+//!
+//! The CI `bench-smoke` job compares a fresh run against the checked-in
+//! `ci/bench_baseline.json` and fails on regression. Method keys are
+//! namespaced by how the number was produced:
+//!
+//! * `model:` — closed-form Eq. 6–9 prediction on a fixed calibration
+//!   (deterministic, **guarded**),
+//! * `sim:` — cycle-approximate GTX 280 simulation (deterministic,
+//!   **guarded**),
+//! * `pred:` — Eq. 6–9 prediction on the *live host's* measured
+//!   calibration (informational, unguarded),
+//! * `host:` — wall-clock measurement on the host runtime (noisy on shared
+//!   CI runners, unguarded).
+//!
+//! Only guarded records can fail the build; the unguarded ones ride along
+//! in the artifact so a human can eyeball predicted-vs-measured drift.
+//!
+//! Everything here is hand-rolled (including the JSON) because the
+//! workspace builds offline against a vendored dependency set.
+
+/// One benchmark measurement: a namespaced method key, the grid size, and
+/// the nanoseconds of synchronization cost per barrier round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Namespaced method key, e.g. `sim:gpu-lock-free` or `host:auto`.
+    pub method: String,
+    /// Grid size (number of blocks).
+    pub blocks: usize,
+    /// Synchronization cost per barrier round, in nanoseconds.
+    pub ns_per_round: f64,
+}
+
+impl BenchRecord {
+    /// Build a record from its parts.
+    pub fn new(method: impl Into<String>, blocks: usize, ns_per_round: f64) -> Self {
+        BenchRecord {
+            method: method.into(),
+            blocks,
+            ns_per_round,
+        }
+    }
+
+    /// Whether this record's namespace is deterministic and therefore
+    /// guarded by the CI regression check (`model:` and `sim:` rows).
+    pub fn is_guarded(&self) -> bool {
+        self.method.starts_with("model:") || self.method.starts_with("sim:")
+    }
+}
+
+/// Serialize records to the stable baseline JSON schema.
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let mut s = String::from("{\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"method\": {:?}, \"blocks\": {}, \"ns_per_round\": {:.1}}}{comma}\n",
+            r.method, r.blocks, r.ns_per_round
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parse the baseline JSON schema back into records.
+///
+/// # Errors
+/// Returns a description of the first malformed object. The parser accepts
+/// exactly the shape [`to_json`] writes (one object per record, string
+/// `method`, numeric `blocks`/`ns_per_round`) plus arbitrary whitespace.
+pub fn parse_json(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let body = text
+        .split_once('[')
+        .ok_or("baseline JSON: missing \"records\" array")?
+        .1;
+    let body = body
+        .rsplit_once(']')
+        .ok_or("baseline JSON: unterminated \"records\" array")?
+        .0;
+    let mut out = Vec::new();
+    for chunk in body.split('}') {
+        let Some((_, obj)) = chunk.split_once('{') else {
+            continue; // trailing comma / whitespace between objects
+        };
+        let method = str_field(obj, "method")?;
+        let blocks = num_field(obj, "blocks")? as usize;
+        let ns_per_round = num_field(obj, "ns_per_round")?;
+        out.push(BenchRecord {
+            method,
+            blocks,
+            ns_per_round,
+        });
+    }
+    Ok(out)
+}
+
+fn str_field(obj: &str, key: &str) -> Result<String, String> {
+    let tail = after_key(obj, key)?;
+    let tail = tail
+        .split_once('"')
+        .ok_or_else(|| format!("baseline JSON: {key:?} is not a string in {obj:?}"))?
+        .1;
+    Ok(tail
+        .split_once('"')
+        .ok_or_else(|| format!("baseline JSON: unterminated string for {key:?}"))?
+        .0
+        .to_string())
+}
+
+fn num_field(obj: &str, key: &str) -> Result<f64, String> {
+    let tail = after_key(obj, key)?.trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(tail.len());
+    tail[..end]
+        .parse()
+        .map_err(|_| format!("baseline JSON: {key:?} is not a number in {obj:?}"))
+}
+
+fn after_key<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+    let quoted = format!("\"{key}\"");
+    let tail = obj
+        .split_once(&quoted)
+        .ok_or_else(|| format!("baseline JSON: record missing {quoted} in {obj:?}"))?
+        .1;
+    Ok(tail
+        .split_once(':')
+        .ok_or_else(|| format!("baseline JSON: no value after {quoted}"))?
+        .1)
+}
+
+/// Compare a fresh run against a baseline. Returns one human-readable
+/// failure line per guarded baseline record that is either missing from
+/// the current run or slower than `baseline * (1 + max_regress_pct/100)`.
+/// Unguarded (`pred:`/`host:`) baseline rows are ignored, as are extra
+/// rows in the current run (adding benchmarks never fails the guard).
+///
+/// Baseline rows from a namespace the current run emits nothing in are
+/// also skipped — the `headline` (`sim:`) and `autotune` (`model:`) bins
+/// guard themselves independently against the one shared
+/// `ci/bench_baseline.json`.
+pub fn compare(
+    current: &[BenchRecord],
+    baseline: &[BenchRecord],
+    max_regress_pct: f64,
+) -> Vec<String> {
+    let namespaces: std::collections::HashSet<&str> = current
+        .iter()
+        .filter_map(|c| c.method.split_once(':').map(|(ns, _)| ns))
+        .collect();
+    let mut failures = Vec::new();
+    for b in baseline.iter().filter(|b| b.is_guarded()) {
+        if b.method
+            .split_once(':')
+            .is_none_or(|(ns, _)| !namespaces.contains(ns))
+        {
+            continue;
+        }
+        match current
+            .iter()
+            .find(|c| c.method == b.method && c.blocks == b.blocks)
+        {
+            None => failures.push(format!(
+                "{} @ {} blocks: in baseline but missing from this run",
+                b.method, b.blocks
+            )),
+            Some(c) => {
+                let limit = b.ns_per_round * (1.0 + max_regress_pct / 100.0);
+                if c.ns_per_round > limit {
+                    failures.push(format!(
+                        "{} @ {} blocks: {:.1} ns/round vs baseline {:.1} ns/round \
+                         (+{:.1}%, allowed +{max_regress_pct:.0}%)",
+                        b.method,
+                        b.blocks,
+                        c.ns_per_round,
+                        b.ns_per_round,
+                        (c.ns_per_round / b.ns_per_round - 1.0) * 100.0,
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Load `baseline_path`, compare, and report: prints a pass line or the
+/// failure list.
+///
+/// # Errors
+/// Returns `Err` when the baseline cannot be read/parsed or any guarded
+/// record regressed — callers exit nonzero so CI fails the job.
+pub fn guard_against_baseline(
+    current: &[BenchRecord],
+    baseline_path: &str,
+    max_regress_pct: f64,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = parse_json(&text)?;
+    let failures = compare(current, &baseline, max_regress_pct);
+    if failures.is_empty() {
+        let namespaces: std::collections::HashSet<&str> = current
+            .iter()
+            .filter_map(|c| c.method.split_once(':').map(|(ns, _)| ns))
+            .collect();
+        let guarded = baseline
+            .iter()
+            .filter(|b| {
+                b.is_guarded()
+                    && b.method
+                        .split_once(':')
+                        .is_some_and(|(ns, _)| namespaces.contains(ns))
+            })
+            .count();
+        println!(
+            "baseline check: {guarded} guarded record(s) within +{max_regress_pct:.0}% of \
+             {baseline_path}"
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "baseline regression vs {baseline_path}:\n  {}",
+            failures.join("\n  ")
+        ))
+    }
+}
+
+/// `--key value` / `--key=value` lookup over raw binary args (the bench
+/// bins are too small to warrant a parser dependency).
+pub fn flag_value(args: &[String], key: &str) -> Option<String> {
+    let bare = format!("--{key}");
+    let eq = format!("--{key}=");
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.to_string());
+        }
+        if *a == bare {
+            return iter.next().cloned();
+        }
+    }
+    None
+}
+
+/// Whether `--key` appears at all (presence flag).
+pub fn has_flag(args: &[String], key: &str) -> bool {
+    let bare = format!("--{key}");
+    let eq = format!("--{key}=");
+    args.iter().any(|a| *a == bare || a.starts_with(&eq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<BenchRecord> {
+        vec![
+            BenchRecord::new("sim:gpu-lock-free", 30, 1072.0),
+            BenchRecord::new("model:cpu-implicit", 30, 6000.0),
+            BenchRecord::new("host:gpu-simple", 4, 91234.5),
+        ]
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let records = sample();
+        let json = to_json(&records);
+        assert!(json.contains("\"ns_per_round\": 1072.0"), "{json}");
+        assert_eq!(parse_json(&json).unwrap(), records);
+        assert_eq!(parse_json("{\"records\": []}").unwrap(), vec![]);
+        assert!(parse_json("not json").is_err());
+        assert!(parse_json("{\"records\": [{\"blocks\": 3}]}").is_err());
+    }
+
+    #[test]
+    fn guard_namespaces() {
+        let r = sample();
+        assert!(r[0].is_guarded() && r[1].is_guarded());
+        assert!(!r[2].is_guarded());
+        assert!(!BenchRecord::new("pred:gpu-tree-2", 30, 1.0).is_guarded());
+    }
+
+    #[test]
+    fn compare_flags_only_guarded_regressions() {
+        let baseline = sample();
+        // Identical run: clean.
+        assert!(compare(&baseline, &baseline, 25.0).is_empty());
+        // Unguarded host row may blow up freely; guarded rows may drift
+        // within tolerance.
+        let mut current = sample();
+        current[0].ns_per_round *= 1.2; // +20% < 25%
+        current[2].ns_per_round *= 50.0;
+        assert!(compare(&current, &baseline, 25.0).is_empty());
+        // A guarded row past tolerance fails with a useful message.
+        current[1].ns_per_round *= 1.3;
+        let fails = compare(&current, &baseline, 25.0);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("model:cpu-implicit"), "{}", fails[0]);
+        // A guarded row disappearing fails, as long as its namespace is
+        // still being emitted at all.
+        let gone = vec![BenchRecord::new("model:other", 30, 1.0)];
+        let fails = compare(&gone, &baseline, 25.0);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("missing"), "{}", fails[0]);
+        // A bin that emits no `sim:`/`model:` rows skips those baseline
+        // namespaces entirely (the two bench bins share one baseline file).
+        assert!(compare(&current[2..], &baseline, 25.0).is_empty());
+    }
+
+    #[test]
+    fn flag_helpers() {
+        let args: Vec<String> = ["--json", "out.json", "--short", "--pct=30"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "json").as_deref(), Some("out.json"));
+        assert_eq!(flag_value(&args, "pct").as_deref(), Some("30"));
+        assert_eq!(flag_value(&args, "absent"), None);
+        assert!(has_flag(&args, "short"));
+        assert!(!has_flag(&args, "shorter"));
+    }
+}

@@ -4,13 +4,24 @@
 //! and the application-level kernel-time improvements over CPU implicit
 //! sync (paper: FFT 8.8%, SWat 24.1%, bitonic sort 39.0%), plus the
 //! Eq. 1 `t = t_O + t_C + t_S` split behind them, per method.
+//!
+//! Flags for bench-in-CI: `--json FILE` writes the per-method simulated
+//! `t_S` as `sim:` baseline records (deterministic, so guarded);
+//! `--baseline FILE` + `--max-regress-pct P` fail nonzero on regression;
+//! `--short` is accepted for CI symmetry with the `autotune` bin (the
+//! simulation is already fast and the guarded records must not depend on
+//! the mode, so it changes nothing).
 
+use std::process::ExitCode;
+
+use blocksync_bench::baseline::{self, BenchRecord};
 use blocksync_bench::experiments::{headline, AlgoKind};
 use blocksync_bench::harness::{format_table, pct};
 use blocksync_core::SyncMethod;
 use blocksync_microbench::simulate_micro;
 
-fn main() {
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let h = headline();
     println!("Headline results (GPU lock-free synchronization)\n");
     let rows = vec![
@@ -44,10 +55,16 @@ fn main() {
     // micro-benchmark at 30 blocks, per method. The methods differ only in
     // t_S (and CPU explicit in t_O, which it pays once per round).
     println!("Eq. 1 split per method (micro-benchmark, 30 blocks, 240 simulated rounds):\n");
+    let mut records = Vec::new();
     let rows: Vec<Vec<String>> = SyncMethod::PAPER_METHODS
         .iter()
         .map(|&m| {
             let r = simulate_micro(30, 256, 240, m);
+            records.push(BenchRecord::new(
+                format!("sim:{m}"),
+                30,
+                r.sync_per_round().as_nanos() as f64,
+            ));
             vec![
                 m.to_string(),
                 format!("{:.3}", r.launch.as_millis_f64()),
@@ -64,4 +81,22 @@ fn main() {
             &rows
         )
     );
+
+    if let Some(json_path) = baseline::flag_value(&args, "json") {
+        if let Err(e) = std::fs::write(&json_path, baseline::to_json(&records)) {
+            eprintln!("error: cannot write {json_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} records to {json_path}", records.len());
+    }
+    if let Some(bl) = baseline::flag_value(&args, "baseline") {
+        let pct = baseline::flag_value(&args, "max-regress-pct")
+            .map(|v| v.parse().expect("--max-regress-pct expects a number"))
+            .unwrap_or(25.0);
+        if let Err(e) = baseline::guard_against_baseline(&records, &bl, pct) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -91,10 +91,12 @@ pub fn parse_method(name: &str) -> Result<SyncMethod, String> {
         "sense-reversing" | "sense" => SyncMethod::SenseReversing,
         "dissemination" => SyncMethod::Dissemination,
         "no-sync" | "none" => SyncMethod::NoSync,
+        "auto" => SyncMethod::Auto,
         other => {
             return Err(format!(
                 "unknown method {other:?}; valid: cpu-explicit cpu-implicit gpu-simple \
-                 gpu-tree-2 gpu-tree-3 gpu-lock-free sense-reversing dissemination no-sync"
+                 gpu-tree-2 gpu-tree-3 gpu-lock-free sense-reversing dissemination no-sync \
+                 auto"
             ))
         }
     })
@@ -134,6 +136,7 @@ mod tests {
             assert_eq!(parse_method(&m.to_string()).unwrap(), m);
         }
         assert_eq!(parse_method("lockfree").unwrap(), SyncMethod::GpuLockFree);
+        assert_eq!(parse_method("auto").unwrap(), SyncMethod::Auto);
         assert!(parse_method("warp-speed").is_err());
     }
 

@@ -10,9 +10,10 @@ use blocksync_algos::swat::{
 use std::time::Duration;
 
 use blocksync_core::{
-    ChromeTraceBuilder, GridConfig, GridExecutor, KernelStats, RoundKernel, SyncMethod, SyncPolicy,
-    TraceConfig,
+    AutoTuner, ChromeTraceBuilder, GridConfig, GridExecutor, KernelStats, RoundKernel, SyncMethod,
+    SyncPolicy, TraceConfig,
 };
+use blocksync_device::{CalibrationProfile, GpuSpec};
 use blocksync_microbench::{run_host_traced, MeanKernel};
 use blocksync_sim::{try_simulate, ConstWorkload, SimConfig, TraceKind};
 
@@ -408,6 +409,88 @@ pub fn micro(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `blocksync tune` — dump the auto-tuner's view of a grid size: the
+/// calibration it prices with, the full Eq. 6–9 prediction table (with the
+/// tuned tree group size), the chosen method, and every pairwise crossover
+/// point where one method overtakes another as the grid grows.
+pub fn tune(a: &Args) -> Result<(), String> {
+    let blocks = a.get_usize("blocks", 30);
+    if blocks == 0 {
+        return Err("--blocks expects an integer >= 1".into());
+    }
+    let profile = a.get("profile", "host");
+    let tuner = match profile {
+        "host" => AutoTuner::host(),
+        "gtx280" => AutoTuner::with_profile(CalibrationProfile::gtx280()),
+        "fermi" => AutoTuner::with_profile(CalibrationProfile::fermi_class()),
+        other => {
+            return Err(format!(
+                "unknown --profile {other:?}; valid: host gtx280 fermi"
+            ))
+        }
+    };
+    let max_gpu = a.get_usize(
+        "max-gpu-blocks",
+        GpuSpec::gtx280().max_persistent_blocks() as usize,
+    );
+    let decision = tuner.decide(blocks, max_gpu);
+    let cal = tuner.calibration();
+
+    println!(
+        "calibration ({profile}): t_a={}ns  t_c={}ns  store={}ns  launch={}ns  \
+         explicit-round={}ns  implicit-round={}ns",
+        cal.atomic_add_ns,
+        cal.poll_round_trip().as_nanos(),
+        cal.mem_write_service_ns + cal.write_visibility_ns,
+        cal.kernel_launch_ns,
+        cal.explicit_round_overhead_ns,
+        cal.implicit_round_overhead_ns
+    );
+    println!(
+        "topology: {} cluster(s) {:?}; GPU-side methods eligible up to {max_gpu} blocks",
+        decision.topology.num_clusters(),
+        decision.topology.cluster_sizes
+    );
+    println!("\nprediction table for {blocks} blocks (predicted t_S per barrier):");
+    for row in &decision.table {
+        let mark = if row.method == decision.chosen {
+            '*'
+        } else {
+            ' '
+        };
+        let note = if row.eligible {
+            ""
+        } else {
+            "  (ineligible: grid exceeds persistent-block capacity)"
+        };
+        println!(
+            " {mark} {:<16} {:>12.0} ns{note}",
+            row.method.to_string(),
+            row.predicted_sync_ns
+        );
+    }
+    println!(
+        "\nchosen: {} (predicted t_S {:.0} ns)",
+        decision.chosen, decision.predicted_sync_ns
+    );
+
+    let max_n = a.get_usize("max-n", 1024);
+    let crossovers = blocksync_model::crossover_table(cal, max_n);
+    if crossovers.is_empty() {
+        println!("no crossovers in 2..={max_n} blocks");
+    } else {
+        println!("crossover points (N <= {max_n} blocks):");
+        for (from, to, n) in crossovers {
+            println!(
+                "  {:<16} overtaken by {:<16} at N = {n}",
+                from.name(),
+                to.name()
+            );
+        }
+    }
+    Ok(())
+}
+
 /// `blocksync trace` — run the micro-benchmark with the telemetry plane on
 /// and print the per-round skew/straggler table.
 pub fn trace(a: &Args) -> Result<(), String> {
@@ -583,6 +666,32 @@ mod tests {
                 .timeout,
             Some(Duration::from_millis(2500))
         );
+    }
+
+    #[test]
+    fn tune_command_prints_the_model_view() {
+        // A deterministic profile must succeed and reject bad inputs.
+        tune(&args(&["tune", "--profile", "gtx280", "--blocks", "30"])).unwrap();
+        tune(&args(&[
+            "tune",
+            "--profile",
+            "fermi",
+            "--blocks",
+            "64",
+            "--max-n",
+            "128",
+        ]))
+        .unwrap();
+        assert!(tune(&args(&["tune", "--profile", "voodoo2"])).is_err());
+        assert!(tune(&args(&["tune", "--blocks", "0"])).is_err());
+    }
+
+    #[test]
+    fn auto_method_runs_end_to_end() {
+        micro(&args(&[
+            "micro", "--blocks", "2", "--rounds", "50", "--method", "auto",
+        ]))
+        .unwrap();
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn main() -> ExitCode {
         "scan" => commands::scan(&parsed),
         "micro" => commands::micro(&parsed),
         "trace" => commands::trace(&parsed),
+        "tune" => commands::tune(&parsed),
         other => Err(format!("unknown command {other:?}; run `blocksync help`")),
     };
     match result {
@@ -70,6 +71,10 @@ COMMANDS:
              arrival-skew/straggler table plus spin/sync histograms
              --blocks N --rounds R --method M [--stride S] [--limit K]
              [--out FILE]
+  tune       dump the auto-tuner's Eq. 6-9 prediction table, chosen method,
+             and method crossover points for a grid size
+             --blocks N [--profile host|gtx280|fermi] [--max-gpu-blocks B]
+             [--max-n N]
 
 COMMON FLAGS:
   --sync-timeout S   bound every barrier wait to S seconds (host-runtime
@@ -88,6 +93,9 @@ COMMON FLAGS:
 
 METHODS:
   cpu-explicit cpu-implicit gpu-simple gpu-tree-2 gpu-tree-3 gpu-lock-free
-  sense-reversing dissemination no-sync"
+  sense-reversing dissemination no-sync auto
+
+  `auto` calibrates the host once per process, prices every method with the
+  Eq. 6-9 cost model, and runs the cheapest one (see `blocksync tune`)."
     );
 }

@@ -388,6 +388,9 @@ impl GridExecutor {
     /// [`ExecError::BarrierTimeout`] if a barrier wait (or CPU-mode
     /// rendezvous) exceeded the [`SyncPolicy`] timeout.
     pub fn run<K: RoundKernel>(&self, kernel: &K) -> Result<KernelStats, ExecError> {
+        if self.method == SyncMethod::Auto {
+            return self.run_auto(kernel);
+        }
         self.cfg.validate(self.method)?;
         let rounds = kernel.rounds();
         let n = self.cfg.n_blocks;
@@ -439,7 +442,29 @@ impl GridExecutor {
             launch: per_block.iter().map(|b| b.launch).max().unwrap_or_default(),
             per_block,
             telemetry: recorder.map(|rec| Box::new(rec.finish())),
+            auto: None,
         })
+    }
+
+    /// `SyncMethod::Auto`: resolve the method through the host-calibrated
+    /// cost model (grid-config time, cached calibration), run the kernel
+    /// under the winner, then close the loop by recording the measured
+    /// per-round sync cost next to the prediction in
+    /// [`KernelStats::auto`]. The stats report the method as
+    /// `auto:<resolved>` so runs under `Auto` remain distinguishable.
+    fn run_auto<K: RoundKernel>(&self, kernel: &K) -> Result<KernelStats, ExecError> {
+        self.cfg.validate(SyncMethod::Auto)?;
+        let tuner = crate::autotune::AutoTuner::host();
+        let mut decision = tuner.decide(
+            self.cfg.n_blocks,
+            self.cfg.spec.max_persistent_blocks() as usize,
+        );
+        let inner = GridExecutor::new(self.cfg.clone(), decision.chosen);
+        let mut stats = inner.run(kernel)?;
+        decision.measured_sync_ns = Some(stats.sync_per_round().as_secs_f64() * 1e9);
+        stats.method = format!("auto:{}", decision.chosen);
+        stats.auto = Some(Box::new(decision));
+        Ok(stats)
     }
 
     fn ctx(&self, block_id: usize) -> BlockCtx {
@@ -1019,6 +1044,50 @@ mod tests {
     #[test]
     fn gpu_lockfree_correct() {
         check_method(SyncMethod::GpuLockFree, 6);
+    }
+
+    #[test]
+    fn gpu_tree_custom_group_correct() {
+        check_method(SyncMethod::GpuTree(TreeLevels::Custom(2)), 6);
+        check_method(SyncMethod::GpuTree(TreeLevels::Custom(5)), 7);
+    }
+
+    #[test]
+    fn auto_resolves_and_is_correct() {
+        check_method(SyncMethod::Auto, 6);
+    }
+
+    #[test]
+    fn auto_records_its_decision() {
+        let k = MinPlusOne::new(4, 5);
+        let stats = GridExecutor::new(GridConfig::new(4, 32), SyncMethod::Auto)
+            .run(&k)
+            .unwrap();
+        let auto = stats.auto.as_ref().expect("auto run records a decision");
+        assert_eq!(stats.method, format!("auto:{}", auto.chosen));
+        assert!(auto.predicted_sync_ns > 0.0);
+        assert!(auto.measured_sync_ns.is_some(), "loop closed after run");
+        assert!(auto.misprediction_ratio().is_some());
+        assert!(!auto.table.is_empty());
+        // Plain runs carry no decision.
+        let k2 = MinPlusOne::new(4, 5);
+        let plain = GridExecutor::new(GridConfig::new(4, 32), SyncMethod::GpuLockFree)
+            .run(&k2)
+            .unwrap();
+        assert!(plain.auto.is_none());
+    }
+
+    #[test]
+    fn auto_tolerates_oversubscribed_grids() {
+        // 40 blocks exceed the 30-SM persistent ceiling: Auto must fall
+        // back to a CPU-side method instead of erroring like GPU methods.
+        let k = MinPlusOne::new(40, 3);
+        let stats = GridExecutor::new(GridConfig::new(40, 32), SyncMethod::Auto)
+            .run(&k)
+            .unwrap();
+        let auto = stats.auto.as_ref().unwrap();
+        assert!(auto.chosen.is_cpu_side(), "chose {}", auto.chosen);
+        assert_eq!(stats.n_blocks, 40);
     }
 
     #[test]

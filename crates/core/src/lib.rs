@@ -65,6 +65,7 @@
 
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod barrier;
 pub mod dissemination;
 pub mod error;
@@ -81,6 +82,7 @@ pub mod stats;
 pub mod trace;
 pub mod tree;
 
+pub use autotune::{AutoDecision, AutoTuner, MethodPrediction};
 pub use barrier::{
     BarrierControl, BarrierShared, BarrierWaiter, PoisonCause, SpinStrategy, SyncFault, SyncPolicy,
 };

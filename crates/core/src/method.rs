@@ -18,13 +18,19 @@ pub enum TreeLevels {
     Two,
     /// Three levels: fan-out `ceil(cbrt(N))` per level.
     Three,
+    /// Two levels with an explicit leaf group size instead of the Eq. 8
+    /// `ceil(sqrt(N))` default — the auto-tuner's tuned fan-out (the exact
+    /// argmin of Eq. 7 over all group sizes, optionally snapped to the
+    /// host's cache-cluster boundaries). A group size ≥ `N` degenerates to
+    /// one group plus a trivial root.
+    Custom(usize),
 }
 
 impl TreeLevels {
     /// Numeric depth.
     pub fn depth(self) -> usize {
         match self {
-            TreeLevels::Two => 2,
+            TreeLevels::Two | TreeLevels::Custom(_) => 2,
             TreeLevels::Three => 3,
         }
     }
@@ -78,6 +84,13 @@ pub enum SyncMethod {
     /// No inter-block synchronization at all (compute-time measurement
     /// only).
     NoSync,
+    /// Model-driven selection: at run time the executor calibrates the
+    /// host (once per process), prices every method through the Eq. 6–9
+    /// cost model, and runs the cheapest one for the configured grid (see
+    /// [`crate::autotune`]). Classified as neither CPU- nor GPU-side —
+    /// the *resolved* method determines the execution strategy and the
+    /// block-count limit.
+    Auto,
 }
 
 impl SyncMethod {
@@ -154,7 +167,10 @@ impl SyncMethod {
             SyncMethod::Dissemination => {
                 Some(Arc::new(DisseminationSync::with_policy(n_blocks, policy)))
             }
-            SyncMethod::CpuExplicit | SyncMethod::CpuImplicit | SyncMethod::NoSync => None,
+            SyncMethod::CpuExplicit
+            | SyncMethod::CpuImplicit
+            | SyncMethod::NoSync
+            | SyncMethod::Auto => None,
         }
     }
 }
@@ -167,10 +183,12 @@ impl fmt::Display for SyncMethod {
             SyncMethod::GpuSimple => "gpu-simple",
             SyncMethod::GpuTree(TreeLevels::Two) => "gpu-tree-2",
             SyncMethod::GpuTree(TreeLevels::Three) => "gpu-tree-3",
+            SyncMethod::GpuTree(TreeLevels::Custom(g)) => return write!(f, "gpu-tree-g{g}"),
             SyncMethod::GpuLockFree => "gpu-lock-free",
             SyncMethod::SenseReversing => "sense-reversing",
             SyncMethod::Dissemination => "dissemination",
             SyncMethod::NoSync => "no-sync",
+            SyncMethod::Auto => "auto",
         };
         f.write_str(s)
     }
@@ -192,6 +210,11 @@ mod tests {
         assert!(SyncMethod::CpuExplicit.is_cpu_side());
         assert!(!SyncMethod::NoSync.is_cpu_side());
         assert!(!SyncMethod::NoSync.is_gpu_side());
+        // Auto is a selection directive, not an execution strategy: the
+        // resolved method decides CPU vs GPU, so Auto itself is neither.
+        assert!(!SyncMethod::Auto.is_cpu_side());
+        assert!(!SyncMethod::Auto.is_gpu_side());
+        assert!(SyncMethod::GpuTree(TreeLevels::Custom(4)).is_gpu_side());
     }
 
     #[test]
@@ -203,6 +226,9 @@ mod tests {
                     SyncMethod::SenseReversing,
                     SyncMethod::Dissemination,
                     SyncMethod::NoSync,
+                    SyncMethod::Auto,
+                    SyncMethod::GpuTree(TreeLevels::Custom(4)),
+                    SyncMethod::GpuTree(TreeLevels::Custom(5)),
                 ]
                 .iter(),
             )
@@ -223,11 +249,27 @@ mod tests {
         assert!(SyncMethod::CpuExplicit.build_barrier(8).is_none());
         assert!(SyncMethod::CpuImplicit.build_barrier(8).is_none());
         assert!(SyncMethod::NoSync.build_barrier(8).is_none());
+        // Auto has no barrier of its own; the executor resolves it first.
+        assert!(SyncMethod::Auto.build_barrier(8).is_none());
+        let custom = SyncMethod::GpuTree(TreeLevels::Custom(3))
+            .build_barrier(8)
+            .expect("custom tree builds");
+        assert_eq!(custom.num_blocks(), 8);
     }
 
     #[test]
     fn tree_depths() {
         assert_eq!(TreeLevels::Two.depth(), 2);
         assert_eq!(TreeLevels::Three.depth(), 3);
+        assert_eq!(TreeLevels::Custom(7).depth(), 2);
+    }
+
+    #[test]
+    fn custom_tree_display_carries_the_group_size() {
+        assert_eq!(
+            SyncMethod::GpuTree(TreeLevels::Custom(6)).to_string(),
+            "gpu-tree-g6"
+        );
+        assert_eq!(SyncMethod::Auto.to_string(), "auto");
     }
 }

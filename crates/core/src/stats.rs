@@ -8,6 +8,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::autotune::AutoDecision;
 use crate::trace::Telemetry;
 
 /// Per-block time decomposition for one run.
@@ -58,6 +59,11 @@ pub struct KernelStats {
     /// a [`crate::TraceConfig`] and the `trace` feature is compiled in.
     /// Boxed: it is large and most runs do not carry it.
     pub telemetry: Option<Box<Telemetry>>,
+    /// The auto-tuner's decision record, present when the run was
+    /// configured with [`crate::SyncMethod::Auto`]: chosen method, the full
+    /// prediction table, and the predicted vs. measured per-round sync
+    /// cost. Boxed for the same reason as `telemetry`.
+    pub auto: Option<Box<AutoDecision>>,
 }
 
 impl KernelStats {
@@ -158,6 +164,7 @@ mod tests {
             launch: per_block.iter().map(|b| b.launch).max().unwrap_or_default(),
             per_block,
             telemetry: None,
+            auto: None,
         }
     }
 

@@ -140,6 +140,24 @@ impl GpuTreeSync {
                     control,
                 }
             }
+            TreeLevels::Custom(group) => {
+                // One grouping level with an explicit group size + root.
+                // The auto-tuner picks `group` as the exact Eq. 7 argmin
+                // (optionally topology-snapped); the shape machinery is the
+                // same as `Two`, only the partition differs.
+                let sizes = chunk_sizes(n_blocks, group.clamp(1, n_blocks));
+                let width = sizes.len();
+                levels.push(Level::new(sizes));
+                GpuTreeSync {
+                    levels,
+                    root: AtomicU64::new(0),
+                    root_width: width,
+                    n_blocks,
+                    name: "gpu-tree-grouped",
+                    num_levels: 2,
+                    control,
+                }
+            }
             TreeLevels::Three => {
                 // Two grouping levels with fan-out ceil(cbrt(N)) + root.
                 let fanout = (n_blocks as f64).cbrt().ceil() as usize;
@@ -397,6 +415,47 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_blocks_rejected() {
         let _ = GpuTreeSync::new(0, TreeLevels::Two);
+    }
+
+    #[test]
+    fn custom_group_size_shapes() {
+        let t = GpuTreeSync::new(30, TreeLevels::Custom(5));
+        assert_eq!(t.leaf_group_sizes(), vec![5, 5, 5, 5, 5, 5]);
+        assert_eq!(t.num_levels(), 2);
+        assert_eq!(t.name, "gpu-tree-grouped");
+        // Remainder goes to a short trailing group.
+        let t = GpuTreeSync::new(11, TreeLevels::Custom(4));
+        assert_eq!(t.leaf_group_sizes(), vec![4, 4, 3]);
+        // Oversized / zero group sizes clamp to one group / singletons.
+        assert_eq!(
+            GpuTreeSync::new(6, TreeLevels::Custom(100)).leaf_group_sizes(),
+            vec![6]
+        );
+        assert_eq!(
+            GpuTreeSync::new(3, TreeLevels::Custom(0)).leaf_group_sizes(),
+            vec![1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn custom_tree_synchronizes_blocks() {
+        // A full barrier round across 3 OS threads on a tuned shape.
+        let n = 9;
+        let b = Arc::new(GpuTreeSync::new(n, TreeLevels::Custom(3)));
+        let handles: Vec<_> = (0..n)
+            .map(|bid| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let mut w = b.waiter(bid);
+                    for _ in 0..50 {
+                        w.wait().expect("no faults");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("block thread");
+        }
     }
 
     #[test]

@@ -98,10 +98,93 @@ pub fn t_gts(n_blocks: usize, t_a: f64, t_c1: f64, t_c2: f64) -> f64 {
     (n_hat * t_a + t_c1) + (m * t_a + t_c2)
 }
 
+/// Group sizes for `n` blocks with an explicit group size `g`: the first
+/// `floor(n / g)` groups hold `g` blocks, a final partial group takes the
+/// remainder. Mirrors `blocksync_core::tree::chunk_sizes` (duplicated here
+/// so the model crate stays dependency-light; the autotune tests assert the
+/// two agree).
+pub fn chunked_group_sizes(n: usize, g: usize) -> Vec<usize> {
+    assert!(n > 0 && g > 0);
+    let full = n / g;
+    let rem = n % g;
+    let mut sizes = vec![g; full];
+    if rem > 0 {
+        sizes.push(rem);
+    }
+    sizes
+}
+
+/// Eq. 7 generalized over an explicit group size `g` instead of the Eq. 8
+/// default: `t_GTS(g) = (n_hat * t_a + t_c1) + (m * t_a + t_c2)` with
+/// `n_hat = max_i n_i` the largest group and `m = ceil(n / g)` groups.
+///
+/// `t_gts_grouped(n, Eq.8 group size, ...)` does *not* in general equal
+/// [`t_gts`]: Eq. 8 balances `m - 1` equal groups plus a remainder, while
+/// this chunks greedily — but both have the same `n_hat + m` envelope, and
+/// the argmin over `g` ([`optimal_tree_group`]) is what the auto-tuner uses.
+pub fn t_gts_grouped(n: usize, g: usize, t_a: f64, t_c1: f64, t_c2: f64) -> f64 {
+    let sizes = chunked_group_sizes(n, g);
+    let n_hat = sizes.iter().copied().max().unwrap_or(0) as f64;
+    let m = sizes.len() as f64;
+    (n_hat * t_a + t_c1) + (m * t_a + t_c2)
+}
+
+/// Brute-force argmin of [`t_gts_grouped`] over all valid group sizes
+/// `1..=n` — the Eq. 8 optimum computed exactly rather than via the
+/// `m = ceil(sqrt(N))` closed form. Ties resolve to the smallest group
+/// size. For symmetric check costs the result sits at (or next to)
+/// `ceil(sqrt(n))`, which is the paper's Eq. 8 claim.
+pub fn optimal_tree_group(n: usize, t_a: f64, t_c1: f64, t_c2: f64) -> usize {
+    assert!(n > 0);
+    let mut best_g = 1;
+    let mut best = f64::INFINITY;
+    for g in 1..=n {
+        let cost = t_gts_grouped(n, g, t_a, t_c1, t_c2);
+        if cost < best {
+            best = cost;
+            best_g = g;
+        }
+    }
+    best_g
+}
+
+/// 3-level tree barrier cost: fan-out `ceil(cbrt(N))` per level (mirroring
+/// `GpuTreeSync`'s 3-level shape), three serialized atomic chains each
+/// followed by one check:
+/// `t = (n_hat1 * t_a + t_c) + (n_hat2 * t_a + t_c) + (r * t_a + t_c)`.
+pub fn t_gts3(n: usize, t_a: f64, t_c: f64) -> f64 {
+    assert!(n > 0);
+    let fanout = ((n as f64).cbrt().ceil() as usize).max(1);
+    let l1 = chunked_group_sizes(n, fanout);
+    let l2 = chunked_group_sizes(l1.len(), fanout);
+    let n_hat1 = l1.iter().copied().max().unwrap_or(0) as f64;
+    let n_hat2 = l2.iter().copied().max().unwrap_or(0) as f64;
+    let root = l2.len() as f64;
+    (n_hat1 * t_a + t_c) + (n_hat2 * t_a + t_c) + (root * t_a + t_c)
+}
+
 /// Eq. 9 — GPU lock-free synchronization barrier cost, independent of the
 /// block count: `t_GLS = t_SI + t_CI + t_Sync + t_SO + t_CO`.
 pub fn t_gls(t_si: f64, t_ci: f64, t_sync: f64, t_so: f64, t_co: f64) -> f64 {
     t_si + t_ci + t_sync + t_so + t_co
+}
+
+/// Sense-reversing barrier cost (extension, not in the paper): `N` atomic
+/// arrivals serialize like the simple barrier, the last arrival flips the
+/// sense flag (one store), and everyone observes it with one check:
+/// `t = N * t_a + t_store + t_c`.
+pub fn t_sense(n: usize, t_a: f64, t_store: f64, t_c: f64) -> f64 {
+    n as f64 * t_a + t_store + t_c
+}
+
+/// Dissemination barrier cost (extension, not in the paper):
+/// `ceil(log2 N)` exchange rounds, each a flag store plus one check of the
+/// partner's flag — no atomics: `t = ceil(log2 N) * (t_store + t_c)`.
+/// Zero for `n == 1` (a single block exchanges with nobody).
+pub fn t_dissemination(n: usize, t_store: f64, t_c: f64) -> f64 {
+    assert!(n > 0);
+    let rounds = n.next_power_of_two().trailing_zeros() as f64;
+    rounds * (t_store + t_c)
 }
 
 #[cfg(test)]
@@ -190,5 +273,81 @@ mod tests {
     #[should_panic]
     fn mismatched_slices_panic() {
         let _ = total_gpu(0.0, &[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn chunked_groups_partition_n() {
+        assert_eq!(chunked_group_sizes(30, 6), vec![6, 6, 6, 6, 6]);
+        assert_eq!(chunked_group_sizes(11, 4), vec![4, 4, 3]);
+        assert_eq!(chunked_group_sizes(5, 8), vec![5]);
+        for n in 1..100 {
+            for g in 1..=n {
+                assert_eq!(chunked_group_sizes(n, g).iter().sum::<usize>(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_cost_extremes_are_degenerate_shapes() {
+        // g = n: one group of n plus a root of 1 — the simple barrier's
+        // chain plus a trivial second level.
+        let t = t_gts_grouped(30, 30, 1.0, 0.0, 0.0);
+        assert_eq!(t, 31.0);
+        // g = 1: n singleton groups, the root chain carries all n.
+        let t = t_gts_grouped(30, 1, 1.0, 0.0, 0.0);
+        assert_eq!(t, 31.0);
+        // The sqrt-ish middle beats both.
+        assert!(t_gts_grouped(30, 6, 1.0, 0.0, 0.0) < t);
+    }
+
+    #[test]
+    fn optimal_group_sits_near_sqrt() {
+        // With symmetric check costs, minimizing n_hat + m lands at (or
+        // adjacent to) ceil(sqrt(n)) — the Eq. 8 claim.
+        for n in [4usize, 9, 16, 25, 30, 64, 100] {
+            let g = optimal_tree_group(n, 235.0, 400.0, 400.0);
+            let sqrt = (n as f64).sqrt().ceil() as usize;
+            assert!(
+                g.abs_diff(sqrt) <= 1,
+                "n={n}: argmin group {g} vs ceil(sqrt)={sqrt}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_group_is_the_brute_force_argmin() {
+        let (t_a, t_c1, t_c2) = (100.0, 350.0, 420.0);
+        for n in 1..=64 {
+            let g = optimal_tree_group(n, t_a, t_c1, t_c2);
+            let best = (1..=n)
+                .map(|cand| t_gts_grouped(n, cand, t_a, t_c1, t_c2))
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(t_gts_grouped(n, g, t_a, t_c1, t_c2), best, "n={n}");
+        }
+    }
+
+    #[test]
+    fn tree3_pays_three_chains() {
+        // 27 blocks, fan-out 3: chains of 3/3/3 plus three checks.
+        assert_eq!(t_gts3(27, 1.0, 10.0), 3.0 + 3.0 + 3.0 + 30.0);
+        // Degenerate single block: three 1-length chains.
+        assert_eq!(t_gts3(1, 1.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn sense_tracks_simple_plus_store() {
+        assert_eq!(
+            t_sense(30, 235.0, 100.0, 400.0),
+            t_gss(30, 235.0, 400.0) + 100.0
+        );
+    }
+
+    #[test]
+    fn dissemination_is_logarithmic() {
+        assert_eq!(t_dissemination(1, 100.0, 400.0), 0.0);
+        assert_eq!(t_dissemination(2, 100.0, 400.0), 500.0);
+        assert_eq!(t_dissemination(8, 100.0, 400.0), 1500.0);
+        // Non-power-of-two rounds up.
+        assert_eq!(t_dissemination(30, 100.0, 400.0), 2500.0);
     }
 }

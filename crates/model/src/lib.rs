@@ -18,6 +18,10 @@
 //! * [`predict`] — closed-form kernel-time predictions from a
 //!   [`blocksync_device::CalibrationProfile`], including the Figure 11
 //!   crossover points.
+//! * [`selector`] — the auto-tuner's brain: per-method sync-cost
+//!   predictions for every barrier the runtime offers (including a tuned
+//!   tree group size from the exact Eq. 8 argmin), the cheapest-eligible
+//!   selection rule, and pairwise crossover points generalizing Figure 11.
 //!
 //! All times are `f64` nanoseconds: the model is algebra, not a clock, and
 //! fitting needs fractional values.
@@ -29,13 +33,18 @@ pub mod calibrate;
 pub mod equations;
 pub mod fit;
 pub mod predict;
+pub mod selector;
 pub mod speedup;
 
 pub use calibrate::{derive, DerivedCosts, PaperLandmarks};
 pub use equations::{
-    t_gls, t_gss, t_gts, total_explicit, total_explicit_uniform, total_gpu, total_gpu_uniform,
+    chunked_group_sizes, optimal_tree_group, t_dissemination, t_gls, t_gss, t_gts, t_gts3,
+    t_gts_grouped, t_sense, total_explicit, total_explicit_uniform, total_gpu, total_gpu_uniform,
     total_implicit, total_implicit_uniform, tree_group_sizes,
 };
 pub use fit::{fit_line, LinearFit};
 pub use predict::{barrier_cost_ns, simple_vs_implicit_crossover, BarrierKind, PredictMethod};
+pub use selector::{
+    crossover, crossover_table, predicted_sync_ns, prediction_table, select, MethodKind, Prediction,
+};
 pub use speedup::{kernel_speedup, max_speedup, rho};

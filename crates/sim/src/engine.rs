@@ -255,6 +255,20 @@ pub fn try_simulate(cfg: &SimConfig, workload: &dyn Workload) -> Result<SimRepor
         SyncMethod::CpuExplicit | SyncMethod::CpuImplicit | SyncMethod::NoSync => {
             Ok(simulate_cpu(cfg, workload))
         }
+        SyncMethod::Auto => {
+            // Resolve through the same cost-model selector the host
+            // executor uses, but priced with *this simulation's*
+            // calibration (what-if profiles included), then simulate the
+            // winner. No topology snapping: the simulated device has no
+            // host cache clusters.
+            let decision = blocksync_core::autotune::AutoTuner::with_profile(cfg.cal.clone())
+                .decide(cfg.n_blocks, cfg.spec.max_persistent_blocks() as usize);
+            let resolved = SimConfig {
+                method: decision.chosen,
+                ..cfg.clone()
+            };
+            try_simulate(&resolved, workload)
+        }
         _ => Engine::new(cfg, workload).run(),
     }
 }
@@ -699,6 +713,34 @@ mod tests {
             let r = simulate(&cfg, &w);
             assert!(r.sync_time().as_nanos() > 0, "fanout {f}");
         }
+    }
+
+    #[test]
+    fn custom_group_tree_simulates() {
+        let w = ConstWorkload::from_micros(0.5, 30);
+        for g in [2usize, 5, 6, 30] {
+            let cfg = SimConfig::new(30, 256, SyncMethod::GpuTree(TreeLevels::Custom(g)));
+            let r = simulate(&cfg, &w);
+            assert!(r.sync_time().as_nanos() > 0, "group {g}");
+        }
+    }
+
+    #[test]
+    fn auto_resolves_via_the_calibrations_own_model() {
+        // GTX 280 profile at 30 blocks: the model picks lock-free, so the
+        // Auto simulation must be bit-identical to an explicit lock-free
+        // one.
+        let w = ConstWorkload::from_micros(0.5, 50);
+        let auto = simulate(&SimConfig::new(30, 256, SyncMethod::Auto), &w);
+        let lf = simulate(&SimConfig::new(30, 256, SyncMethod::GpuLockFree), &w);
+        assert_eq!(auto.method, lf.method);
+        assert_eq!(auto.total, lf.total);
+        // Oversubscribed grids resolve to a CPU method instead of
+        // deadlocking like a GPU barrier would.
+        let w64 = ConstWorkload::from_micros(0.5, 10);
+        let r = try_simulate(&SimConfig::new(64, 256, SyncMethod::Auto), &w64)
+            .expect("auto falls back to CPU sync");
+        assert_eq!(r.method, SyncMethod::CpuImplicit.to_string());
     }
 
     #[test]

@@ -200,6 +200,13 @@ impl ProgramBuilder {
                 root_width = sizes.len() as u64;
                 levels.push(LevelShape::new(sizes, &mut next_addr));
             }
+            TreeLevels::Custom(group) => {
+                // Same shape as the host runtime's tuned tree: one
+                // grouping level with an explicit group size, then a root.
+                let sizes = chunk_sizes(n, group.clamp(1, n));
+                root_width = sizes.len() as u64;
+                levels.push(LevelShape::new(sizes, &mut next_addr));
+            }
             TreeLevels::Three => {
                 let fanout = (n as f64).cbrt().ceil().max(1.0) as usize;
                 let l1 = chunk_sizes(n, fanout);
@@ -364,7 +371,10 @@ impl ProgramBuilder {
                     goal: goal_round,
                 });
             }
-            SyncMethod::CpuExplicit | SyncMethod::CpuImplicit | SyncMethod::NoSync => {
+            SyncMethod::CpuExplicit
+            | SyncMethod::CpuImplicit
+            | SyncMethod::NoSync
+            | SyncMethod::Auto => {
                 unreachable!("checked in new()")
             }
         }
