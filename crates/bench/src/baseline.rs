@@ -140,16 +140,30 @@ fn after_key<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
         .1)
 }
 
+/// The guard namespace of a method key: the `kind:` prefix, extended by
+/// the suite qualifier when the method name carries one
+/// (`kind:suite/variant`). `"model:cpu-explicit"` lives in namespace
+/// `"model"` while `"model:launch/cold"` lives in `"model:launch"`, so the
+/// `autotune` bin (which emits plain `model:` rows) is not failed by the
+/// `launch_overhead` bin's `model:launch/` baselines, and vice versa.
+fn namespace(method: &str) -> Option<&str> {
+    let colon = method.find(':')?;
+    match method.find('/') {
+        Some(slash) if slash > colon => Some(&method[..slash]),
+        _ => Some(&method[..colon]),
+    }
+}
+
 /// Compare a fresh run against a baseline. Returns one human-readable
 /// failure line per guarded baseline record that is either missing from
 /// the current run or slower than `baseline * (1 + max_regress_pct/100)`.
 /// Unguarded (`pred:`/`host:`) baseline rows are ignored, as are extra
 /// rows in the current run (adding benchmarks never fails the guard).
 ///
-/// Baseline rows from a namespace the current run emits nothing in are
-/// also skipped — the `headline` (`sim:`) and `autotune` (`model:`) bins
-/// guard themselves independently against the one shared
-/// `ci/bench_baseline.json`.
+/// Baseline rows from a [`namespace`] the current run emits nothing in are
+/// also skipped — the `headline` (`sim:`), `autotune` (`model:`), and
+/// `launch_overhead` (`model:launch/`) bins guard themselves independently
+/// against the one shared `ci/bench_baseline.json`.
 pub fn compare(
     current: &[BenchRecord],
     baseline: &[BenchRecord],
@@ -157,14 +171,11 @@ pub fn compare(
 ) -> Vec<String> {
     let namespaces: std::collections::HashSet<&str> = current
         .iter()
-        .filter_map(|c| c.method.split_once(':').map(|(ns, _)| ns))
+        .filter_map(|c| namespace(&c.method))
         .collect();
     let mut failures = Vec::new();
     for b in baseline.iter().filter(|b| b.is_guarded()) {
-        if b.method
-            .split_once(':')
-            .is_none_or(|(ns, _)| !namespaces.contains(ns))
-        {
+        if namespace(&b.method).is_none_or(|ns| !namespaces.contains(ns)) {
             continue;
         }
         match current
@@ -212,15 +223,12 @@ pub fn guard_against_baseline(
     if failures.is_empty() {
         let namespaces: std::collections::HashSet<&str> = current
             .iter()
-            .filter_map(|c| c.method.split_once(':').map(|(ns, _)| ns))
+            .filter_map(|c| namespace(&c.method))
             .collect();
         let guarded = baseline
             .iter()
             .filter(|b| {
-                b.is_guarded()
-                    && b.method
-                        .split_once(':')
-                        .is_some_and(|(ns, _)| namespaces.contains(ns))
+                b.is_guarded() && namespace(&b.method).is_some_and(|ns| namespaces.contains(ns))
             })
             .count();
         println!(
@@ -314,8 +322,30 @@ mod tests {
         assert_eq!(fails.len(), 1);
         assert!(fails[0].contains("missing"), "{}", fails[0]);
         // A bin that emits no `sim:`/`model:` rows skips those baseline
-        // namespaces entirely (the two bench bins share one baseline file).
+        // namespaces entirely (the bench bins share one baseline file).
         assert!(compare(&current[2..], &baseline, 25.0).is_empty());
+    }
+
+    #[test]
+    fn suite_qualified_methods_guard_independently() {
+        assert_eq!(namespace("model:cpu-explicit"), Some("model"));
+        assert_eq!(namespace("model:launch/cold"), Some("model:launch"));
+        assert_eq!(namespace("host:launch/warm"), Some("host:launch"));
+        assert_eq!(namespace("unnamespaced"), None);
+        let baseline = vec![
+            BenchRecord::new("model:cpu-implicit", 30, 6000.0),
+            BenchRecord::new("model:launch/cold", 30, 7000.0),
+        ];
+        // The autotune bin (plain `model:` rows only) is not failed by the
+        // launch suite's baseline rows...
+        let autotune_run = vec![BenchRecord::new("model:cpu-implicit", 30, 6000.0)];
+        assert!(compare(&autotune_run, &baseline, 25.0).is_empty());
+        // ...and the launch bin is not failed by the plain `model:` rows,
+        // but is held to its own suite.
+        let launch_run = vec![BenchRecord::new("model:launch/cold", 30, 9001.0)];
+        let fails = compare(&launch_run, &baseline, 25.0);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("model:launch/cold"), "{}", fails[0]);
     }
 
     #[test]

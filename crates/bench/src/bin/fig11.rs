@@ -28,12 +28,13 @@ fn main() {
         .collect();
     println!("{}", format_table(&headers_ref, &rows));
 
-    // Report the emergent crossovers the paper calls out.
+    // Report the emergent crossovers the paper calls out. A missing series
+    // names itself instead of panicking on a bare index.
     let col = |name: &str| {
         series
             .iter()
             .position(|s| s.method.to_string() == name)
-            .unwrap()
+            .unwrap_or_else(|| panic!("figure 11 sweep has no series for method {name:?}"))
     };
     let (simple, imp, t2, t3) = (
         col("gpu-simple"),

@@ -6,10 +6,13 @@
 //! 8.8% (FFT), 24.1% (SWat), 39.0% (bitonic); time decreases with more
 //! blocks; tree-2 overtakes simple at N ≈ 24 (FFT) / 20 (SWat, bitonic).
 
-use blocksync_bench::experiments::{fig13, AlgoKind};
-use blocksync_bench::harness::{format_table, ms, pct};
+use std::process::ExitCode;
 
-fn main() {
+use blocksync_bench::experiments::{fig13, sweep_series, AlgoKind};
+use blocksync_bench::harness::{format_table, ms, pct};
+use blocksync_core::SyncMethod;
+
+fn main() -> ExitCode {
     for (panel, algo) in ["a", "b", "c"].iter().zip(AlgoKind::ALL) {
         println!(
             "Figure 13({panel}): {} kernel execution time (ms)\n",
@@ -29,15 +32,19 @@ fn main() {
             .collect();
         println!("{}", format_table(&headers_ref, &rows));
 
-        let imp = series
-            .iter()
-            .find(|s| s.method.to_string() == "cpu-implicit")
-            .unwrap();
-        let lf = series
-            .iter()
-            .find(|s| s.method.to_string() == "gpu-lock-free")
-            .unwrap();
-        let (imp30, lf30) = (imp.points.last().unwrap().1, lf.points.last().unwrap().1);
+        // The improvement landmark needs both comparison series and a final
+        // point in each; a sweep missing either is reported by name instead
+        // of panicking mid-figure.
+        let landmark = sweep_series(&series, SyncMethod::CpuImplicit)
+            .and_then(|imp| sweep_series(&series, SyncMethod::GpuLockFree).map(|lf| (imp, lf)))
+            .and_then(|(imp, lf)| Ok((imp.last_point()?, lf.last_point()?)));
+        let ((_, imp30), (_, lf30)) = match landmark {
+            Ok(points) => points,
+            Err(e) => {
+                eprintln!("error: Figure 13({panel}) {}: {e}", algo.name());
+                return ExitCode::FAILURE;
+            }
+        };
         let gain = (imp30.as_nanos() as f64 - lf30.as_nanos() as f64) / imp30.as_nanos() as f64;
         let paper = match algo {
             AlgoKind::Fft => "8.8%",
@@ -49,4 +56,5 @@ fn main() {
             pct(gain)
         );
     }
+    ExitCode::SUCCESS
 }

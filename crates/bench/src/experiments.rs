@@ -146,6 +146,38 @@ pub struct SweepSeries {
     pub points: Vec<(usize, SimDuration)>,
 }
 
+impl SweepSeries {
+    /// The series' final (largest-`N`) point.
+    ///
+    /// # Errors
+    /// Names the method whose sweep came back empty — an empty sweep is a
+    /// configuration bug the caller should report, not `unwrap` over.
+    pub fn last_point(&self) -> Result<(usize, SimDuration), String> {
+        self.points
+            .last()
+            .copied()
+            .ok_or_else(|| format!("sweep for {} produced no points", self.method))
+    }
+}
+
+/// Find `method`'s series in a Figure 13/14 sweep.
+///
+/// # Errors
+/// Names the missing method and lists what the sweep does contain, so a
+/// method-set change fails with a sentence instead of an `unwrap` panic.
+pub fn sweep_series(series: &[SweepSeries], method: SyncMethod) -> Result<&SweepSeries, String> {
+    series.iter().find(|s| s.method == method).ok_or_else(|| {
+        format!(
+            "no series for method {method}; sweep contains: {}",
+            series
+                .iter()
+                .map(|s| s.method.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })
+}
+
 /// Regenerate Figure 13 (a/b/c by `algo`): total kernel execution time vs
 /// block count for every synchronization method.
 pub fn fig13(algo: AlgoKind) -> Vec<SweepSeries> {
@@ -401,6 +433,32 @@ pub struct ScalingRow {
     pub per_method: Vec<(SyncMethod, SimDuration)>,
 }
 
+impl ScalingRow {
+    /// Per-round sync cost of `method` in this row.
+    ///
+    /// # Errors
+    /// Names the missing method and the methods the row does carry, so a
+    /// study run with a different method set fails with a sentence instead
+    /// of an `unwrap` panic.
+    pub fn method_time(&self, method: SyncMethod) -> Result<SimDuration, String> {
+        self.per_method
+            .iter()
+            .find(|&&(m, _)| m == method)
+            .map(|&(_, t)| t)
+            .ok_or_else(|| {
+                format!(
+                    "scaling row at {} SMs has no entry for {method}; measured: {}",
+                    self.sms,
+                    self.per_method
+                        .iter()
+                        .map(|(m, _)| m.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+    }
+}
+
 /// The paper's future-work question, answered in simulation: sweep
 /// GTX-280-class devices from 30 to 240 SMs and measure every barrier.
 /// Memory partitions scale with the device (8 per 30 SMs).
@@ -618,9 +676,12 @@ mod tests {
     #[test]
     fn scaling_study_shapes() {
         let rows = scaling_study();
-        let get = |row: &ScalingRow, m: SyncMethod| {
-            row.per_method.iter().find(|&&(mm, _)| mm == m).unwrap().1
-        };
+        let get = |row: &ScalingRow, m: SyncMethod| row.method_time(m).unwrap();
+        // A method the study does not measure reports itself by name
+        // instead of panicking on a bare `unwrap`.
+        let missing = rows[0].method_time(SyncMethod::CpuExplicit).unwrap_err();
+        assert!(missing.contains("cpu-explicit"), "{missing}");
+        assert!(missing.contains("gpu-lock-free"), "{missing}");
         let first = &rows[0];
         let last = rows.last().unwrap();
         assert_eq!(last.sms, 240);
@@ -637,6 +698,26 @@ mod tests {
         );
         // At 240 SMs the lock-free barrier still beats CPU implicit.
         assert!(get(last, SyncMethod::GpuLockFree) < get(last, SyncMethod::CpuImplicit));
+    }
+
+    #[test]
+    fn sweep_lookup_errors_name_the_method() {
+        let series = vec![SweepSeries {
+            method: SyncMethod::CpuImplicit,
+            points: vec![],
+        }];
+        let e = sweep_series(&series, SyncMethod::GpuLockFree).unwrap_err();
+        assert!(e.contains("gpu-lock-free"), "{e}");
+        assert!(e.contains("cpu-implicit"), "{e}");
+        let e = series[0].last_point().unwrap_err();
+        assert!(e.contains("cpu-implicit"), "{e}");
+        let full = SweepSeries {
+            method: SyncMethod::GpuLockFree,
+            points: vec![(30, SimDuration(5))],
+        };
+        assert_eq!(full.last_point().unwrap(), (30, SimDuration(5)));
+        let found = sweep_series(std::slice::from_ref(&full), SyncMethod::GpuLockFree).unwrap();
+        assert_eq!(found.method, SyncMethod::GpuLockFree);
     }
 
     #[test]

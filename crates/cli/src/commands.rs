@@ -10,8 +10,8 @@ use blocksync_algos::swat::{
 use std::time::Duration;
 
 use blocksync_core::{
-    AutoTuner, ChromeTraceBuilder, GridConfig, GridExecutor, KernelStats, RoundKernel, SyncMethod,
-    SyncPolicy, TraceConfig,
+    AutoTuner, ChromeTraceBuilder, GridConfig, GridExecutor, KernelStats, RoundKernel, RuntimeKind,
+    SyncMethod, SyncPolicy, TraceConfig,
 };
 use blocksync_device::{CalibrationProfile, GpuSpec};
 use blocksync_microbench::{run_host_traced, MeanKernel};
@@ -32,6 +32,16 @@ fn sync_policy(a: &Args) -> Result<SyncPolicy, String> {
     } else {
         SyncPolicy::with_timeout(Duration::from_secs_f64(secs))
     })
+}
+
+/// Runtime selection from `--runtime scoped|pooled` (default scoped).
+/// `pooled` keeps per-block workers resident across kernels
+/// ([`blocksync_core::GridRuntime`]) so repeat launches pay the warm `t_O`;
+/// it only applies to GPU-side methods — CPU-side methods relaunch per
+/// round by definition and always run scoped.
+fn runtime_kind(a: &Args) -> Result<RuntimeKind, String> {
+    let s = a.get("runtime", "scoped");
+    RuntimeKind::parse(s).ok_or_else(|| format!("unknown --runtime {s:?}; valid: scoped pooled"))
 }
 
 /// Telemetry plane from shared flags: `--trace FILE` (record a barrier
@@ -119,7 +129,9 @@ fn run_kernel<K: RoundKernel>(
     method: SyncMethod,
     a: &Args,
 ) -> Result<KernelStats, String> {
-    let mut cfg = GridConfig::new(blocks, 64).with_policy(sync_policy(a)?);
+    let mut cfg = GridConfig::new(blocks, 64)
+        .with_policy(sync_policy(a)?)
+        .with_runtime(runtime_kind(a)?);
     if let Some(tc) = trace_config(a)? {
         cfg = cfg.with_trace(tc);
     }
@@ -138,7 +150,9 @@ fn run_kernel_plain<K: RoundKernel>(
     method: SyncMethod,
     a: &Args,
 ) -> Result<KernelStats, String> {
-    let cfg = GridConfig::new(blocks, 64).with_policy(sync_policy(a)?);
+    let cfg = GridConfig::new(blocks, 64)
+        .with_policy(sync_policy(a)?)
+        .with_runtime(runtime_kind(a)?);
     GridExecutor::new(cfg, method)
         .run(kernel)
         .map_err(|e| e.to_string())
@@ -393,7 +407,9 @@ pub fn micro(a: &Args) -> Result<(), String> {
     let tpb = a.get_usize("tpb", 64);
     let method = parse_method(a.get("method", "gpu-lock-free"))?;
     let kernel = MeanKernel::for_grid(blocks, tpb, rounds);
-    let mut cfg = GridConfig::new(blocks, tpb).with_policy(sync_policy(a)?);
+    let mut cfg = GridConfig::new(blocks, tpb)
+        .with_policy(sync_policy(a)?)
+        .with_runtime(runtime_kind(a)?);
     if let Some(tc) = trace_config(a)? {
         cfg = cfg.with_trace(tc);
     }
@@ -438,11 +454,12 @@ pub fn tune(a: &Args) -> Result<(), String> {
 
     println!(
         "calibration ({profile}): t_a={}ns  t_c={}ns  store={}ns  launch={}ns  \
-         explicit-round={}ns  implicit-round={}ns",
+         warm-launch={}ns  explicit-round={}ns  implicit-round={}ns",
         cal.atomic_add_ns,
         cal.poll_round_trip().as_nanos(),
         cal.mem_write_service_ns + cal.write_visibility_ns,
         cal.kernel_launch_ns,
+        cal.warm_launch_ns,
         cal.explicit_round_overhead_ns,
         cal.implicit_round_overhead_ns
     );
@@ -473,6 +490,18 @@ pub fn tune(a: &Args) -> Result<(), String> {
         "\nchosen: {} (predicted t_S {:.0} ns)",
         decision.chosen, decision.predicted_sync_ns
     );
+    match decision.pooled_launch_speedup() {
+        Some(speedup) if decision.prefers_pooled() => println!(
+            "launch pricing: cold t_O {:.0} ns vs warm (pooled) {:.0} ns — \
+             repeat launches are {speedup:.1}x cheaper under --runtime pooled",
+            decision.launch_cold_ns, decision.launch_warm_ns
+        ),
+        _ => println!(
+            "launch pricing: cold t_O {:.0} ns, warm {:.0} ns — \
+             pooling does not pay for this grid (CPU-side choice or flat costs)",
+            decision.launch_cold_ns, decision.launch_warm_ns
+        ),
+    }
 
     let max_n = a.get_usize("max-n", 1024);
     let crossovers = blocksync_model::crossover_table(cal, max_n);
@@ -684,6 +713,40 @@ mod tests {
         .unwrap();
         assert!(tune(&args(&["tune", "--profile", "voodoo2"])).is_err());
         assert!(tune(&args(&["tune", "--blocks", "0"])).is_err());
+    }
+
+    #[test]
+    fn runtime_flag_selects_pooled() {
+        // A pooled run completes and verifies like a scoped one.
+        sort(&args(&[
+            "sort",
+            "--n",
+            "1024",
+            "--blocks",
+            "3",
+            "--runtime",
+            "pooled",
+        ]))
+        .unwrap();
+        scan(&args(&[
+            "scan",
+            "--n",
+            "5000",
+            "--blocks",
+            "3",
+            "--runtime",
+            "pooled",
+        ]))
+        .unwrap();
+        // Unknown runtimes are usage errors, not panics.
+        let e = sort(&args(&["sort", "--n", "64", "--runtime", "warp"])).unwrap_err();
+        assert!(e.contains("--runtime"), "{e}");
+        // Default is scoped.
+        assert_eq!(runtime_kind(&args(&[])).unwrap(), RuntimeKind::Scoped);
+        assert_eq!(
+            runtime_kind(&args(&["--runtime", "pooled"])).unwrap(),
+            RuntimeKind::Pooled
+        );
     }
 
     #[test]

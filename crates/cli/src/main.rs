@@ -77,6 +77,10 @@ COMMANDS:
              [--max-n N]
 
 COMMON FLAGS:
+  --runtime R        scoped (default) spawns workers per run; pooled keeps
+                     per-block workers resident across kernels so repeat
+                     launches pay the warm t_O (GPU-side methods only —
+                     CPU-side methods relaunch per round and stay scoped).
   --sync-timeout S   bound every barrier wait to S seconds (host-runtime
                      commands); a stuck or crashed block then fails the run
                      with a diagnostic naming it instead of hanging.

@@ -59,6 +59,12 @@ pub struct AutoDecision {
     pub measured_sync_ns: Option<f64>,
     /// The full table the choice was made from, in canonical order.
     pub table: Vec<MethodPrediction>,
+    /// Calibrated cold kernel-launch overhead (`t_O`), ns — what a scoped
+    /// run pays to spawn its workers.
+    pub launch_cold_ns: f64,
+    /// Calibrated warm (pooled) relaunch overhead, ns — what a
+    /// [`crate::GridRuntime`] launch pays once its workers are resident.
+    pub launch_warm_ns: f64,
     /// The calibration the predictions were computed from.
     pub calibration: CalibrationProfile,
     /// The host clustering used for group snapping.
@@ -71,6 +77,21 @@ impl AutoDecision {
     pub fn misprediction_ratio(&self) -> Option<f64> {
         let measured = self.measured_sync_ns?;
         (self.predicted_sync_ns > 0.0).then(|| measured / self.predicted_sync_ns)
+    }
+
+    /// Whether the calibration prices a pooled (persistent) relaunch below
+    /// a cold launch — i.e. whether a caller issuing repeated kernels
+    /// should prefer [`crate::RuntimeKind::Pooled`]. CPU-side methods
+    /// relaunch per round and cannot pool, so they never prefer it.
+    pub fn prefers_pooled(&self) -> bool {
+        !self.chosen.is_cpu_side() && self.launch_warm_ns < self.launch_cold_ns
+    }
+
+    /// `cold / warm` launch overhead — how many times cheaper a pooled
+    /// relaunch is than a cold one. `None` if the warm cost is zero
+    /// (degenerate `unit` calibrations).
+    pub fn pooled_launch_speedup(&self) -> Option<f64> {
+        (self.launch_warm_ns > 0.0).then(|| self.launch_cold_ns / self.launch_warm_ns)
     }
 }
 
@@ -151,6 +172,8 @@ impl AutoTuner {
             predicted_sync_ns: chosen.predicted_sync_ns,
             measured_sync_ns: None,
             table,
+            launch_cold_ns: self.cal.kernel_launch_ns as f64,
+            launch_warm_ns: self.cal.warm_launch_ns as f64,
             calibration: self.cal.clone(),
             topology: self.topo.clone(),
         }
@@ -291,6 +314,24 @@ mod tests {
         assert!(HostTopology::uniform(5, 8)
             .aligned_group_sizes(30)
             .contains(&g));
+    }
+
+    #[test]
+    fn decision_prices_pooled_relaunch() {
+        let d = AutoTuner::with_profile(CalibrationProfile::gtx280()).decide(30, 30);
+        assert_eq!(d.launch_cold_ns, 7_000.0);
+        assert_eq!(d.launch_warm_ns, 3_000.0);
+        assert!(d.prefers_pooled());
+        let speedup = d.pooled_launch_speedup().unwrap();
+        assert!((speedup - 7.0 / 3.0).abs() < 1e-9);
+        // Oversubscribed grids resolve to a CPU-side method, which relaunches
+        // per round and can never pool.
+        let cpu = AutoTuner::with_profile(CalibrationProfile::gtx280()).decide(64, 30);
+        assert!(cpu.chosen.is_cpu_side());
+        assert!(!cpu.prefers_pooled());
+        // Degenerate zero-cost calibration: no speedup claim.
+        let unit = AutoTuner::with_profile(CalibrationProfile::unit()).decide(8, 30);
+        assert!(unit.pooled_launch_speedup().is_none());
     }
 
     #[test]

@@ -103,6 +103,14 @@ pub enum ExecError {
         /// keep the `Result` the hot path returns a couple of words wide.
         diagnostic: Box<StuckDiagnostic>,
     },
+    /// The method cannot run on the persistent pooled runtime
+    /// ([`crate::GridRuntime`]): CPU-side methods relaunch kernels per
+    /// round by definition, and `Auto` must resolve to a concrete method
+    /// first.
+    RuntimeUnsupported {
+        /// Display name of the offending method.
+        method: String,
+    },
 }
 
 impl From<DeviceError> for ExecError {
@@ -127,6 +135,14 @@ impl fmt::Display for ExecError {
             }
             ExecError::BarrierTimeout { diagnostic } => {
                 write!(f, "barrier timeout: {diagnostic}")
+            }
+            ExecError::RuntimeUnsupported { method } => {
+                write!(
+                    f,
+                    "method {method} cannot run on the pooled runtime \
+                     (CPU-side methods relaunch kernels per round; \
+                     auto must resolve first)"
+                )
             }
         }
     }
@@ -186,6 +202,16 @@ mod tests {
         assert!(s.contains("block 2"), "{s}");
         assert!(s.contains("round 1"), "{s}");
         assert!(s.contains("kernel bug"), "{s}");
+    }
+
+    #[test]
+    fn runtime_unsupported_names_the_method() {
+        let s = ExecError::RuntimeUnsupported {
+            method: "cpu-explicit".into(),
+        }
+        .to_string();
+        assert!(s.contains("cpu-explicit"), "{s}");
+        assert!(s.contains("pooled"), "{s}");
     }
 
     #[test]

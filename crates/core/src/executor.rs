@@ -49,6 +49,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::barrier::{BarrierShared, PoisonCause, SyncFault, SyncPolicy};
 use crate::error::{ExecError, StuckDiagnostic};
 use crate::method::SyncMethod;
+use crate::runtime::{GridRuntime, RuntimeKind};
 use crate::stats::{BlockTimes, KernelStats};
 use crate::trace::{EventRecorder, TraceConfig, TraceEventKind};
 
@@ -70,6 +71,12 @@ pub struct GridConfig {
     /// default), the run carries an event recorder and
     /// [`KernelStats::telemetry`] is populated.
     pub trace: Option<TraceConfig>,
+    /// Which host runtime persistent-mode methods run on:
+    /// [`RuntimeKind::Scoped`] (the default) spawns fresh block threads per
+    /// run, [`RuntimeKind::Pooled`] reuses a persistent
+    /// [`crate::GridRuntime`] worker pool so repeated runs pay warm `t_O`.
+    /// CPU-side methods always run scoped (they relaunch by definition).
+    pub runtime: RuntimeKind,
 }
 
 impl GridConfig {
@@ -81,6 +88,7 @@ impl GridConfig {
             spec: GpuSpec::gtx280(),
             policy: SyncPolicy::default(),
             trace: None,
+            runtime: RuntimeKind::default(),
         }
     }
 
@@ -99,6 +107,13 @@ impl GridConfig {
     /// Enable telemetry under `trace` (event recording + histograms).
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Select the host runtime (scoped spawns vs the pooled
+    /// [`crate::GridRuntime`]).
+    pub fn with_runtime(mut self, runtime: RuntimeKind) -> Self {
+        self.runtime = runtime;
         self
     }
 
@@ -249,7 +264,7 @@ impl<F: Fn(&BlockCtx, usize) + Sync> RoundKernel for (usize, F) {
 }
 
 /// Best-effort string form of a panic payload.
-fn payload_message(payload: &(dyn Any + Send)) -> String {
+pub(crate) fn payload_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -264,7 +279,7 @@ fn payload_message(payload: &(dyn Any + Send)) -> String {
 /// actually happened (`BlockPanicked` naming itself, or the timeout whose
 /// diagnostic names the reporting block) — falling back to any derived
 /// poison error.
-fn collect_block_results(
+pub(crate) fn collect_block_results(
     results: Vec<Result<BlockTimes, ExecError>>,
 ) -> Result<Vec<BlockTimes>, ExecError> {
     let mut times = Vec::with_capacity(results.len());
@@ -296,7 +311,7 @@ fn collect_block_results(
 
 /// Translate a barrier-level fault into the run-level error, rebuilding a
 /// progress snapshot for victims of a peer's timeout.
-fn fault_to_error(fault: SyncFault, barrier: &dyn BarrierShared) -> ExecError {
+pub(crate) fn fault_to_error(fault: SyncFault, barrier: &dyn BarrierShared) -> ExecError {
     match fault {
         SyncFault::TimedOut { diagnostic } => ExecError::BarrierTimeout { diagnostic },
         SyncFault::Poisoned {
@@ -357,17 +372,76 @@ impl StartGate {
     }
 }
 
+/// A borrowed-or-owned kernel argument for the internal execution engine.
+/// Only the CPU-explicit path cares: with an owned kernel it may detach
+/// (abandon) a non-cooperative straggler thread instead of joining it.
+enum KernelArg<'a> {
+    Borrowed(&'a dyn RoundKernel),
+    Owned(&'a Arc<dyn RoundKernel + Send + Sync>),
+}
+
+impl KernelArg<'_> {
+    fn as_dyn(&self) -> &dyn RoundKernel {
+        match self {
+            KernelArg::Borrowed(k) => *k,
+            KernelArg::Owned(k) => &***k,
+        }
+    }
+}
+
+/// Lifetime-erased borrowed kernel, so the borrowed CPU-explicit path can
+/// reuse the owned-kernel engine. Sound only because that path never
+/// detaches a worker thread (`detach_stragglers = false`): every spawned
+/// thread is joined before the borrowing call returns, so no dereference
+/// outlives the borrow.
+struct ErasedKernel(*const (dyn RoundKernel + 'static));
+
+// SAFETY: see `ErasedKernel` — the referent outlives every thread that can
+// touch the pointer, and `RoundKernel: Sync` covers the shared access.
+unsafe impl Send for ErasedKernel {}
+unsafe impl Sync for ErasedKernel {}
+
+impl RoundKernel for ErasedKernel {
+    fn rounds(&self) -> usize {
+        unsafe { (*self.0).rounds() }
+    }
+    fn round(&self, ctx: &BlockCtx, round: usize) {
+        unsafe { (*self.0).round(ctx, round) }
+    }
+    fn on_launch(&self, abort: &AbortSignal) {
+        unsafe { (*self.0).on_launch(abort) }
+    }
+}
+
 /// Executes [`RoundKernel`]s under a configured synchronization method.
 #[derive(Debug, Clone)]
 pub struct GridExecutor {
     cfg: GridConfig,
     method: SyncMethod,
+    /// Lazily-built persistent pool for [`RuntimeKind::Pooled`]; shared by
+    /// clones of this executor so they reuse the same warm workers.
+    pool: Arc<std::sync::OnceLock<GridRuntime>>,
 }
 
 impl GridExecutor {
     /// Create an executor.
     pub fn new(cfg: GridConfig, method: SyncMethod) -> Self {
-        GridExecutor { cfg, method }
+        GridExecutor {
+            cfg,
+            method,
+            pool: Arc::new(std::sync::OnceLock::new()),
+        }
+    }
+
+    /// The persistent pool behind the [`RuntimeKind::Pooled`] fast path,
+    /// built on first use. A racing clone may build a second pool; the
+    /// loser is dropped (its workers shut down) and the winner is shared.
+    fn runtime(&self) -> Result<&GridRuntime, ExecError> {
+        if let Some(rt) = self.pool.get() {
+            return Ok(rt);
+        }
+        let rt = GridRuntime::new(self.cfg.clone(), self.method)?;
+        Ok(self.pool.get_or_init(|| rt))
     }
 
     /// The configured method.
@@ -389,13 +463,48 @@ impl GridExecutor {
     /// rendezvous) exceeded the [`SyncPolicy`] timeout.
     pub fn run<K: RoundKernel>(&self, kernel: &K) -> Result<KernelStats, ExecError> {
         if self.method == SyncMethod::Auto {
-            return self.run_auto(kernel);
+            return self.run_auto(KernelArg::Borrowed(kernel));
         }
+        if self.cfg.runtime == RuntimeKind::Pooled && GridRuntime::supports(self.method) {
+            return self.runtime()?.run(kernel);
+        }
+        self.run_inner(KernelArg::Borrowed(kernel))
+    }
+
+    /// [`GridExecutor::run`] with an *owned* kernel, which strengthens the
+    /// fault-tolerance contract: because the run co-owns the kernel, a
+    /// block stuck in non-cooperative kernel code past the
+    /// [`SyncPolicy`] timeout can be *abandoned* (its thread detached and,
+    /// on the pooled runtime, replaced) instead of hanging the host — the
+    /// borrowed [`GridExecutor::run`] must always wait for kernel code to
+    /// finish. Under CPU-explicit sync this is the watchdog join; under
+    /// [`RuntimeKind::Pooled`] it is the pool's abandon-and-replace path.
+    ///
+    /// # Errors
+    /// Same contract as [`GridExecutor::run`].
+    pub fn run_owned(
+        &self,
+        kernel: Arc<dyn RoundKernel + Send + Sync>,
+    ) -> Result<KernelStats, ExecError> {
+        if self.method == SyncMethod::Auto {
+            return self.run_auto(KernelArg::Owned(&kernel));
+        }
+        if self.cfg.runtime == RuntimeKind::Pooled && GridRuntime::supports(self.method) {
+            return self.runtime()?.submit_dyn(kernel)?.wait();
+        }
+        self.run_inner(KernelArg::Owned(&kernel))
+    }
+
+    /// The common engine behind [`GridExecutor::run`] and
+    /// [`GridExecutor::run_owned`] (everything except `Auto` resolution
+    /// and the pooled fast path).
+    fn run_inner(&self, kernel: KernelArg<'_>) -> Result<KernelStats, ExecError> {
         self.cfg.validate(self.method)?;
-        let rounds = kernel.rounds();
+        let k = kernel.as_dyn();
+        let rounds = k.rounds();
         let n = self.cfg.n_blocks;
         let abort = AbortSignal::new();
-        kernel.on_launch(&abort);
+        k.on_launch(&abort);
         // The recorder's epoch doubles as the run's time origin, so host-
         // and block-side timestamps share one clock.
         let recorder = self
@@ -406,14 +515,33 @@ impl GridExecutor {
             .map(|tc| Arc::new(EventRecorder::new(n, rounds, tc)));
         let start = Instant::now();
         let per_block = match self.method {
-            SyncMethod::CpuExplicit => {
-                self.run_cpu_explicit(kernel, rounds, &abort, recorder.as_ref())?
-            }
+            SyncMethod::CpuExplicit => match &kernel {
+                KernelArg::Owned(owned) => self.run_cpu_explicit(
+                    Arc::clone(owned),
+                    rounds,
+                    &abort,
+                    recorder.as_ref(),
+                    true,
+                )?,
+                KernelArg::Borrowed(k) => {
+                    // SAFETY: `detach_stragglers = false` means every
+                    // thread holding this pointer is joined before
+                    // `run_cpu_explicit` returns (see `ErasedKernel`).
+                    let erased: Arc<dyn RoundKernel + Send + Sync> =
+                        Arc::new(ErasedKernel(unsafe {
+                            std::mem::transmute::<
+                                *const dyn RoundKernel,
+                                *const (dyn RoundKernel + 'static),
+                            >(*k as *const dyn RoundKernel)
+                        }));
+                    self.run_cpu_explicit(erased, rounds, &abort, recorder.as_ref(), false)?
+                }
+            },
             SyncMethod::CpuImplicit => {
-                self.run_cpu_implicit(kernel, rounds, &abort, start, recorder.as_ref())?
+                self.run_cpu_implicit(k, rounds, &abort, start, recorder.as_ref())?
             }
             SyncMethod::NoSync => {
-                self.run_persistent(kernel, rounds, None, &abort, start, recorder.as_ref())?
+                self.run_persistent(k, rounds, None, &abort, start, recorder.as_ref())?
             }
             gpu => {
                 let barrier = gpu.build_barrier_with(n, self.cfg.policy).ok_or_else(|| {
@@ -424,14 +552,7 @@ impl GridExecutor {
                 if let Some(rec) = recorder.as_ref() {
                     barrier.control().attach_recorder(Arc::clone(rec));
                 }
-                self.run_persistent(
-                    kernel,
-                    rounds,
-                    Some(barrier),
-                    &abort,
-                    start,
-                    recorder.as_ref(),
-                )?
+                self.run_persistent(k, rounds, Some(barrier), &abort, start, recorder.as_ref())?
             }
         };
         Ok(KernelStats {
@@ -443,6 +564,7 @@ impl GridExecutor {
             per_block,
             telemetry: recorder.map(|rec| Box::new(rec.finish())),
             auto: None,
+            pool: None,
         })
     }
 
@@ -452,7 +574,10 @@ impl GridExecutor {
     /// per-round sync cost next to the prediction in
     /// [`KernelStats::auto`]. The stats report the method as
     /// `auto:<resolved>` so runs under `Auto` remain distinguishable.
-    fn run_auto<K: RoundKernel>(&self, kernel: &K) -> Result<KernelStats, ExecError> {
+    /// Auto always executes scoped — a per-run pool would never get warm —
+    /// but its decision record prices pooled relaunch (see
+    /// [`crate::AutoDecision::prefers_pooled`]).
+    fn run_auto(&self, kernel: KernelArg<'_>) -> Result<KernelStats, ExecError> {
         self.cfg.validate(SyncMethod::Auto)?;
         let tuner = crate::autotune::AutoTuner::host();
         let mut decision = tuner.decide(
@@ -460,7 +585,7 @@ impl GridExecutor {
             self.cfg.spec.max_persistent_blocks() as usize,
         );
         let inner = GridExecutor::new(self.cfg.clone(), decision.chosen);
-        let mut stats = inner.run(kernel)?;
+        let mut stats = inner.run_inner(kernel)?;
         decision.measured_sync_ns = Some(stats.sync_per_round().as_secs_f64() * 1e9);
         stats.method = format!("auto:{}", decision.chosen);
         stats.auto = Some(Box::new(decision));
@@ -478,9 +603,9 @@ impl GridExecutor {
     /// GPU-style persistent kernel: spawn once, barrier between rounds.
     /// A panicking block poisons the barrier before unwinding so its peers
     /// fail fast instead of spinning forever.
-    fn run_persistent<K: RoundKernel>(
+    fn run_persistent(
         &self,
-        kernel: &K,
+        kernel: &dyn RoundKernel,
         rounds: usize,
         barrier: Option<Arc<dyn BarrierShared>>,
         abort: &AbortSignal,
@@ -566,12 +691,25 @@ impl GridExecutor {
     /// `compute`, and finish-until-release (everyone joined) to `sync` — so
     /// `sync` measures the synchronizing wait itself and no longer absorbs
     /// thread-startup overhead on short runs.
-    fn run_cpu_explicit<K: RoundKernel>(
+    ///
+    /// When the policy deadline expires, the host raises the abort signal
+    /// and then *watchdog-joins*: it grants cooperative stragglers a short
+    /// grace period to observe the signal and exit, and — with
+    /// `detach_stragglers` (owned kernels only) — detaches any thread
+    /// still stuck in non-cooperative kernel code instead of joining it,
+    /// so the run returns [`ExecError::BarrierTimeout`] within the bound
+    /// rather than hanging. Detached threads co-own (via `Arc`) everything
+    /// they can still touch. Without `detach_stragglers` (the borrowed
+    /// path, where the kernel must outlive every thread), the join after
+    /// the grace period is unconditional, restoring the old behaviour for
+    /// non-cooperative kernels.
+    fn run_cpu_explicit(
         &self,
-        kernel: &K,
+        kernel: Arc<dyn RoundKernel + Send + Sync>,
         rounds: usize,
         abort: &AbortSignal,
         recorder: Option<&Arc<EventRecorder>>,
+        detach_stragglers: bool,
     ) -> Result<Vec<BlockTimes>, ExecError> {
         struct RoundTracker {
             state: Mutex<usize>, // blocks finished this round
@@ -589,104 +727,141 @@ impl GridExecutor {
         let mut times = vec![BlockTimes::default(); n];
         for r in 0..rounds {
             let round_start = Instant::now();
-            let tracker = RoundTracker {
+            let tracker = Arc::new(RoundTracker {
                 state: Mutex::new(0),
                 cv: Condvar::new(),
-            };
-            let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-            let mut outcomes: Vec<Result<RoundDone, ExecError>> = Vec::with_capacity(n);
+            });
+            let done: Arc<Vec<AtomicBool>> =
+                Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+            // Per-block outcome slots; a detached straggler's slot stays
+            // `None` (only the slot's own thread ever writes it).
+            type Slot = Mutex<Option<Result<RoundDone, ExecError>>>;
+            let slots: Arc<Vec<Slot>> = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
             // Completion states captured at the moment the deadline expired
             // (the straggler may still finish between deadline and join).
             let mut deadline_snapshot: Option<Vec<bool>> = None;
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..n)
-                    .map(|b| {
-                        let ctx = self.ctx(b);
-                        let tracker = &tracker;
-                        let done = &done;
-                        let recorder = recorder.cloned();
-                        s.spawn(move || {
-                            let t0 = Instant::now();
-                            // Round r's thread for block b is the ring's
-                            // writer this round; the host's join below and
-                            // the next spawn give the handoff edges.
-                            if let Some(rec) = recorder.as_deref() {
-                                rec.record(b, r, TraceEventKind::RoundStart);
-                            }
-                            let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
-                            let result = match outcome {
-                                Ok(()) => {
-                                    let arrived = Instant::now();
-                                    if let Some(rec) = recorder.as_deref() {
-                                        rec.record(b, r, TraceEventKind::RoundEnd);
-                                        rec.record(b, r, TraceEventKind::BarrierArrive);
-                                    }
-                                    Ok(RoundDone {
-                                        spawn_delay: t0 - round_start,
-                                        compute: arrived - t0,
-                                        arrived,
-                                    })
-                                }
-                                Err(payload) => {
-                                    if let Some(rec) = recorder.as_deref() {
-                                        rec.record(b, r, TraceEventKind::Abort);
-                                    }
-                                    Err(ExecError::BlockPanicked {
-                                        block: b,
-                                        round: r,
-                                        message: payload_message(&*payload),
-                                    })
-                                }
-                            };
-                            done[b].store(true, Ordering::Release);
-                            let mut g = tracker.state.lock();
-                            *g += 1;
-                            tracker.cv.notify_all();
-                            drop(g);
-                            result
-                        })
-                    })
-                    .collect();
-
-                // The host-side "cudaThreadSynchronize": wait for all blocks,
-                // bounded by the policy timeout.
-                if let Some(timeout) = self.cfg.policy.timeout {
-                    let deadline = Instant::now() + timeout;
-                    let mut g = tracker.state.lock();
-                    while *g < n {
-                        let now = Instant::now();
-                        if now >= deadline {
-                            deadline_snapshot =
-                                Some(done.iter().map(|d| d.load(Ordering::Acquire)).collect());
-                            // Ask cooperative stragglers to bail out so the
-                            // scope join below can complete.
-                            abort.abort();
-                            break;
+            let handles: Vec<std::thread::JoinHandle<()>> = (0..n)
+                .map(|b| {
+                    let ctx = self.ctx(b);
+                    let kernel = Arc::clone(&kernel);
+                    let tracker = Arc::clone(&tracker);
+                    let done = Arc::clone(&done);
+                    let slots = Arc::clone(&slots);
+                    let recorder = recorder.cloned();
+                    std::thread::spawn(move || {
+                        let t0 = Instant::now();
+                        // Round r's thread for block b is the ring's
+                        // writer this round; the host's join below and
+                        // the next spawn give the handoff edges.
+                        if let Some(rec) = recorder.as_deref() {
+                            rec.record(b, r, TraceEventKind::RoundStart);
                         }
-                        let _ = tracker.cv.wait_for(&mut g, deadline - now);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
+                        let result = match outcome {
+                            Ok(()) => {
+                                let arrived = Instant::now();
+                                if let Some(rec) = recorder.as_deref() {
+                                    rec.record(b, r, TraceEventKind::RoundEnd);
+                                    rec.record(b, r, TraceEventKind::BarrierArrive);
+                                }
+                                Ok(RoundDone {
+                                    spawn_delay: t0 - round_start,
+                                    compute: arrived - t0,
+                                    arrived,
+                                })
+                            }
+                            Err(payload) => {
+                                if let Some(rec) = recorder.as_deref() {
+                                    rec.record(b, r, TraceEventKind::Abort);
+                                }
+                                Err(ExecError::BlockPanicked {
+                                    block: b,
+                                    round: r,
+                                    message: payload_message(&*payload),
+                                })
+                            }
+                        };
+                        *slots[b].lock() = Some(result);
+                        done[b].store(true, Ordering::Release);
+                        let mut g = tracker.state.lock();
+                        *g += 1;
+                        tracker.cv.notify_all();
+                    })
+                })
+                .collect();
+
+            // The host-side "cudaThreadSynchronize": wait for all blocks,
+            // bounded by the policy timeout.
+            if let Some(timeout) = self.cfg.policy.timeout {
+                let deadline = Instant::now() + timeout;
+                let mut g = tracker.state.lock();
+                while *g < n {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        deadline_snapshot =
+                            Some(done.iter().map(|d| d.load(Ordering::Acquire)).collect());
+                        // Ask cooperative stragglers to bail out so the
+                        // join below can complete.
+                        abort.abort();
+                        break;
                     }
-                    drop(g);
+                    let _ = tracker.cv.wait_for(&mut g, deadline - now);
                 }
+                drop(g);
+            }
+            if deadline_snapshot.is_some() && detach_stragglers {
+                // Watchdog join: a grace period for cooperative stragglers
+                // to observe the abort, then detach whoever is still stuck
+                // in kernel code — the bounded-return half of the
+                // fault-tolerance contract for owned kernels.
+                let grace = self
+                    .cfg
+                    .policy
+                    .timeout
+                    .unwrap_or_default()
+                    .clamp(Duration::from_millis(10), Duration::from_secs(1));
+                let watchdog_deadline = Instant::now() + grace;
+                let mut g = tracker.state.lock();
+                while *g < n {
+                    let now = Instant::now();
+                    if now >= watchdog_deadline {
+                        break;
+                    }
+                    let _ = tracker.cv.wait_for(&mut g, watchdog_deadline - now);
+                }
+                drop(g);
                 for h in handles {
-                    outcomes.push(h.join().expect("executor block thread must not panic"));
+                    if h.is_finished() {
+                        h.join().expect("executor block thread must not panic");
+                    }
+                    // else: detached. The thread co-owns (Arc) the kernel,
+                    // tracker, slots, and recorder, so leaking it is sound;
+                    // the deadline snapshot below reports it as stuck.
                 }
-            });
+            } else {
+                for h in handles {
+                    h.join().expect("executor block thread must not panic");
+                }
+            }
 
             // Every block is released the moment the last join completed.
             let release = Instant::now();
             let mut origin: Option<ExecError> = None;
             let mut released: Vec<(usize, Instant)> = Vec::new();
-            for (b, outcome) in outcomes.into_iter().enumerate() {
-                match outcome {
-                    Ok(d) => {
+            for (b, slot) in slots.iter().enumerate() {
+                match slot.lock().take() {
+                    Some(Ok(d)) => {
                         times[b].launch += d.spawn_delay;
                         times[b].compute += d.compute;
                         times[b].sync += release.saturating_duration_since(d.arrived);
                         released.push((b, d.arrived));
                     }
-                    Err(e) => {
+                    Some(Err(e)) => {
                         origin.get_or_insert(e);
                     }
+                    // A detached straggler never filled its slot; the
+                    // deadline snapshot reports it.
+                    None => {}
                 }
             }
             if let Some(e) = origin {
@@ -746,9 +921,9 @@ impl GridExecutor {
     /// rendezvous through the "driver" (mutex + condvar) per round. The
     /// dispatcher carries its own poison/timeout state so a failed or
     /// missing block releases every waiter.
-    fn run_cpu_implicit<K: RoundKernel>(
+    fn run_cpu_implicit(
         &self,
-        kernel: &K,
+        kernel: &dyn RoundKernel,
         rounds: usize,
         abort: &AbortSignal,
         run_start: Instant,

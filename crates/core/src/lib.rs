@@ -75,6 +75,7 @@ pub mod gmem;
 pub mod lockfree;
 pub mod method;
 pub mod metrics;
+pub mod runtime;
 pub mod scalar;
 pub mod sense;
 pub mod simple;
@@ -94,6 +95,7 @@ pub use gmem::{GlobalBuffer, GlobalBuffer2d};
 pub use lockfree::{FuzzyLockFreeWaiter, GpuLockFreeSync};
 pub use method::{ResetStrategy, SyncMethod, TreeLevels};
 pub use metrics::{BlockHistogram, Histogram};
+pub use runtime::{GridRuntime, LaunchHandle, PoolLaunchStats, RuntimeKind};
 pub use scalar::DeviceScalar;
 pub use sense::SenseReversingSync;
 pub use simple::GpuSimpleSync;

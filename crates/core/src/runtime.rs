@@ -1,0 +1,908 @@
+//! Persistent grid runtime: pooled per-block workers with pipelined
+//! launches.
+//!
+//! [`crate::GridExecutor::run`] pays the full launch overhead `t_O` of
+//! Eq. 1 on every call: `n_blocks` fresh OS threads are spawned, hit the
+//! start gate, and are joined again at the end. That is the host analogue
+//! of a cold `cudaLaunch` — exactly the cost the paper's persistent-kernel
+//! design (Section 4.3) amortizes away. [`GridRuntime`] is the
+//! persistent-host counterpart: the per-block workers are pinned **once at
+//! construction** and every subsequent launch is a *warm* dispatch through
+//! a launch queue, the pipelined-relaunch shape of the paper's CPU
+//! implicit sync (Section 4.2) applied to whole kernels instead of rounds.
+//!
+//! ## Launch log
+//!
+//! Submissions append to a monotonically numbered launch log; each worker
+//! consumes the log in order with a private cursor, so back-to-back
+//! [`GridRuntime::submit`] calls pipeline: block `b` can start launch
+//! `k+1` the moment it finished its part of launch `k`, without a global
+//! drain barrier in between. [`LaunchHandle::wait`] resolves one launch to
+//! its [`crate::KernelStats`].
+//!
+//! ## Fault semantics
+//!
+//! Barrier poisoning is permanent, so every launch gets a **fresh
+//! barrier**; a panicked or timed-out launch therefore cannot contaminate
+//! the next one. Workers survive kernel panics (the round body is run
+//! under `catch_unwind`, like the scoped executor). A worker that is stuck
+//! *inside* non-cooperative kernel code cannot be preempted; for launches
+//! submitted by ownership ([`GridRuntime::submit`]), the host abandons the
+//! launch after a grace period past the policy timeout, synthesizes a
+//! [`crate::StuckDiagnostic`] for the missing block, and **replaces** the
+//! stuck worker with a fresh one so the pool stays usable — the stale
+//! thread parks itself permanently on the leaked kernel `Arc` and exits if
+//! it ever returns. Borrowed launches ([`GridRuntime::run`]) must instead
+//! wait for full completion before returning — the kernel is only
+//! guaranteed alive for the duration of the call — so they bound barrier
+//! waits (via [`crate::SyncPolicy`]) but not kernel code itself, matching
+//! the scoped executor's contract.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::barrier::{BarrierShared, PoisonCause};
+use crate::error::{ExecError, StuckDiagnostic};
+use crate::executor::{
+    collect_block_results, fault_to_error, payload_message, AbortSignal, BlockCtx, GridConfig,
+    RoundKernel,
+};
+use crate::method::SyncMethod;
+use crate::stats::{BlockTimes, KernelStats};
+use crate::trace::{EventRecorder, TraceEventKind};
+
+/// Which host runtime a [`crate::GridExecutor`] uses for persistent-mode
+/// methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeKind {
+    /// Spawn fresh per-block threads every `run()` (cold `t_O`; the
+    /// default, and the only option for CPU-side methods, which relaunch
+    /// by definition).
+    #[default]
+    Scoped,
+    /// Reuse a persistent [`GridRuntime`] worker pool across `run()` calls
+    /// (warm `t_O` after the first launch).
+    Pooled,
+}
+
+impl RuntimeKind {
+    /// Parse a CLI spelling (`"scoped"` / `"pooled"`).
+    pub fn parse(s: &str) -> Option<RuntimeKind> {
+        match s {
+            "scoped" => Some(RuntimeKind::Scoped),
+            "pooled" => Some(RuntimeKind::Pooled),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RuntimeKind::Scoped => "scoped",
+            RuntimeKind::Pooled => "pooled",
+        })
+    }
+}
+
+/// Pool-side launch accounting attached to [`KernelStats::pool`] for runs
+/// executed by a [`GridRuntime`]. The warm `t_O` itself is
+/// [`KernelStats::launch`] (dispatch → all workers assembled); this struct
+/// carries the queueing context around it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolLaunchStats {
+    /// Zero-based sequence number of this launch on its pool. Sequence 0
+    /// is the cold launch (it overlaps worker spawning).
+    pub launch_seq: u64,
+    /// Launches still pending ahead of this one at submit time (pipelining
+    /// depth).
+    pub queue_depth: usize,
+    /// Submit → first worker picked the launch up. Nonzero queueing delay
+    /// means the pool was still busy with earlier launches.
+    pub queued: Duration,
+    /// Whether this was the pool's cold (first) launch.
+    pub cold: bool,
+}
+
+/// Erased kernel reference carried by a launch.
+enum KernelRef {
+    /// `submit()`: the pool co-owns the kernel, so a stuck worker can be
+    /// abandoned safely (it keeps its own `Arc` alive).
+    Owned(Arc<dyn RoundKernel + Send + Sync>),
+    /// `run()`: a borrowed kernel. Soundness contract: the submitting call
+    /// does not return until every block recorded its result, so the
+    /// referent outlives every dereference.
+    Borrowed(*const (dyn RoundKernel + 'static)),
+}
+
+// SAFETY: the Borrowed pointer is only dereferenced by pool workers while
+// the borrowing `GridRuntime::run` call is still blocked waiting for all
+// of them (see `KernelRef::Borrowed`); `RoundKernel: Sync` makes the
+// shared access itself sound.
+unsafe impl Send for KernelRef {}
+unsafe impl Sync for KernelRef {}
+
+impl KernelRef {
+    /// # Safety
+    /// For `Borrowed`, the caller must guarantee the referent is still
+    /// alive (the `run()` completion protocol above).
+    unsafe fn get(&self) -> &dyn RoundKernel {
+        match self {
+            KernelRef::Owned(k) => &**k,
+            KernelRef::Borrowed(p) => &**p,
+        }
+    }
+}
+
+/// Completion state of one launch.
+struct LaunchDone {
+    /// Per-block result slots; a slot is written exactly once (worker or
+    /// host-side abandonment, whichever comes first).
+    results: Vec<Option<Result<BlockTimes, ExecError>>>,
+    finished: usize,
+    /// When the first failed block reported, starting the abandonment
+    /// grace clock.
+    first_failure: Option<Instant>,
+    abandoned: bool,
+}
+
+/// One entry of the launch log.
+struct Launch {
+    seq: u64,
+    kernel: KernelRef,
+    rounds: usize,
+    /// Fresh barrier per launch: poisoning is permanent, so reuse would
+    /// leak one launch's fault into the next.
+    barrier: Option<Arc<dyn BarrierShared>>,
+    abort: AbortSignal,
+    recorder: Option<Arc<EventRecorder>>,
+    timeout: Option<Duration>,
+    n: usize,
+    queue_depth: usize,
+    submitted: Instant,
+    /// When the first worker picked this launch up (end of queueing).
+    activated: Mutex<Option<Instant>>,
+    /// Assembly gate: workers check in and spin until all peers of *this
+    /// launch* exist, pinning the warm-launch boundary exactly like the
+    /// scoped executor's start gate.
+    gate: AtomicUsize,
+    done: Mutex<LaunchDone>,
+    done_cv: Condvar,
+}
+
+impl Launch {
+    fn is_abandoned(&self) -> bool {
+        self.done.lock().abandoned
+    }
+
+    /// Store `res` for `block` unless the slot was already filled (e.g. by
+    /// host-side abandonment racing a late worker).
+    fn record_result(&self, block: usize, res: Result<BlockTimes, ExecError>) {
+        let mut g = self.done.lock();
+        if g.results[block].is_some() {
+            return;
+        }
+        if res.is_err() {
+            g.first_failure.get_or_insert_with(Instant::now);
+            self.abort.abort();
+        }
+        g.results[block] = Some(res);
+        g.finished += 1;
+        self.done_cv.notify_all();
+    }
+}
+
+/// Shared pool state.
+struct Shared {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    threads_per_block: usize,
+}
+
+struct PoolState {
+    /// Launch log: `queue[i]` has sequence `first_seq + i`. Entries are
+    /// pruned once every worker's cursor has passed them.
+    queue: VecDeque<Arc<Launch>>,
+    first_seq: u64,
+    next_seq: u64,
+    /// Per-block worker generation; bumping it retires the incumbent
+    /// worker (it exits at its next dispatch point).
+    gens: Vec<u64>,
+    /// Per-block launch cursor (next sequence the block's worker will
+    /// execute).
+    cursors: Vec<u64>,
+    shutdown: bool,
+}
+
+fn spawn_worker(shared: Arc<Shared>, block: usize, gen: u64, cursor: u64) {
+    let builder = std::thread::Builder::new().name(format!("blocksync-pool-{block}"));
+    builder
+        .spawn(move || worker_loop(&shared, block, gen, cursor))
+        .expect("spawning a pool worker thread failed");
+}
+
+fn worker_loop(shared: &Arc<Shared>, block: usize, gen: u64, mut cursor: u64) {
+    loop {
+        let launch = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown || st.gens[block] != gen {
+                    return;
+                }
+                if cursor < st.next_seq {
+                    let idx = (cursor - st.first_seq) as usize;
+                    break Arc::clone(&st.queue[idx]);
+                }
+                shared.cv.wait(&mut st);
+            }
+        };
+        // A launch the host already gave up on: its results were
+        // synthesized, so just step over it.
+        if !launch.is_abandoned() {
+            run_launch(shared, &launch, block);
+        }
+        cursor += 1;
+        let mut st = shared.state.lock();
+        if st.gens[block] != gen {
+            return; // replaced while running: the successor owns the cursor
+        }
+        st.cursors[block] = cursor;
+        let min = st.cursors.iter().copied().min().unwrap_or(cursor);
+        while st.first_seq < min && !st.queue.is_empty() {
+            st.queue.pop_front();
+            st.first_seq += 1;
+        }
+    }
+}
+
+/// Execute one launch for `block` — the pooled analogue of the scoped
+/// executor's per-block persistent loop.
+fn run_launch(shared: &Arc<Shared>, launch: &Arc<Launch>, block: usize) {
+    // SAFETY: Owned refs are kept alive by the Arc in the launch log;
+    // Borrowed refs are alive per the `GridRuntime::run` completion
+    // protocol (see `KernelRef`).
+    let kernel = unsafe { launch.kernel.get() };
+    let ctx = BlockCtx {
+        block_id: block,
+        n_blocks: launch.n,
+        threads_per_block: shared.threads_per_block,
+    };
+    {
+        let mut a = launch.activated.lock();
+        a.get_or_insert_with(Instant::now);
+    }
+    let mut waiter = launch.barrier.clone().map(|sh| sh.waiter(block));
+    // Assembly gate with an abort escape so peers of an already-failed
+    // launch don't spin forever waiting for a worker that will never come.
+    launch.gate.fetch_add(1, Ordering::AcqRel);
+    while launch.gate.load(Ordering::Acquire) < launch.n {
+        if launch.abort.is_aborted() {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    let base = (*launch.activated.lock()).expect("activation is stamped before the gate");
+    let mut t = BlockTimes {
+        // Warm t_O: dispatch (first pickup) -> this worker assembled.
+        launch: Instant::now().saturating_duration_since(base),
+        ..BlockTimes::default()
+    };
+    if let Some(rec) = launch.recorder.as_deref() {
+        rec.record(block, 0, TraceEventKind::Launch);
+    }
+    let res = (|| -> Result<BlockTimes, ExecError> {
+        for r in 0..launch.rounds {
+            let t0 = Instant::now();
+            if let Some(rec) = launch.recorder.as_deref() {
+                rec.record(block, r, TraceEventKind::RoundStart);
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
+            if let Err(payload) = outcome {
+                if let Some(rec) = launch.recorder.as_deref() {
+                    rec.record(block, r, TraceEventKind::Abort);
+                }
+                if let Some(sh) = launch.barrier.as_deref() {
+                    sh.control().poison(block, r, PoisonCause::Panic);
+                }
+                launch.abort.abort();
+                return Err(ExecError::BlockPanicked {
+                    block,
+                    round: r,
+                    message: payload_message(&*payload),
+                });
+            }
+            let t1 = Instant::now();
+            if let Some(rec) = launch.recorder.as_deref() {
+                rec.record(block, r, TraceEventKind::RoundEnd);
+            }
+            if let Some(w) = waiter.as_mut() {
+                if let Err(fault) = w.wait() {
+                    launch.abort.abort();
+                    let sh = launch.barrier.as_deref().expect("waiter implies barrier");
+                    return Err(fault_to_error(fault, sh));
+                }
+            }
+            let t2 = Instant::now();
+            t.compute += t1 - t0;
+            t.sync += t2 - t1;
+            if let Some(rec) = launch.recorder.as_deref() {
+                if rec.sampled(r) {
+                    rec.record_sync(block, (t2 - t1).as_nanos() as u64);
+                }
+            }
+        }
+        Ok(t)
+    })();
+    launch.record_result(block, res);
+}
+
+/// A pending pooled launch; resolves to the launch's [`KernelStats`].
+///
+/// Handles should be waited in submission order when pipelining — workers
+/// consume the launch log in order, so an abandoned early launch is only
+/// detected (and its stuck worker replaced) by waiting on *its* handle.
+#[must_use = "a LaunchHandle does nothing until waited"]
+pub struct LaunchHandle {
+    shared: Arc<Shared>,
+    launch: Arc<Launch>,
+    method: SyncMethod,
+}
+
+impl LaunchHandle {
+    /// This launch's pool sequence number.
+    pub fn seq(&self) -> u64 {
+        self.launch.seq
+    }
+
+    /// Whether every block has reported (or the launch was abandoned).
+    pub fn is_done(&self) -> bool {
+        self.launch.done.lock().finished >= self.launch.n
+    }
+
+    /// Block until the launch completes and return its stats.
+    ///
+    /// With a [`crate::SyncPolicy`] timeout set, a block stuck in
+    /// non-cooperative kernel code is given a grace period past the first
+    /// observed failure, then abandoned: the wait returns
+    /// [`ExecError::BarrierTimeout`] with a synthesized
+    /// [`StuckDiagnostic`], and the stuck worker is replaced so the pool
+    /// stays usable.
+    ///
+    /// # Errors
+    /// The merged per-block error of the launch, origin first — the same
+    /// contract as [`crate::GridExecutor::run`].
+    pub fn wait(self) -> Result<KernelStats, ExecError> {
+        wait_launch(&self.shared, &self.launch, self.method, true)
+    }
+}
+
+/// Grace past the first observed failure before an owned launch is
+/// abandoned: long enough for every cooperatively-aborting peer to drain,
+/// short enough that a 50 ms timeout still fails in well under a second.
+fn abandon_grace(timeout: Duration) -> Duration {
+    timeout.clamp(Duration::from_millis(10), Duration::from_secs(1)) + Duration::from_millis(100)
+}
+
+fn wait_launch(
+    shared: &Arc<Shared>,
+    launch: &Arc<Launch>,
+    method: SyncMethod,
+    allow_abandon: bool,
+) -> Result<KernelStats, ExecError> {
+    let n = launch.n;
+    let mut replaced: Vec<usize> = Vec::new();
+    let results: Vec<Result<BlockTimes, ExecError>> = {
+        let mut g = launch.done.lock();
+        while g.finished < n {
+            match launch.timeout.filter(|_| allow_abandon) {
+                None => launch.done_cv.wait(&mut g),
+                Some(timeout) => {
+                    let grace = abandon_grace(timeout);
+                    let tick = grace.min(Duration::from_millis(20));
+                    let _ = launch.done_cv.wait_for(&mut g, tick);
+                    if g.finished >= n {
+                        break;
+                    }
+                    if let Some(first) = g.first_failure {
+                        if first.elapsed() > grace {
+                            abandon(launch, &mut g, timeout, &mut replaced);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        std::mem::take(&mut g.results)
+            .into_iter()
+            .map(|r| r.expect("every slot is filled once finished == n"))
+            .collect()
+    };
+    if !replaced.is_empty() {
+        replace_workers(shared, &replaced, launch.seq);
+    }
+    let per_block = collect_block_results(results)?;
+    let activated = (*launch.activated.lock()).unwrap_or(launch.submitted);
+    Ok(KernelStats {
+        method: method.to_string(),
+        n_blocks: n,
+        rounds: launch.rounds,
+        wall: launch.submitted.elapsed(),
+        launch: per_block.iter().map(|b| b.launch).max().unwrap_or_default(),
+        per_block,
+        telemetry: launch.recorder.as_ref().map(|rec| Box::new(rec.finish())),
+        auto: None,
+        pool: Some(Box::new(PoolLaunchStats {
+            launch_seq: launch.seq,
+            queue_depth: launch.queue_depth,
+            queued: activated.saturating_duration_since(launch.submitted),
+            cold: launch.seq == 0,
+        })),
+    })
+}
+
+/// Give up on the blocks that never reported: synthesize their timeout
+/// diagnostics, poison the launch so stragglers that eventually wake fail
+/// fast, and note them for worker replacement.
+fn abandon(launch: &Launch, g: &mut LaunchDone, timeout: Duration, replaced: &mut Vec<usize>) {
+    g.abandoned = true;
+    launch.abort.abort();
+    let (arrivals, departures) = match launch.barrier.as_deref() {
+        Some(sh) => sh.control().progress(),
+        None => (vec![0; launch.n], vec![0; launch.n]),
+    };
+    for b in 0..launch.n {
+        if g.results[b].is_some() {
+            continue;
+        }
+        let round = arrivals.get(b).copied().unwrap_or(0) as usize;
+        if let Some(sh) = launch.barrier.as_deref() {
+            sh.control().poison(b, round, PoisonCause::Timeout);
+        }
+        let diagnostic = Box::new(StuckDiagnostic {
+            barrier: launch
+                .barrier
+                .as_deref()
+                .map_or("pooled:no-sync".to_string(), |sh| {
+                    format!("pooled:{}", sh.name())
+                }),
+            waiting_block: b,
+            round,
+            flag: format!("launch {} abandoned; worker replaced", launch.seq),
+            timeout,
+            arrivals: arrivals.clone(),
+            departures: departures.clone(),
+            recent_events: launch
+                .recorder
+                .as_deref()
+                .map(|rec| rec.tail(b, 8).iter().map(|e| e.to_string()).collect())
+                .unwrap_or_default(),
+        });
+        g.results[b] = Some(Err(ExecError::BarrierTimeout { diagnostic }));
+        g.finished += 1;
+        replaced.push(b);
+    }
+}
+
+/// Retire the stuck workers and spawn fresh ones starting after the
+/// abandoned launch (its results were already synthesized).
+fn replace_workers(shared: &Arc<Shared>, blocks: &[usize], after_seq: u64) {
+    let mut st = shared.state.lock();
+    if st.shutdown {
+        return;
+    }
+    for &b in blocks {
+        st.gens[b] += 1;
+        st.cursors[b] = after_seq + 1;
+        spawn_worker(Arc::clone(shared), b, st.gens[b], after_seq + 1);
+    }
+    drop(st);
+    shared.cv.notify_all();
+}
+
+/// Persistent per-block worker pool with a pipelined launch queue — the
+/// host-runtime realization of the paper's "launch the kernel only once"
+/// persistence, extended across kernels. See the module docs for the
+/// launch-log and fault-recovery design.
+pub struct GridRuntime {
+    shared: Arc<Shared>,
+    cfg: GridConfig,
+    method: SyncMethod,
+}
+
+impl std::fmt::Debug for GridRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GridRuntime")
+            .field("n_blocks", &self.cfg.n_blocks)
+            .field("method", &self.method)
+            .finish()
+    }
+}
+
+impl GridRuntime {
+    /// Whether `method` can run on a persistent pool. CPU-side methods
+    /// relaunch kernels (explicitly or pipelined) by definition, and
+    /// `Auto` must resolve to a concrete method first.
+    pub fn supports(method: SyncMethod) -> bool {
+        method.is_gpu_side() || method == SyncMethod::NoSync
+    }
+
+    /// Build the pool and pin one worker per block.
+    ///
+    /// # Errors
+    /// [`ExecError::Device`] for an invalid grid shape;
+    /// [`ExecError::RuntimeUnsupported`] for CPU-side methods or `Auto`.
+    pub fn new(cfg: GridConfig, method: SyncMethod) -> Result<GridRuntime, ExecError> {
+        if !Self::supports(method) {
+            return Err(ExecError::RuntimeUnsupported {
+                method: method.to_string(),
+            });
+        }
+        cfg.validate(method)?;
+        let n = cfg.n_blocks;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                first_seq: 0,
+                next_seq: 0,
+                gens: vec![0; n],
+                cursors: vec![0; n],
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            threads_per_block: cfg.threads_per_block,
+        });
+        for b in 0..n {
+            spawn_worker(Arc::clone(&shared), b, 0, 0);
+        }
+        Ok(GridRuntime {
+            shared,
+            cfg,
+            method,
+        })
+    }
+
+    /// The pool's grid configuration.
+    pub fn config(&self) -> &GridConfig {
+        &self.cfg
+    }
+
+    /// The pool's synchronization method.
+    pub fn method(&self) -> SyncMethod {
+        self.method
+    }
+
+    /// Launches still pending (submitted but not yet completed by every
+    /// block). Counted from completion state, not worker cursors — a
+    /// worker advances its cursor slightly after the host can observe the
+    /// launch's results.
+    pub fn queue_depth(&self) -> usize {
+        let st = self.shared.state.lock();
+        st.queue
+            .iter()
+            .filter(|l| l.done.lock().finished < l.n)
+            .count()
+    }
+
+    /// Total launches submitted to this pool.
+    pub fn launches(&self) -> u64 {
+        self.shared.state.lock().next_seq
+    }
+
+    /// Append a launch to the log and return its handle. Back-to-back
+    /// submissions pipeline; call [`LaunchHandle::wait`] (in order) to
+    /// collect each launch's stats.
+    ///
+    /// # Errors
+    /// [`ExecError::BarrierUnavailable`] if the method cannot build a
+    /// barrier for this grid.
+    pub fn submit<K: RoundKernel + Send + Sync + 'static>(
+        &self,
+        kernel: Arc<K>,
+    ) -> Result<LaunchHandle, ExecError> {
+        self.submit_dyn(kernel)
+    }
+
+    /// [`GridRuntime::submit`] for an already-erased kernel.
+    ///
+    /// # Errors
+    /// See [`GridRuntime::submit`].
+    pub fn submit_dyn(
+        &self,
+        kernel: Arc<dyn RoundKernel + Send + Sync>,
+    ) -> Result<LaunchHandle, ExecError> {
+        let launch = self.enqueue(KernelRef::Owned(Arc::clone(&kernel)), kernel.rounds())?;
+        kernel.on_launch(&launch.abort);
+        Ok(LaunchHandle {
+            shared: Arc::clone(&self.shared),
+            launch,
+            method: self.method,
+        })
+    }
+
+    /// Run a borrowed kernel on the warm pool and block until it
+    /// completes — the pooled fast path behind
+    /// [`crate::GridExecutor::run`].
+    ///
+    /// Because the kernel is only borrowed, this wait is *not* bounded for
+    /// blocks stuck inside non-cooperative kernel code (the pool may not
+    /// outlive the borrow); barrier waits are still bounded by the policy
+    /// timeout. Use [`GridRuntime::submit`] for the abandon-and-replace
+    /// watchdog.
+    ///
+    /// # Errors
+    /// Same contract as [`crate::GridExecutor::run`].
+    pub fn run<K: RoundKernel>(&self, kernel: &K) -> Result<KernelStats, ExecError> {
+        let dyn_ref: &dyn RoundKernel = kernel;
+        // SAFETY (lifetime erasure): `wait_launch(.., allow_abandon =
+        // false)` below does not return until every worker recorded its
+        // result for this launch, after which no worker dereferences the
+        // pointer again — so the borrow outlives all uses.
+        let ptr: *const (dyn RoundKernel + 'static) =
+            unsafe { std::mem::transmute(dyn_ref as *const dyn RoundKernel) };
+        let launch = self.enqueue(KernelRef::Borrowed(ptr), kernel.rounds())?;
+        kernel.on_launch(&launch.abort);
+        wait_launch(&self.shared, &launch, self.method, false)
+    }
+
+    fn enqueue(&self, kernel: KernelRef, rounds: usize) -> Result<Arc<Launch>, ExecError> {
+        let n = self.cfg.n_blocks;
+        let barrier = match self.method {
+            SyncMethod::NoSync => None,
+            m => Some(m.build_barrier_with(n, self.cfg.policy).ok_or_else(|| {
+                ExecError::BarrierUnavailable {
+                    method: m.to_string(),
+                }
+            })?),
+        };
+        let recorder = self
+            .cfg
+            .trace
+            .as_ref()
+            .filter(|_| EventRecorder::ENABLED)
+            .map(|tc| Arc::new(EventRecorder::new(n, rounds, tc)));
+        if let (Some(sh), Some(rec)) = (barrier.as_deref(), recorder.as_ref()) {
+            sh.control().attach_recorder(Arc::clone(rec));
+        }
+        let mut st = self.shared.state.lock();
+        let min = st.cursors.iter().copied().min().unwrap_or(st.next_seq);
+        let launch = Arc::new(Launch {
+            seq: st.next_seq,
+            kernel,
+            rounds,
+            barrier,
+            abort: AbortSignal::new(),
+            recorder,
+            timeout: self.cfg.policy.timeout,
+            n,
+            queue_depth: (st.next_seq - min) as usize,
+            submitted: Instant::now(),
+            activated: Mutex::new(None),
+            gate: AtomicUsize::new(0),
+            done: Mutex::new(LaunchDone {
+                results: vec![None; n],
+                finished: 0,
+                first_failure: None,
+                abandoned: false,
+            }),
+            done_cv: Condvar::new(),
+        });
+        st.queue.push_back(Arc::clone(&launch));
+        st.next_seq += 1;
+        drop(st);
+        self.shared.cv.notify_all();
+        Ok(launch)
+    }
+}
+
+impl Drop for GridRuntime {
+    /// Signal shutdown; workers exit at their next dispatch point. Workers
+    /// stuck in non-cooperative kernel code are leaked rather than joined
+    /// (they hold only `Arc`s, so this is safe) — the same trade the
+    /// abandon path makes.
+    fn drop(&mut self) {
+        self.shared.state.lock().shutdown = true;
+        self.shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barrier::SyncPolicy;
+    use crate::gmem::GlobalBuffer;
+    use crate::trace::TraceConfig;
+    use std::sync::atomic::AtomicBool;
+
+    /// Every block bumps its slot once per round; a correct barrier makes
+    /// all slots equal the round count at the end.
+    struct CountKernel {
+        slots: GlobalBuffer<u64>,
+        rounds: usize,
+    }
+
+    impl RoundKernel for CountKernel {
+        fn rounds(&self) -> usize {
+            self.rounds
+        }
+        fn round(&self, ctx: &BlockCtx, _round: usize) {
+            let b = ctx.block_id;
+            self.slots.set(b, self.slots.get(b) + 1);
+        }
+    }
+
+    fn pool(n: usize, method: SyncMethod) -> GridRuntime {
+        GridRuntime::new(GridConfig::new(n, 64), method).unwrap()
+    }
+
+    #[test]
+    fn rejects_cpu_side_methods_and_auto() {
+        for m in [
+            SyncMethod::CpuExplicit,
+            SyncMethod::CpuImplicit,
+            SyncMethod::Auto,
+        ] {
+            assert!(!GridRuntime::supports(m));
+            let err = GridRuntime::new(GridConfig::new(2, 64), m).unwrap_err();
+            assert!(matches!(err, ExecError::RuntimeUnsupported { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn borrowed_run_is_correct_and_reusable() {
+        let rt = pool(4, SyncMethod::GpuLockFree);
+        for _ in 0..3 {
+            let kernel = CountKernel {
+                slots: GlobalBuffer::new(4),
+                rounds: 50,
+            };
+            let stats = rt.run(&kernel).unwrap();
+            assert!(kernel.slots.to_vec().iter().all(|&v| v == 50));
+            assert_eq!(stats.n_blocks, 4);
+            assert_eq!(stats.rounds, 50);
+            assert!(stats.pool.is_some());
+        }
+        assert_eq!(rt.launches(), 3);
+        assert_eq!(rt.queue_depth(), 0);
+    }
+
+    #[test]
+    fn pipelined_submits_all_complete_in_order() {
+        let rt = pool(3, SyncMethod::GpuSimple);
+        let kernels: Vec<Arc<CountKernel>> = (0..4)
+            .map(|_| {
+                Arc::new(CountKernel {
+                    slots: GlobalBuffer::new(3),
+                    rounds: 20,
+                })
+            })
+            .collect();
+        let handles: Vec<LaunchHandle> = kernels
+            .iter()
+            .map(|k| rt.submit(Arc::clone(k)).unwrap())
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.seq(), i as u64);
+            let stats = h.wait().unwrap();
+            let p = stats.pool.as_ref().unwrap();
+            assert_eq!(p.launch_seq, i as u64);
+            assert_eq!(p.cold, i == 0);
+            assert!(kernels[i].slots.to_vec().iter().all(|&v| v == 20));
+        }
+    }
+
+    #[test]
+    fn panic_poisons_one_launch_but_not_the_pool() {
+        let rt = pool(3, SyncMethod::GpuTree(crate::method::TreeLevels::Two));
+        let bad: Arc<dyn RoundKernel + Send + Sync> =
+            Arc::new((3usize, |ctx: &BlockCtx, r: usize| {
+                if ctx.block_id == 1 && r == 1 {
+                    panic!("injected");
+                }
+            }));
+        let err = rt.submit_dyn(bad).unwrap().wait().unwrap_err();
+        match err {
+            ExecError::BlockPanicked { block, round, .. } => {
+                assert_eq!((block, round), (1, 1));
+            }
+            other => panic!("expected BlockPanicked, got {other}"),
+        }
+        // Fresh barrier per launch: the next submit is unaffected.
+        let good = Arc::new(CountKernel {
+            slots: GlobalBuffer::new(3),
+            rounds: 10,
+        });
+        rt.submit(Arc::clone(&good)).unwrap().wait().unwrap();
+        assert!(good.slots.to_vec().iter().all(|&v| v == 10));
+    }
+
+    #[test]
+    fn abandoned_launch_replaces_worker_and_pool_survives() {
+        let cfg =
+            GridConfig::new(3, 64).with_policy(SyncPolicy::with_timeout(Duration::from_millis(50)));
+        let rt = GridRuntime::new(cfg, SyncMethod::GpuLockFree).unwrap();
+        // Block 1 never returns from round 0 and ignores the abort signal.
+        let stuck: Arc<dyn RoundKernel + Send + Sync> =
+            Arc::new((2usize, |ctx: &BlockCtx, r: usize| {
+                if ctx.block_id == 1 && r == 0 {
+                    loop {
+                        std::thread::park();
+                    }
+                }
+            }));
+        let t0 = Instant::now();
+        let err = rt.submit_dyn(stuck).unwrap().wait().unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "abandonment must be bounded, took {:?}",
+            t0.elapsed()
+        );
+        // The origin error is block 0's or 2's real barrier timeout (they
+        // gave up waiting for the stuck block 1); the synthesized
+        // `pooled:` diagnostic fills block 1's slot.
+        match &err {
+            ExecError::BarrierTimeout { diagnostic } => {
+                assert!(diagnostic.stragglers().contains(&1), "{diagnostic}");
+            }
+            other => panic!("expected BarrierTimeout, got {other}"),
+        }
+        // The stuck worker was replaced: the pool still works.
+        let good = Arc::new(CountKernel {
+            slots: GlobalBuffer::new(3),
+            rounds: 10,
+        });
+        let stats = rt.submit(Arc::clone(&good)).unwrap().wait().unwrap();
+        assert!(good.slots.to_vec().iter().all(|&v| v == 10));
+        assert_eq!(stats.n_blocks, 3);
+    }
+
+    #[test]
+    fn telemetry_records_launch_events() {
+        let cfg = GridConfig::new(2, 64).with_trace(TraceConfig::default());
+        let rt = GridRuntime::new(cfg, SyncMethod::GpuSimple).unwrap();
+        let kernel = CountKernel {
+            slots: GlobalBuffer::new(2),
+            rounds: 5,
+        };
+        let stats = rt.run(&kernel).unwrap();
+        if EventRecorder::ENABLED {
+            let t = stats.telemetry.as_ref().expect("telemetry attached");
+            assert_eq!(t.count(TraceEventKind::Launch), 2);
+            assert_eq!(t.count(TraceEventKind::RoundStart), 10);
+            let json = t.chrome_trace("gpu-simple");
+            assert!(json.contains("\"name\":\"launch\""), "{json}");
+        } else {
+            assert!(stats.telemetry.is_none());
+        }
+    }
+
+    #[test]
+    fn queue_depth_reflects_pipelining() {
+        let rt = pool(2, SyncMethod::NoSync);
+        let gate = Arc::new(AtomicBool::new(false));
+        let release = Arc::clone(&gate);
+        let slow: Arc<dyn RoundKernel + Send + Sync> =
+            Arc::new((1usize, move |_: &BlockCtx, _: usize| {
+                while !release.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }));
+        let h1 = rt.submit_dyn(slow).unwrap();
+        let h2 = rt
+            .submit(Arc::new(CountKernel {
+                slots: GlobalBuffer::new(2),
+                rounds: 1,
+            }))
+            .unwrap();
+        assert!(rt.queue_depth() >= 1);
+        gate.store(true, Ordering::Release);
+        h1.wait().unwrap();
+        let stats = h2.wait().unwrap();
+        assert_eq!(stats.pool.as_ref().unwrap().queue_depth, 1);
+        assert_eq!(rt.queue_depth(), 0);
+    }
+}

@@ -64,6 +64,12 @@ pub struct KernelStats {
     /// prediction table, and the predicted vs. measured per-round sync
     /// cost. Boxed for the same reason as `telemetry`.
     pub auto: Option<Box<AutoDecision>>,
+    /// Pool-side launch accounting, present when the run executed on a
+    /// persistent [`crate::GridRuntime`]: launch sequence number, queue
+    /// depth at submit, queueing delay, and whether the launch was cold.
+    /// The warm launch overhead itself is [`KernelStats::launch`]. Boxed
+    /// for the same reason as `telemetry`.
+    pub pool: Option<Box<crate::runtime::PoolLaunchStats>>,
 }
 
 impl KernelStats {
@@ -165,6 +171,7 @@ mod tests {
             per_block,
             telemetry: None,
             auto: None,
+            pool: None,
         }
     }
 

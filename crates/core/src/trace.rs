@@ -54,6 +54,9 @@ pub enum TraceEventKind {
     Abort,
     /// The block poisoned the barrier (panic or timeout).
     Poison,
+    /// The block assembled for a (pooled) kernel launch — the end of the
+    /// warm `t_O` window for that block.
+    Launch,
 }
 
 impl TraceEventKind {
@@ -65,6 +68,7 @@ impl TraceEventKind {
             TraceEventKind::BarrierDepart => 4,
             TraceEventKind::Abort => 5,
             TraceEventKind::Poison => 6,
+            TraceEventKind::Launch => 7,
         }
     }
 
@@ -76,13 +80,18 @@ impl TraceEventKind {
             4 => TraceEventKind::BarrierDepart,
             5 => TraceEventKind::Abort,
             6 => TraceEventKind::Poison,
+            7 => TraceEventKind::Launch,
             _ => return None,
         })
     }
 
-    /// Whether round-stride sampling applies (faults are always recorded).
+    /// Whether round-stride sampling applies (faults and launches are
+    /// always recorded — they happen at most once per block per run).
     fn is_sampled(self) -> bool {
-        !matches!(self, TraceEventKind::Abort | TraceEventKind::Poison)
+        !matches!(
+            self,
+            TraceEventKind::Abort | TraceEventKind::Poison | TraceEventKind::Launch
+        )
     }
 
     /// Short display name (`"arrive"`, `"depart"`, ...).
@@ -94,6 +103,7 @@ impl TraceEventKind {
             TraceEventKind::BarrierDepart => "depart",
             TraceEventKind::Abort => "abort",
             TraceEventKind::Poison => "poison",
+            TraceEventKind::Launch => "launch",
         }
     }
 }
@@ -597,7 +607,7 @@ impl Telemetry {
                         b.complete("sync", "barrier", e.block, start, e.at, e.round);
                     }
                 }
-                TraceEventKind::Abort | TraceEventKind::Poison => {
+                TraceEventKind::Abort | TraceEventKind::Poison | TraceEventKind::Launch => {
                     b.instant(e.kind.name(), e.block, e.at);
                 }
             }

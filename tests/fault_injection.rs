@@ -179,6 +179,60 @@ fn panic_unwinds_peers_even_without_a_timeout() {
     }
 }
 
+/// Regression: a **non-cooperative** straggler (never checks the abort
+/// signal, never returns) under CPU-explicit synchronization used to hang
+/// the run forever — the host aborted on deadline but then unconditionally
+/// joined every worker, including the one stuck inside kernel code. With
+/// the join watchdog, `run_owned` must surface the deadline's
+/// `StuckDiagnostic` as a `BarrierTimeout` and detach the stuck thread.
+#[test]
+fn cpu_explicit_noncooperative_straggler_does_not_hang() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    struct ParkForever {
+        parked: Arc<AtomicBool>,
+    }
+    impl RoundKernel for ParkForever {
+        fn rounds(&self) -> usize {
+            3
+        }
+        fn round(&self, ctx: &blocksync::core::BlockCtx, round: usize) {
+            if ctx.block_id == 1 && round == 1 {
+                self.parked.store(true, Ordering::Release);
+                // Deliberately ignores the abort signal: models kernel code
+                // stuck in a syscall or a foreign spin loop.
+                loop {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+
+    let parked = Arc::new(AtomicBool::new(false));
+    let kernel: Arc<dyn RoundKernel + Send + Sync> = Arc::new(ParkForever {
+        parked: Arc::clone(&parked),
+    });
+    let cfg =
+        GridConfig::new(3, 8).with_policy(SyncPolicy::with_timeout(Duration::from_millis(50)));
+    let started = Instant::now();
+    let err = GridExecutor::new(cfg, SyncMethod::CpuExplicit)
+        .run_owned(kernel)
+        .unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(elapsed < Duration::from_secs(5), "took {elapsed:?}");
+    assert!(parked.load(Ordering::Acquire), "straggler never ran");
+    match err {
+        ExecError::BarrierTimeout { diagnostic } => {
+            assert_eq!(diagnostic.barrier, "cpu-explicit", "{diagnostic}");
+            assert_eq!(diagnostic.round, 1, "{diagnostic}");
+            assert_eq!(diagnostic.stragglers(), vec![1], "{diagnostic}");
+            assert_eq!(diagnostic.timeout, Duration::from_millis(50));
+        }
+        other => panic!("expected BarrierTimeout, got {other:?}"),
+    }
+}
+
 /// The error message (Display) must carry the block, the round, and — for
 /// timeouts — the stragglers, so operators can act on logs alone.
 #[test]

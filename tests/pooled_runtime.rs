@@ -1,0 +1,219 @@
+//! Integration and property tests of the persistent pooled runtime
+//! ([`GridRuntime`]): launch-overhead bounds under repeated submission,
+//! fault recovery that leaves the pool reusable, and the cross-method
+//! fault-injection matrix run through the pooled executor path.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use blocksync::core::{
+    BlockCtx, ExecError, FaultInjector, FaultPlan, GlobalBuffer, GridConfig, GridExecutor,
+    GridRuntime, RoundKernel, RuntimeKind, SyncMethod, SyncPolicy, TreeLevels,
+};
+use proptest::prelude::*;
+
+/// Every method the pooled runtime supports: the device-side barriers plus
+/// the barrier-free control.
+const POOLED_METHODS: [SyncMethod; 7] = [
+    SyncMethod::GpuSimple,
+    SyncMethod::GpuTree(TreeLevels::Two),
+    SyncMethod::GpuTree(TreeLevels::Three),
+    SyncMethod::GpuLockFree,
+    SyncMethod::SenseReversing,
+    SyncMethod::Dissemination,
+    SyncMethod::NoSync,
+];
+
+struct Increment {
+    slots: GlobalBuffer<u64>,
+    rounds: usize,
+}
+
+impl Increment {
+    fn new(n: usize, rounds: usize) -> Self {
+        Increment {
+            slots: GlobalBuffer::new(n),
+            rounds,
+        }
+    }
+}
+
+impl RoundKernel for Increment {
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+    fn round(&self, ctx: &BlockCtx, _round: usize) {
+        let b = ctx.block_id;
+        self.slots.set(b, self.slots.get(b) + 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Repeated `submit()` on one pool keeps the warm launch overhead
+    /// bounded by the cold thread-spawn launch of scoped runs: at least
+    /// one warm handoff must beat the slowest cold spawn, for any small
+    /// grid and round count. This is the pooled runtime's reason to exist
+    /// (the paper's `t_O` amortization, extended across kernels).
+    #[test]
+    fn repeated_submits_keep_launch_below_cold_spawn(
+        blocks in 4usize..=6,
+        rounds in 2usize..=8,
+    ) {
+        let method = SyncMethod::GpuLockFree;
+        let mut cold_max = Duration::ZERO;
+        for _ in 0..3 {
+            let k = Increment::new(blocks, rounds);
+            let stats = GridExecutor::new(GridConfig::new(blocks, 8), method)
+                .run(&k)
+                .unwrap();
+            cold_max = cold_max.max(stats.launch);
+        }
+        let rt = GridRuntime::new(GridConfig::new(blocks, 8), method).unwrap();
+        let mut warm_min = Duration::MAX;
+        for i in 0..8u64 {
+            let k = Arc::new(Increment::new(blocks, rounds));
+            let stats = rt.submit(Arc::clone(&k)).unwrap().wait().unwrap();
+            let pool = stats.pool.as_ref().expect("pooled run carries pool stats");
+            prop_assert_eq!(pool.launch_seq, i);
+            prop_assert_eq!(pool.cold, i == 0);
+            prop_assert!(k.slots.to_vec().iter().all(|&v| v == rounds as u64));
+            if i > 0 {
+                warm_min = warm_min.min(stats.launch);
+            }
+        }
+        prop_assert!(
+            warm_min <= cold_max,
+            "no warm launch ({warm_min:?}) beat the slowest cold spawn ({cold_max:?})"
+        );
+    }
+
+    /// A fault-injected launch (panic at a random block/round) fails
+    /// alone; the pool stays reusable and the next submission completes
+    /// with correct results.
+    #[test]
+    fn faulted_launch_leaves_pool_reusable(
+        bad_block in 0usize..4,
+        bad_round in 0usize..4,
+    ) {
+        let rt = GridRuntime::new(GridConfig::new(4, 8), SyncMethod::GpuLockFree).unwrap();
+        let faulty = Arc::new(FaultInjector::new(
+            Increment::new(4, 4),
+            FaultPlan::panic_at(bad_block, bad_round),
+        ));
+        let err = rt.submit(faulty).unwrap().wait().unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                ExecError::BlockPanicked { block, round, .. }
+                    if block == bad_block && round == bad_round
+            ),
+            "got {err:?}"
+        );
+        let clean = Arc::new(Increment::new(4, 5));
+        let stats = rt.submit(Arc::clone(&clean)).unwrap().wait().unwrap();
+        prop_assert_eq!(stats.rounds, 5);
+        prop_assert!(clean.slots.to_vec().iter().all(|&v| v == 5));
+    }
+}
+
+/// The cross-method fault-injection matrix, run through the pooled
+/// executor path (`--runtime pooled` equivalent): every supported method
+/// converts an injected panic into a structured error naming the block and
+/// round, and the *same executor* (hence the same pool) runs clean
+/// afterwards.
+#[test]
+fn pooled_executor_survives_injected_panics_under_every_method() {
+    for method in POOLED_METHODS {
+        if method == SyncMethod::NoSync {
+            continue; // no inter-block ordering: the fault plan's round
+                      // alignment is meaningless without a barrier
+        }
+        let cfg = GridConfig::new(4, 8)
+            .with_policy(SyncPolicy::with_timeout(Duration::from_secs(20)))
+            .with_runtime(RuntimeKind::Pooled);
+        let exec = GridExecutor::new(cfg, method);
+        let k = FaultInjector::new(Increment::new(4, 6), FaultPlan::panic_at(2, 3));
+        let started = Instant::now();
+        let err = exec.run(&k).unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "{method}: detection too slow"
+        );
+        assert!(
+            matches!(
+                err,
+                ExecError::BlockPanicked {
+                    block: 2,
+                    round: 3,
+                    ..
+                }
+            ),
+            "{method}: got {err:?}"
+        );
+        // Same executor, same pool: a clean kernel still runs correctly.
+        let clean = Increment::new(4, 4);
+        let stats = exec.run(&clean).unwrap_or_else(|e| panic!("{method}: {e}"));
+        assert_eq!(stats.rounds, 4, "{method}");
+        assert!(
+            clean.slots.to_vec().iter().all(|&v| v == 4),
+            "{method}: lost work after pool recovery"
+        );
+        assert!(
+            stats.pool.is_some(),
+            "{method}: recovery run did not go through the pool"
+        );
+    }
+}
+
+/// A pooled straggler trips the policy timeout with a diagnostic naming
+/// it, exactly like the scoped path — and the pool is usable afterwards.
+#[test]
+fn pooled_straggler_times_out_with_diagnostic() {
+    let cfg = GridConfig::new(3, 8)
+        .with_policy(SyncPolicy::with_timeout(Duration::from_millis(80)))
+        .with_runtime(RuntimeKind::Pooled);
+    let exec = GridExecutor::new(cfg, SyncMethod::GpuLockFree);
+    let k = FaultInjector::new(Increment::new(3, 5), FaultPlan::straggler_at(1, 2));
+    let started = Instant::now();
+    let err = exec.run(&k).unwrap_err();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "unwind too slow"
+    );
+    match err {
+        ExecError::BarrierTimeout { diagnostic } => {
+            assert_eq!(diagnostic.stragglers(), vec![1], "{diagnostic}");
+        }
+        other => panic!("expected BarrierTimeout, got {other:?}"),
+    }
+    // FaultPlan stragglers are cooperative (they watch the abort signal),
+    // so the worker is released and the pool keeps serving launches.
+    let clean = Increment::new(3, 3);
+    let stats = exec.run(&clean).unwrap();
+    assert_eq!(stats.rounds, 3);
+    assert!(clean.slots.to_vec().iter().all(|&v| v == 3));
+}
+
+/// `RuntimeKind::Pooled` on a CPU-side method silently runs scoped (the
+/// executor falls back), while constructing a `GridRuntime` directly is a
+/// structured error.
+#[test]
+fn cpu_side_methods_fall_back_to_scoped() {
+    let cfg = GridConfig::new(3, 8).with_runtime(RuntimeKind::Pooled);
+    let k = Increment::new(3, 4);
+    let stats = GridExecutor::new(cfg, SyncMethod::CpuImplicit)
+        .run(&k)
+        .unwrap();
+    assert!(
+        stats.pool.is_none(),
+        "CPU-side run must not claim pool stats"
+    );
+    assert!(k.slots.to_vec().iter().all(|&v| v == 4));
+    let err = GridRuntime::new(GridConfig::new(3, 8), SyncMethod::CpuImplicit).unwrap_err();
+    assert!(
+        matches!(err, ExecError::RuntimeUnsupported { .. }),
+        "got {err:?}"
+    );
+}
