@@ -22,7 +22,7 @@ use std::process::ExitCode;
 
 use blocksync_bench::baseline::{self, BenchRecord};
 use blocksync_bench::harness::format_table;
-use blocksync_core::{AutoTuner, GridConfig, GridExecutor, GridRuntime, SyncMethod};
+use blocksync_core::{AutoTuner, GridConfig, GridRuntime, LaunchPlan, SyncMethod};
 use blocksync_device::CalibrationProfile;
 use blocksync_microbench::MeanKernel;
 
@@ -70,11 +70,19 @@ fn main() -> ExitCode {
     let rounds = 8; // launch-dominated: barely any in-round work
     let tpb = 64;
 
+    // Compile the launch plan once: every cold rep pays thread spawning
+    // (the measured `t_O`), not config validation or barrier selection.
+    let plan = match LaunchPlan::compile(GridConfig::new(host_blocks, tpb), method) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("error: cannot compile launch plan: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut cold_ns = Vec::new();
     for _ in 0..cold_reps {
         let kernel = MeanKernel::for_grid(host_blocks, tpb, rounds);
-        let exec = GridExecutor::new(GridConfig::new(host_blocks, tpb), method);
-        match exec.run(&kernel) {
+        match plan.run(&kernel) {
             Ok(stats) => cold_ns.push(stats.launch.as_secs_f64() * 1e9),
             Err(e) => {
                 eprintln!("error: cold scoped run failed: {e}");

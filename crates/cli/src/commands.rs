@@ -36,12 +36,23 @@ fn sync_policy(a: &Args) -> Result<SyncPolicy, String> {
 
 /// Runtime selection from `--runtime scoped|pooled` (default scoped).
 /// `pooled` keeps per-block workers resident across kernels
-/// ([`blocksync_core::GridRuntime`]) so repeat launches pay the warm `t_O`;
-/// it only applies to GPU-side methods — CPU-side methods relaunch per
-/// round by definition and always run scoped.
+/// ([`blocksync_core::GridRuntime`]) so repeat launches pay the warm `t_O`.
+/// Every method the pool supports — the GPU-side barriers, `cpu-implicit`
+/// (its pipelined relaunches are the pool's launch log), and `no-sync` —
+/// honours the request; `cpu-explicit` and `auto` fall back to scoped and
+/// the run prints a one-line notice saying so.
 fn runtime_kind(a: &Args) -> Result<RuntimeKind, String> {
     let s = a.get("runtime", "scoped");
     RuntimeKind::parse(s).ok_or_else(|| format!("unknown --runtime {s:?}; valid: scoped pooled"))
+}
+
+/// One-line notice when `--runtime pooled` was requested but the launch
+/// engine fell back to a scoped run (the stats record the reason). Silent
+/// for genuinely pooled runs and for scoped requests.
+fn report_pool_fallback(stats: &KernelStats) {
+    if let Some(reason) = stats.pool.as_ref().and_then(|p| p.fallback.as_deref()) {
+        eprintln!("note: --runtime pooled ran scoped: {reason}");
+    }
 }
 
 /// Telemetry plane from shared flags: `--trace FILE` (record a barrier
@@ -138,6 +149,7 @@ fn run_kernel<K: RoundKernel>(
     let stats = GridExecutor::new(cfg, method)
         .run(kernel)
         .map_err(|e| e.to_string())?;
+    report_pool_fallback(&stats);
     report_telemetry(&stats, a)?;
     Ok(stats)
 }
@@ -419,6 +431,7 @@ pub fn micro(a: &Args) -> Result<(), String> {
     if !kernel.verify() {
         return Err("micro-benchmark produced wrong means".into());
     }
+    report_pool_fallback(&stats);
     println!("mean-of-two-floats micro-benchmark — verified");
     println!("{stats}");
     report_telemetry(&stats, a)?;
@@ -569,6 +582,7 @@ pub fn trace(a: &Args) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blocksync_core::{BlockCtx, GlobalBuffer};
 
     fn args(v: &[&str]) -> Args {
         Args::parse(v.iter().map(|s| s.to_string()))
@@ -738,6 +752,20 @@ mod tests {
             "pooled",
         ]))
         .unwrap();
+        // CPU-implicit is pool-eligible now: the run must be genuinely
+        // pooled, with no fallback notice to print.
+        sort(&args(&[
+            "sort",
+            "--n",
+            "1024",
+            "--blocks",
+            "3",
+            "--method",
+            "cpu-implicit",
+            "--runtime",
+            "pooled",
+        ]))
+        .unwrap();
         // Unknown runtimes are usage errors, not panics.
         let e = sort(&args(&["sort", "--n", "64", "--runtime", "warp"])).unwrap_err();
         assert!(e.contains("--runtime"), "{e}");
@@ -747,6 +775,46 @@ mod tests {
             runtime_kind(&args(&["--runtime", "pooled"])).unwrap(),
             RuntimeKind::Pooled
         );
+    }
+
+    /// The silent-fallback fix: a pooled request a pool cannot serve still
+    /// succeeds, and the stats carry the reason the CLI prints as a notice.
+    #[test]
+    fn pooled_fallback_is_recorded_not_silent() {
+        struct Bump(GlobalBuffer<u64>);
+        impl RoundKernel for Bump {
+            fn rounds(&self) -> usize {
+                3
+            }
+            fn round(&self, ctx: &BlockCtx, _round: usize) {
+                self.0.set(ctx.block_id, self.0.get(ctx.block_id) + 1);
+            }
+        }
+        let a = args(&["--runtime", "pooled"]);
+        // cpu-explicit relaunches from the host: scoped fallback, recorded.
+        let k = Bump(GlobalBuffer::new(2));
+        let stats = run_kernel(&k, 2, SyncMethod::CpuExplicit, &a).unwrap();
+        let pool = stats.pool.as_deref().expect("fallback must be recorded");
+        assert!(!pool.ran_pooled());
+        assert!(
+            pool.fallback.as_deref().unwrap().contains("cpu-explicit"),
+            "{:?}",
+            pool.fallback
+        );
+        // cpu-implicit is served by a real pool: no fallback to report.
+        let k = Bump(GlobalBuffer::new(2));
+        let stats = run_kernel(&k, 2, SyncMethod::CpuImplicit, &a).unwrap();
+        let pool = stats
+            .pool
+            .as_deref()
+            .expect("pooled run carries pool stats");
+        assert!(pool.ran_pooled());
+        assert!(pool.fallback.is_none());
+        // `report_pool_fallback` itself is a no-op for scoped requests.
+        let k = Bump(GlobalBuffer::new(2));
+        let stats = run_kernel(&k, 2, SyncMethod::CpuExplicit, &args(&[])).unwrap();
+        assert!(stats.pool.is_none());
+        report_pool_fallback(&stats);
     }
 
     #[test]

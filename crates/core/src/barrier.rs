@@ -403,6 +403,19 @@ pub trait BarrierShared: Send + Sync + 'static {
 
     /// The fault-control plane (poison word, progress table, policy).
     fn control(&self) -> &BarrierControl;
+
+    /// Poison the barrier on behalf of `block` at `round` *and wake any
+    /// waiter that sleeps instead of spinning*. The spin barriers inherit
+    /// the default (the poison word is polled on every spin iteration);
+    /// implementations whose waiters block on an OS primitive (e.g. the
+    /// condvar rendezvous of [`crate::CpuImplicitSync`]) must override
+    /// this to also signal that primitive, or poisoned sleepers would only
+    /// notice at their next timeout tick. Every caller outside a barrier's
+    /// own `wait()` goes through this hook, never
+    /// [`BarrierControl::poison`] directly.
+    fn poison(&self, block: usize, round: usize, cause: PoisonCause) {
+        self.control().poison(block, round, cause);
+    }
 }
 
 /// Per-block handle to an inter-block barrier.

@@ -7,7 +7,10 @@
 //! (one round per anti-diagonal), bitonic sort (one round per
 //! compare-exchange step) — as well as its micro-benchmark.
 //!
-//! The executor inserts the inter-block barrier between rounds according to
+//! The executor is a thin front over the launch engine
+//! ([`crate::launch::LaunchPlan`]): it resolves `Auto`, picks pooled vs
+//! scoped execution, compiles a plan, and hands the kernel to the engine.
+//! The engine inserts the inter-block barrier between rounds according to
 //! the chosen [`SyncMethod`]:
 //!
 //! * **GPU methods** — one persistent OS thread per block for the whole
@@ -16,10 +19,10 @@
 //! * **CPU explicit** — worker threads are spawned and joined *every round*,
 //!   the host-runtime analogue of terminating and re-launching a kernel with
 //!   `cudaThreadSynchronize()` in between (Section 4.1).
-//! * **CPU implicit** — one persistent pool, but every round ends in a
-//!   centralized OS-assisted rendezvous (mutex + condvar) through which the
-//!   next round is dispatched, the analogue of pipelined kernel relaunch
-//!   (Section 4.2).
+//! * **CPU implicit** — persistent block threads, but every round ends in a
+//!   centralized OS-assisted rendezvous ([`crate::CpuImplicitSync`], one
+//!   mutex + condvar "driver") through which the next round is dispatched,
+//!   the analogue of pipelined kernel relaunch (Section 4.2).
 //! * **NoSync** — no barrier at all; used to measure pure computation time
 //!   exactly as the paper does in Section 7.3 ("with the synchronization
 //!   function `__gpu_sync()` removed"). Results of inter-block-dependent
@@ -28,30 +31,29 @@
 //! ## Failure semantics
 //!
 //! Every mode is fault-tolerant under the [`SyncPolicy`] carried by
-//! [`GridConfig`]: a panicking block poisons the barrier (or dispatcher)
-//! so its peers unwind instead of spinning forever, and with a timeout set,
-//! a block stuck waiting gives up with a [`StuckDiagnostic`]. The run as a
-//! whole returns a structured [`ExecError`] naming the offending block and
+//! [`GridConfig`]: a panicking block poisons the barrier so its peers
+//! unwind instead of spinning forever, and with a timeout set, a block
+//! stuck waiting gives up with a [`StuckDiagnostic`]. The run as a whole
+//! returns a structured [`ExecError`] naming the offending block and
 //! round. A block stuck *inside kernel code* cannot be preempted — kernels
 //! that want to honour the deadline should observe the [`AbortSignal`]
 //! passed to [`RoundKernel::on_launch`].
+//!
+//! [`StuckDiagnostic`]: crate::error::StuckDiagnostic
 
-use std::any::Any;
 use std::ops::Range;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 use blocksync_device::GpuSpec;
-use parking_lot::{Condvar, Mutex};
 
-use crate::barrier::{BarrierShared, PoisonCause, SyncFault, SyncPolicy};
-use crate::error::{ExecError, StuckDiagnostic};
+use crate::barrier::SyncPolicy;
+use crate::error::ExecError;
+use crate::launch::{KernelArg, LaunchPlan};
 use crate::method::SyncMethod;
-use crate::runtime::{GridRuntime, RuntimeKind};
-use crate::stats::{BlockTimes, KernelStats};
-use crate::trace::{EventRecorder, TraceConfig, TraceEventKind};
+use crate::runtime::{GridRuntime, PoolLaunchStats, RuntimeKind};
+use crate::stats::KernelStats;
+use crate::trace::TraceConfig;
 
 /// Grid shape for a kernel execution.
 #[derive(Debug, Clone)]
@@ -75,7 +77,9 @@ pub struct GridConfig {
     /// [`RuntimeKind::Scoped`] (the default) spawns fresh block threads per
     /// run, [`RuntimeKind::Pooled`] reuses a persistent
     /// [`crate::GridRuntime`] worker pool so repeated runs pay warm `t_O`.
-    /// CPU-side methods always run scoped (they relaunch by definition).
+    /// Every method the pool supports (GPU-side, `CpuImplicit`, `NoSync`)
+    /// honours the request; `CpuExplicit` and `Auto` fall back to scoped
+    /// and record why in [`KernelStats::pool`].
     pub runtime: RuntimeKind,
 }
 
@@ -206,7 +210,7 @@ impl BlockCtx {
 
 /// Cooperative-cancellation handle handed to kernels at launch.
 ///
-/// The executor raises it as soon as any block fails (panic or barrier
+/// The launch engine raises it as soon as any block fails (panic or barrier
 /// timeout); long-running kernel rounds can poll [`AbortSignal::is_aborted`]
 /// and return early so the run can unwind within the policy timeout. OS
 /// threads cannot be preempted, so a round that ignores the signal and
@@ -260,156 +264,6 @@ impl<F: Fn(&BlockCtx, usize) + Sync> RoundKernel for (usize, F) {
     }
     fn round(&self, ctx: &BlockCtx, round: usize) {
         (self.1)(ctx, round)
-    }
-}
-
-/// Best-effort string form of a panic payload.
-pub(crate) fn payload_message(payload: &(dyn Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Merge per-block outcomes: all `Ok` yields the times, otherwise the
-/// *origin* failure wins — the error reported by the block where the fault
-/// actually happened (`BlockPanicked` naming itself, or the timeout whose
-/// diagnostic names the reporting block) — falling back to any derived
-/// poison error.
-pub(crate) fn collect_block_results(
-    results: Vec<Result<BlockTimes, ExecError>>,
-) -> Result<Vec<BlockTimes>, ExecError> {
-    let mut times = Vec::with_capacity(results.len());
-    let mut origin: Option<ExecError> = None;
-    let mut derived: Option<ExecError> = None;
-    for (b, result) in results.into_iter().enumerate() {
-        match result {
-            Ok(t) => times.push(t),
-            Err(e) => {
-                times.push(BlockTimes::default());
-                let is_origin = match &e {
-                    ExecError::BlockPanicked { block, .. } => *block == b,
-                    ExecError::BarrierTimeout { diagnostic } => diagnostic.waiting_block == b,
-                    _ => true,
-                };
-                if is_origin {
-                    origin.get_or_insert(e);
-                } else {
-                    derived.get_or_insert(e);
-                }
-            }
-        }
-    }
-    match origin.or(derived) {
-        Some(e) => Err(e),
-        None => Ok(times),
-    }
-}
-
-/// Translate a barrier-level fault into the run-level error, rebuilding a
-/// progress snapshot for victims of a peer's timeout.
-pub(crate) fn fault_to_error(fault: SyncFault, barrier: &dyn BarrierShared) -> ExecError {
-    match fault {
-        SyncFault::TimedOut { diagnostic } => ExecError::BarrierTimeout { diagnostic },
-        SyncFault::Poisoned {
-            block,
-            round,
-            cause: PoisonCause::Panic,
-        } => ExecError::BlockPanicked {
-            block,
-            round,
-            message: "poisoned by peer panic".to_string(),
-        },
-        SyncFault::Poisoned {
-            block,
-            round,
-            cause: PoisonCause::Timeout,
-        } => {
-            let (arrivals, departures) = barrier.control().progress();
-            ExecError::BarrierTimeout {
-                diagnostic: Box::new(StuckDiagnostic {
-                    barrier: barrier.name().to_string(),
-                    waiting_block: block,
-                    round,
-                    flag: "poisoned by peer timeout".to_string(),
-                    timeout: barrier.control().policy().timeout.unwrap_or_default(),
-                    arrivals,
-                    departures,
-                    recent_events: barrier.control().straggler_trail(block, round as u64),
-                }),
-            }
-        }
-    }
-}
-
-/// One-shot launch gate for persistent modes: every block thread checks in
-/// and spins (yielding) until all peers exist. This pins down the "kernel
-/// launch" boundary — time before the gate opens is thread-spawn overhead
-/// (`t_O`), time after is round time — so round-0 sync no longer absorbs
-/// the stagger of late-spawned threads. One `fetch_add` per thread per
-/// *run*, well off the barrier hot path.
-struct StartGate {
-    arrived: AtomicUsize,
-    n: usize,
-}
-
-impl StartGate {
-    fn new(n: usize) -> Self {
-        StartGate {
-            arrived: AtomicUsize::new(0),
-            n,
-        }
-    }
-
-    fn wait(&self) {
-        self.arrived.fetch_add(1, Ordering::AcqRel);
-        while self.arrived.load(Ordering::Acquire) < self.n {
-            std::thread::yield_now();
-        }
-    }
-}
-
-/// A borrowed-or-owned kernel argument for the internal execution engine.
-/// Only the CPU-explicit path cares: with an owned kernel it may detach
-/// (abandon) a non-cooperative straggler thread instead of joining it.
-enum KernelArg<'a> {
-    Borrowed(&'a dyn RoundKernel),
-    Owned(&'a Arc<dyn RoundKernel + Send + Sync>),
-}
-
-impl KernelArg<'_> {
-    fn as_dyn(&self) -> &dyn RoundKernel {
-        match self {
-            KernelArg::Borrowed(k) => *k,
-            KernelArg::Owned(k) => &***k,
-        }
-    }
-}
-
-/// Lifetime-erased borrowed kernel, so the borrowed CPU-explicit path can
-/// reuse the owned-kernel engine. Sound only because that path never
-/// detaches a worker thread (`detach_stragglers = false`): every spawned
-/// thread is joined before the borrowing call returns, so no dereference
-/// outlives the borrow.
-struct ErasedKernel(*const (dyn RoundKernel + 'static));
-
-// SAFETY: see `ErasedKernel` — the referent outlives every thread that can
-// touch the pointer, and `RoundKernel: Sync` covers the shared access.
-unsafe impl Send for ErasedKernel {}
-unsafe impl Sync for ErasedKernel {}
-
-impl RoundKernel for ErasedKernel {
-    fn rounds(&self) -> usize {
-        unsafe { (*self.0).rounds() }
-    }
-    fn round(&self, ctx: &BlockCtx, round: usize) {
-        unsafe { (*self.0).round(ctx, round) }
-    }
-    fn on_launch(&self, abort: &AbortSignal) {
-        unsafe { (*self.0).on_launch(abort) }
     }
 }
 
@@ -468,7 +322,7 @@ impl GridExecutor {
         if self.cfg.runtime == RuntimeKind::Pooled && GridRuntime::supports(self.method) {
             return self.runtime()?.run(kernel);
         }
-        self.run_inner(KernelArg::Borrowed(kernel))
+        self.run_planned(KernelArg::Borrowed(kernel))
     }
 
     /// [`GridExecutor::run`] with an *owned* kernel, which strengthens the
@@ -492,80 +346,24 @@ impl GridExecutor {
         if self.cfg.runtime == RuntimeKind::Pooled && GridRuntime::supports(self.method) {
             return self.runtime()?.submit_dyn(kernel)?.wait();
         }
-        self.run_inner(KernelArg::Owned(&kernel))
+        self.run_planned(KernelArg::Owned(&kernel))
     }
 
-    /// The common engine behind [`GridExecutor::run`] and
-    /// [`GridExecutor::run_owned`] (everything except `Auto` resolution
-    /// and the pooled fast path).
-    fn run_inner(&self, kernel: KernelArg<'_>) -> Result<KernelStats, ExecError> {
-        self.cfg.validate(self.method)?;
-        let k = kernel.as_dyn();
-        let rounds = k.rounds();
-        let n = self.cfg.n_blocks;
-        let abort = AbortSignal::new();
-        k.on_launch(&abort);
-        // The recorder's epoch doubles as the run's time origin, so host-
-        // and block-side timestamps share one clock.
-        let recorder = self
-            .cfg
-            .trace
-            .as_ref()
-            .filter(|_| EventRecorder::ENABLED)
-            .map(|tc| Arc::new(EventRecorder::new(n, rounds, tc)));
-        let start = Instant::now();
-        let per_block = match self.method {
-            SyncMethod::CpuExplicit => match &kernel {
-                KernelArg::Owned(owned) => self.run_cpu_explicit(
-                    Arc::clone(owned),
-                    rounds,
-                    &abort,
-                    recorder.as_ref(),
-                    true,
-                )?,
-                KernelArg::Borrowed(k) => {
-                    // SAFETY: `detach_stragglers = false` means every
-                    // thread holding this pointer is joined before
-                    // `run_cpu_explicit` returns (see `ErasedKernel`).
-                    let erased: Arc<dyn RoundKernel + Send + Sync> =
-                        Arc::new(ErasedKernel(unsafe {
-                            std::mem::transmute::<
-                                *const dyn RoundKernel,
-                                *const (dyn RoundKernel + 'static),
-                            >(*k as *const dyn RoundKernel)
-                        }));
-                    self.run_cpu_explicit(erased, rounds, &abort, recorder.as_ref(), false)?
-                }
-            },
-            SyncMethod::CpuImplicit => {
-                self.run_cpu_implicit(k, rounds, &abort, start, recorder.as_ref())?
-            }
-            SyncMethod::NoSync => {
-                self.run_persistent(k, rounds, None, &abort, start, recorder.as_ref())?
-            }
-            gpu => {
-                let barrier = gpu.build_barrier_with(n, self.cfg.policy).ok_or_else(|| {
-                    ExecError::BarrierUnavailable {
-                        method: gpu.to_string(),
-                    }
-                })?;
-                if let Some(rec) = recorder.as_ref() {
-                    barrier.control().attach_recorder(Arc::clone(rec));
-                }
-                self.run_persistent(k, rounds, Some(barrier), &abort, start, recorder.as_ref())?
-            }
-        };
-        Ok(KernelStats {
-            method: self.method.to_string(),
-            n_blocks: n,
-            rounds,
-            wall: start.elapsed(),
-            launch: per_block.iter().map(|b| b.launch).max().unwrap_or_default(),
-            per_block,
-            telemetry: recorder.map(|rec| Box::new(rec.finish())),
-            auto: None,
-            pool: None,
-        })
+    /// Compile a [`LaunchPlan`] for the configured method and run the
+    /// kernel through the launch engine. If the user asked for the pooled
+    /// runtime but the method cannot run on it (only `CpuExplicit` gets
+    /// here — everything else either pools or is `Auto`), the stats record
+    /// the scoped fallback and its reason instead of staying silent.
+    fn run_planned(&self, kernel: KernelArg<'_>) -> Result<KernelStats, ExecError> {
+        let plan = LaunchPlan::compile(self.cfg.clone(), self.method)?;
+        let mut stats = plan.execute(kernel)?;
+        if self.cfg.runtime == RuntimeKind::Pooled {
+            stats.pool = Some(Box::new(PoolLaunchStats::scoped_fallback(format!(
+                "{} relaunches from the host every round; a persistent worker pool cannot serve it",
+                self.method
+            ))));
+        }
+        Ok(stats)
     }
 
     /// `SyncMethod::Auto`: resolve the method through the host-calibrated
@@ -576,7 +374,8 @@ impl GridExecutor {
     /// `auto:<resolved>` so runs under `Auto` remain distinguishable.
     /// Auto always executes scoped — a per-run pool would never get warm —
     /// but its decision record prices pooled relaunch (see
-    /// [`crate::AutoDecision::prefers_pooled`]).
+    /// [`crate::AutoDecision::prefers_pooled`]); under
+    /// [`RuntimeKind::Pooled`] the stats record the scoped fallback.
     fn run_auto(&self, kernel: KernelArg<'_>) -> Result<KernelStats, ExecError> {
         self.cfg.validate(SyncMethod::Auto)?;
         let tuner = crate::autotune::AutoTuner::host();
@@ -584,545 +383,18 @@ impl GridExecutor {
             self.cfg.n_blocks,
             self.cfg.spec.max_persistent_blocks() as usize,
         );
-        let inner = GridExecutor::new(self.cfg.clone(), decision.chosen);
-        let mut stats = inner.run_inner(kernel)?;
+        let plan = LaunchPlan::compile(self.cfg.clone(), decision.chosen)?;
+        let mut stats = plan.execute(kernel)?;
         decision.measured_sync_ns = Some(stats.sync_per_round().as_secs_f64() * 1e9);
         stats.method = format!("auto:{}", decision.chosen);
         stats.auto = Some(Box::new(decision));
+        if self.cfg.runtime == RuntimeKind::Pooled {
+            stats.pool = Some(Box::new(PoolLaunchStats::scoped_fallback(
+                "auto re-resolves its method per launch; a per-launch pool would never get warm"
+                    .to_string(),
+            )));
+        }
         Ok(stats)
-    }
-
-    fn ctx(&self, block_id: usize) -> BlockCtx {
-        BlockCtx {
-            block_id,
-            n_blocks: self.cfg.n_blocks,
-            threads_per_block: self.cfg.threads_per_block,
-        }
-    }
-
-    /// GPU-style persistent kernel: spawn once, barrier between rounds.
-    /// A panicking block poisons the barrier before unwinding so its peers
-    /// fail fast instead of spinning forever.
-    fn run_persistent(
-        &self,
-        kernel: &dyn RoundKernel,
-        rounds: usize,
-        barrier: Option<Arc<dyn BarrierShared>>,
-        abort: &AbortSignal,
-        run_start: Instant,
-        recorder: Option<&Arc<EventRecorder>>,
-    ) -> Result<Vec<BlockTimes>, ExecError> {
-        let n = self.cfg.n_blocks;
-        let gate = StartGate::new(n);
-        let results: Vec<Result<BlockTimes, ExecError>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..n)
-                .map(|b| {
-                    let ctx = self.ctx(b);
-                    let barrier = barrier.clone();
-                    let abort = abort.clone();
-                    let gate = &gate;
-                    let recorder = recorder.cloned();
-                    s.spawn(move || -> Result<BlockTimes, ExecError> {
-                        let mut waiter = barrier.clone().map(|sh| sh.waiter(b));
-                        let mut t = BlockTimes::default();
-                        // The launch gate: no block starts round 0 until
-                        // every thread exists, so the time to here is the
-                        // run's spawn overhead (t_O), not round-0 sync skew.
-                        gate.wait();
-                        t.launch = run_start.elapsed();
-                        for r in 0..rounds {
-                            let t0 = Instant::now();
-                            if let Some(rec) = recorder.as_deref() {
-                                rec.record(b, r, TraceEventKind::RoundStart);
-                            }
-                            let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
-                            if let Err(payload) = outcome {
-                                if let Some(rec) = recorder.as_deref() {
-                                    rec.record(b, r, TraceEventKind::Abort);
-                                }
-                                if let Some(sh) = barrier.as_deref() {
-                                    sh.control().poison(b, r, PoisonCause::Panic);
-                                }
-                                abort.abort();
-                                return Err(ExecError::BlockPanicked {
-                                    block: b,
-                                    round: r,
-                                    message: payload_message(&*payload),
-                                });
-                            }
-                            let t1 = Instant::now();
-                            if let Some(rec) = recorder.as_deref() {
-                                rec.record(b, r, TraceEventKind::RoundEnd);
-                            }
-                            if let Some(w) = waiter.as_mut() {
-                                if let Err(fault) = w.wait() {
-                                    abort.abort();
-                                    let sh = barrier.as_deref().expect("waiter implies barrier");
-                                    return Err(fault_to_error(fault, sh));
-                                }
-                            }
-                            let t2 = Instant::now();
-                            t.compute += t1 - t0;
-                            t.sync += t2 - t1;
-                            if let Some(rec) = recorder.as_deref() {
-                                if rec.sampled(r) {
-                                    rec.record_sync(b, (t2 - t1).as_nanos() as u64);
-                                }
-                            }
-                        }
-                        Ok(t)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("executor block thread must not panic"))
-                .collect()
-        });
-        collect_block_results(results)
-    }
-
-    /// CPU explicit synchronization: spawn + join every round. The
-    /// "barrier" is the host's join, so the policy timeout bounds the
-    /// host's wait for all blocks to finish each round.
-    ///
-    /// Time attribution per block per round: spawn delay (thread creation
-    /// until the kernel starts) goes to `launch`, the kernel body to
-    /// `compute`, and finish-until-release (everyone joined) to `sync` — so
-    /// `sync` measures the synchronizing wait itself and no longer absorbs
-    /// thread-startup overhead on short runs.
-    ///
-    /// When the policy deadline expires, the host raises the abort signal
-    /// and then *watchdog-joins*: it grants cooperative stragglers a short
-    /// grace period to observe the signal and exit, and — with
-    /// `detach_stragglers` (owned kernels only) — detaches any thread
-    /// still stuck in non-cooperative kernel code instead of joining it,
-    /// so the run returns [`ExecError::BarrierTimeout`] within the bound
-    /// rather than hanging. Detached threads co-own (via `Arc`) everything
-    /// they can still touch. Without `detach_stragglers` (the borrowed
-    /// path, where the kernel must outlive every thread), the join after
-    /// the grace period is unconditional, restoring the old behaviour for
-    /// non-cooperative kernels.
-    fn run_cpu_explicit(
-        &self,
-        kernel: Arc<dyn RoundKernel + Send + Sync>,
-        rounds: usize,
-        abort: &AbortSignal,
-        recorder: Option<&Arc<EventRecorder>>,
-        detach_stragglers: bool,
-    ) -> Result<Vec<BlockTimes>, ExecError> {
-        struct RoundTracker {
-            state: Mutex<usize>, // blocks finished this round
-            cv: Condvar,
-        }
-        /// One block's successful round: spawn delay, kernel time, and the
-        /// instant it finished (arrived at the host-side join "barrier").
-        struct RoundDone {
-            spawn_delay: Duration,
-            compute: Duration,
-            arrived: Instant,
-        }
-
-        let n = self.cfg.n_blocks;
-        let mut times = vec![BlockTimes::default(); n];
-        for r in 0..rounds {
-            let round_start = Instant::now();
-            let tracker = Arc::new(RoundTracker {
-                state: Mutex::new(0),
-                cv: Condvar::new(),
-            });
-            let done: Arc<Vec<AtomicBool>> =
-                Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
-            // Per-block outcome slots; a detached straggler's slot stays
-            // `None` (only the slot's own thread ever writes it).
-            type Slot = Mutex<Option<Result<RoundDone, ExecError>>>;
-            let slots: Arc<Vec<Slot>> = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
-            // Completion states captured at the moment the deadline expired
-            // (the straggler may still finish between deadline and join).
-            let mut deadline_snapshot: Option<Vec<bool>> = None;
-            let handles: Vec<std::thread::JoinHandle<()>> = (0..n)
-                .map(|b| {
-                    let ctx = self.ctx(b);
-                    let kernel = Arc::clone(&kernel);
-                    let tracker = Arc::clone(&tracker);
-                    let done = Arc::clone(&done);
-                    let slots = Arc::clone(&slots);
-                    let recorder = recorder.cloned();
-                    std::thread::spawn(move || {
-                        let t0 = Instant::now();
-                        // Round r's thread for block b is the ring's
-                        // writer this round; the host's join below and
-                        // the next spawn give the handoff edges.
-                        if let Some(rec) = recorder.as_deref() {
-                            rec.record(b, r, TraceEventKind::RoundStart);
-                        }
-                        let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
-                        let result = match outcome {
-                            Ok(()) => {
-                                let arrived = Instant::now();
-                                if let Some(rec) = recorder.as_deref() {
-                                    rec.record(b, r, TraceEventKind::RoundEnd);
-                                    rec.record(b, r, TraceEventKind::BarrierArrive);
-                                }
-                                Ok(RoundDone {
-                                    spawn_delay: t0 - round_start,
-                                    compute: arrived - t0,
-                                    arrived,
-                                })
-                            }
-                            Err(payload) => {
-                                if let Some(rec) = recorder.as_deref() {
-                                    rec.record(b, r, TraceEventKind::Abort);
-                                }
-                                Err(ExecError::BlockPanicked {
-                                    block: b,
-                                    round: r,
-                                    message: payload_message(&*payload),
-                                })
-                            }
-                        };
-                        *slots[b].lock() = Some(result);
-                        done[b].store(true, Ordering::Release);
-                        let mut g = tracker.state.lock();
-                        *g += 1;
-                        tracker.cv.notify_all();
-                    })
-                })
-                .collect();
-
-            // The host-side "cudaThreadSynchronize": wait for all blocks,
-            // bounded by the policy timeout.
-            if let Some(timeout) = self.cfg.policy.timeout {
-                let deadline = Instant::now() + timeout;
-                let mut g = tracker.state.lock();
-                while *g < n {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        deadline_snapshot =
-                            Some(done.iter().map(|d| d.load(Ordering::Acquire)).collect());
-                        // Ask cooperative stragglers to bail out so the
-                        // join below can complete.
-                        abort.abort();
-                        break;
-                    }
-                    let _ = tracker.cv.wait_for(&mut g, deadline - now);
-                }
-                drop(g);
-            }
-            if deadline_snapshot.is_some() && detach_stragglers {
-                // Watchdog join: a grace period for cooperative stragglers
-                // to observe the abort, then detach whoever is still stuck
-                // in kernel code — the bounded-return half of the
-                // fault-tolerance contract for owned kernels.
-                let grace = self
-                    .cfg
-                    .policy
-                    .timeout
-                    .unwrap_or_default()
-                    .clamp(Duration::from_millis(10), Duration::from_secs(1));
-                let watchdog_deadline = Instant::now() + grace;
-                let mut g = tracker.state.lock();
-                while *g < n {
-                    let now = Instant::now();
-                    if now >= watchdog_deadline {
-                        break;
-                    }
-                    let _ = tracker.cv.wait_for(&mut g, watchdog_deadline - now);
-                }
-                drop(g);
-                for h in handles {
-                    if h.is_finished() {
-                        h.join().expect("executor block thread must not panic");
-                    }
-                    // else: detached. The thread co-owns (Arc) the kernel,
-                    // tracker, slots, and recorder, so leaking it is sound;
-                    // the deadline snapshot below reports it as stuck.
-                }
-            } else {
-                for h in handles {
-                    h.join().expect("executor block thread must not panic");
-                }
-            }
-
-            // Every block is released the moment the last join completed.
-            let release = Instant::now();
-            let mut origin: Option<ExecError> = None;
-            let mut released: Vec<(usize, Instant)> = Vec::new();
-            for (b, slot) in slots.iter().enumerate() {
-                match slot.lock().take() {
-                    Some(Ok(d)) => {
-                        times[b].launch += d.spawn_delay;
-                        times[b].compute += d.compute;
-                        times[b].sync += release.saturating_duration_since(d.arrived);
-                        released.push((b, d.arrived));
-                    }
-                    Some(Err(e)) => {
-                        origin.get_or_insert(e);
-                    }
-                    // A detached straggler never filled its slot; the
-                    // deadline snapshot reports it.
-                    None => {}
-                }
-            }
-            if let Some(e) = origin {
-                return Err(e);
-            }
-            if let Some(snapshot) = deadline_snapshot {
-                // Any block not done at the deadline was the straggler,
-                // even if it finished between deadline and join.
-                let arrivals: Vec<u64> =
-                    snapshot.iter().map(|&d| r as u64 + u64::from(d)).collect();
-                let waiting_block = arrivals.iter().position(|&a| a > r as u64).unwrap_or(0);
-                let straggler = arrivals
-                    .iter()
-                    .position(|&a| a <= r as u64)
-                    .unwrap_or(waiting_block);
-                return Err(ExecError::BarrierTimeout {
-                    diagnostic: Box::new(StuckDiagnostic {
-                        barrier: "cpu-explicit".to_string(),
-                        waiting_block,
-                        round: r,
-                        flag: format!("join of round {r}"),
-                        timeout: self.cfg.policy.timeout.unwrap_or_default(),
-                        departures: arrivals.iter().map(|a| a.saturating_sub(1)).collect(),
-                        arrivals,
-                        recent_events: recorder
-                            .map(|rec| {
-                                rec.tail(straggler, 8)
-                                    .iter()
-                                    .map(|e| e.to_string())
-                                    .collect()
-                            })
-                            .unwrap_or_default(),
-                    }),
-                });
-            }
-            // Host-stamped departures: every block leaves the join barrier
-            // at `release`, the same instant the sync accounting uses.
-            // Round r's thread has joined, so writing its ring here is the
-            // sequential half of the single-writer handoff.
-            if let Some(rec) = recorder {
-                let at = release.saturating_duration_since(rec.epoch());
-                for &(b, arrived) in &released {
-                    rec.record_at(b, r, TraceEventKind::BarrierDepart, at);
-                    if rec.sampled(r) {
-                        rec.record_sync(
-                            b,
-                            release.saturating_duration_since(arrived).as_nanos() as u64,
-                        );
-                    }
-                }
-            }
-        }
-        Ok(times)
-    }
-
-    /// CPU implicit synchronization: persistent pool, centralized
-    /// rendezvous through the "driver" (mutex + condvar) per round. The
-    /// dispatcher carries its own poison/timeout state so a failed or
-    /// missing block releases every waiter.
-    fn run_cpu_implicit(
-        &self,
-        kernel: &dyn RoundKernel,
-        rounds: usize,
-        abort: &AbortSignal,
-        run_start: Instant,
-        recorder: Option<&Arc<EventRecorder>>,
-    ) -> Result<Vec<BlockTimes>, ExecError> {
-        struct DispState {
-            arrived: usize,
-            epoch: u64,
-            /// Rendezvous rounds entered, per block.
-            progress: Vec<u64>,
-            poisoned: Option<(usize, usize, PoisonCause)>,
-        }
-        struct Dispatcher {
-            state: Mutex<DispState>,
-            cv: Condvar,
-            n: usize,
-            timeout: Option<Duration>,
-            recorder: Option<Arc<EventRecorder>>,
-        }
-        impl Dispatcher {
-            /// Returns only when all `n` workers have finished epoch `e`,
-            /// the timeout expired, or the dispatcher was poisoned.
-            fn rendezvous(&self, block: usize, e: u64) -> Result<(), ExecError> {
-                let mut g = self.state.lock();
-                if let Some((pb, pr, cause)) = g.poisoned {
-                    return Err(self.poison_error(pb, pr, cause, &g));
-                }
-                g.progress[block] = e + 1;
-                g.arrived += 1;
-                if g.arrived == self.n {
-                    g.arrived = 0;
-                    g.epoch = e + 1;
-                    self.cv.notify_all();
-                    return Ok(());
-                }
-                let start = Instant::now();
-                while g.epoch <= e && g.poisoned.is_none() {
-                    match self.timeout {
-                        None => self.cv.wait(&mut g),
-                        Some(timeout) => {
-                            let Some(remaining) = timeout.checked_sub(start.elapsed()) else {
-                                g.poisoned = Some((block, e as usize, PoisonCause::Timeout));
-                                self.cv.notify_all();
-                                let diagnostic =
-                                    Box::new(self.stuck_diagnostic(block, e, timeout, &g));
-                                return Err(ExecError::BarrierTimeout { diagnostic });
-                            };
-                            let _ = self.cv.wait_for(&mut g, remaining);
-                        }
-                    }
-                }
-                if let Some((pb, pr, cause)) = g.poisoned {
-                    return Err(self.poison_error(pb, pr, cause, &g));
-                }
-                Ok(())
-            }
-
-            /// Returns whether this call set the poison (first caller wins).
-            fn poison(&self, block: usize, round: usize, cause: PoisonCause) -> bool {
-                let mut g = self.state.lock();
-                let won = g.poisoned.is_none();
-                if won {
-                    g.poisoned = Some((block, round, cause));
-                }
-                self.cv.notify_all();
-                won
-            }
-
-            fn stuck_diagnostic(
-                &self,
-                block: usize,
-                epoch: u64,
-                timeout: Duration,
-                g: &DispState,
-            ) -> StuckDiagnostic {
-                let straggler = g.progress.iter().position(|&p| p <= epoch).unwrap_or(block);
-                StuckDiagnostic {
-                    barrier: "cpu-implicit".to_string(),
-                    waiting_block: block,
-                    round: epoch as usize,
-                    flag: format!("dispatcher epoch > {epoch}"),
-                    timeout,
-                    arrivals: g.progress.clone(),
-                    departures: g.progress.iter().map(|&p| p.min(g.epoch)).collect(),
-                    recent_events: self
-                        .recorder
-                        .as_deref()
-                        .map(|rec| {
-                            rec.tail(straggler, 8)
-                                .iter()
-                                .map(|e| e.to_string())
-                                .collect()
-                        })
-                        .unwrap_or_default(),
-                }
-            }
-
-            fn poison_error(
-                &self,
-                block: usize,
-                round: usize,
-                cause: PoisonCause,
-                g: &DispState,
-            ) -> ExecError {
-                match cause {
-                    PoisonCause::Panic => ExecError::BlockPanicked {
-                        block,
-                        round,
-                        message: "poisoned by peer panic".to_string(),
-                    },
-                    PoisonCause::Timeout => ExecError::BarrierTimeout {
-                        diagnostic: Box::new(self.stuck_diagnostic(
-                            block,
-                            round as u64,
-                            self.timeout.unwrap_or_default(),
-                            g,
-                        )),
-                    },
-                }
-            }
-        }
-
-        let n = self.cfg.n_blocks;
-        let disp = Dispatcher {
-            state: Mutex::new(DispState {
-                arrived: 0,
-                epoch: 0,
-                progress: vec![0; n],
-                poisoned: None,
-            }),
-            cv: Condvar::new(),
-            n,
-            timeout: self.cfg.policy.timeout,
-            recorder: recorder.cloned(),
-        };
-        let gate = StartGate::new(n);
-        let results: Vec<Result<BlockTimes, ExecError>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..n)
-                .map(|b| {
-                    let ctx = self.ctx(b);
-                    let disp = &disp;
-                    let abort = abort.clone();
-                    let gate = &gate;
-                    let recorder = recorder.cloned();
-                    s.spawn(move || -> Result<BlockTimes, ExecError> {
-                        let mut t = BlockTimes::default();
-                        gate.wait();
-                        t.launch = run_start.elapsed();
-                        for r in 0..rounds {
-                            let t0 = Instant::now();
-                            if let Some(rec) = recorder.as_deref() {
-                                rec.record(b, r, TraceEventKind::RoundStart);
-                            }
-                            let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
-                            if let Err(payload) = outcome {
-                                if let Some(rec) = recorder.as_deref() {
-                                    rec.record(b, r, TraceEventKind::Abort);
-                                }
-                                if disp.poison(b, r, PoisonCause::Panic) {
-                                    if let Some(rec) = recorder.as_deref() {
-                                        rec.record(b, r, TraceEventKind::Poison);
-                                    }
-                                }
-                                abort.abort();
-                                return Err(ExecError::BlockPanicked {
-                                    block: b,
-                                    round: r,
-                                    message: payload_message(&*payload),
-                                });
-                            }
-                            let t1 = Instant::now();
-                            if let Some(rec) = recorder.as_deref() {
-                                rec.record(b, r, TraceEventKind::RoundEnd);
-                                rec.record(b, r, TraceEventKind::BarrierArrive);
-                            }
-                            if let Err(e) = disp.rendezvous(b, r as u64) {
-                                abort.abort();
-                                return Err(e);
-                            }
-                            let t2 = Instant::now();
-                            if let Some(rec) = recorder.as_deref() {
-                                rec.record(b, r, TraceEventKind::BarrierDepart);
-                                if rec.sampled(r) {
-                                    rec.record_sync(b, (t2 - t1).as_nanos() as u64);
-                                }
-                            }
-                            t.compute += t1 - t0;
-                            t.sync += t2 - t1;
-                        }
-                        Ok(t)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("executor block thread must not panic"))
-                .collect()
-        });
-        collect_block_results(results)
     }
 }
 
@@ -1133,6 +405,7 @@ mod tests {
     use crate::method::TreeLevels;
     use blocksync_device::DeviceError;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
 
     /// Kernel where round r's work by each block depends on ALL blocks'
     /// round r-1 results: block b writes out[b] = 1 + min over all slots of
@@ -1567,6 +840,34 @@ mod tests {
                 stats.wall
             );
         }
+    }
+
+    #[test]
+    fn scoped_fallback_from_pooled_is_recorded() {
+        // Satellite regression: `--runtime pooled` with a method the pool
+        // cannot serve must not be silent — the stats carry the reason.
+        let k = (3usize, |_: &BlockCtx, _: usize| {});
+        let cfg = GridConfig::new(2, 8).with_runtime(RuntimeKind::Pooled);
+        let stats = GridExecutor::new(cfg.clone(), SyncMethod::CpuExplicit)
+            .run(&k)
+            .unwrap();
+        let pool = stats.pool.as_deref().expect("fallback recorded");
+        assert!(!pool.ran_pooled());
+        assert!(
+            pool.fallback.as_deref().unwrap().contains("cpu-explicit"),
+            "{:?}",
+            pool.fallback
+        );
+        // Auto under pooled also runs scoped and says so.
+        let stats = GridExecutor::new(cfg, SyncMethod::Auto).run(&k).unwrap();
+        let pool = stats.pool.as_deref().expect("fallback recorded");
+        assert!(!pool.ran_pooled());
+        assert!(pool.fallback.as_deref().unwrap().contains("auto"));
+        // A scoped run that never asked for the pool stays pool-less.
+        let scoped = GridExecutor::new(GridConfig::new(2, 8), SyncMethod::CpuExplicit)
+            .run(&k)
+            .unwrap();
+        assert!(scoped.pool.is_none());
     }
 
     #[test]

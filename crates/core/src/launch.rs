@@ -1,0 +1,787 @@
+//! The launch engine: the one per-launch pipeline every execution path
+//! drives.
+//!
+//! The paper's argument (Eqs. 1–9) is that a single barrier abstraction
+//! serves every synchronization method; the same discipline applies to
+//! the *runtime around* the barrier. This module owns the pieces every
+//! launch shares, each in exactly one place:
+//!
+//! * [`LaunchPlan`] — a validated `(GridConfig, SyncMethod)` pair,
+//!   compiled once and reusable across launches (the executor compiles
+//!   one per run; the pooled runtime and the launch-overhead benchmark
+//!   keep one alive and launch through it repeatedly).
+//! * [`LaunchSetup`] — the per-launch state a plan stamps out: a **fresh**
+//!   barrier (poisoning is permanent, so barriers are never reused across
+//!   launches), the trace recorder, and the abort signal.
+//! * [`drive_block`] — the one true round loop: run the round under
+//!   `catch_unwind`, poison + abort on panic, barrier-wait with bounded
+//!   waits, and per-round time/trace accounting.
+//!
+//! The four historical execution paths are thin strategies over this
+//! engine:
+//!
+//! | strategy | serves | shape |
+//! |---|---|---|
+//! | [`run_scoped`] | GPU methods, `CpuImplicit`, `NoSync` (scoped) | spawn per launch, [`drive_block`] per block |
+//! | pooled workers (`core::runtime`) | same methods, `RuntimeKind::Pooled` | pinned workers, [`drive_block`] per block |
+//! | [`run_relaunch`] | `CpuExplicit` | spawn + watchdog-join per round |
+//! | `Auto` (`GridExecutor::run_auto`) | resolves, then one of the above | plan compiled for the resolved method |
+//!
+//! `CpuImplicit` needs no strategy of its own anymore: its driver
+//! rendezvous is a [`crate::CpuImplicitSync`] barrier, so both the scoped
+//! and the pooled strategy run it like any other barrier method.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::barrier::{BarrierShared, PoisonCause, SyncFault, SyncPolicy};
+use crate::error::{ExecError, StuckDiagnostic};
+use crate::executor::{AbortSignal, BlockCtx, GridConfig, RoundKernel};
+use crate::method::SyncMethod;
+use crate::runtime::PoolLaunchStats;
+use crate::stats::{BlockTimes, KernelStats};
+use crate::trace::{EventRecorder, TraceEventKind};
+
+/// Best-effort string form of a panic payload.
+pub(crate) fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Merge per-block outcomes: all `Ok` yields the times, otherwise the
+/// *origin* failure wins — the error reported by the block where the fault
+/// actually happened (`BlockPanicked` naming itself, or the timeout whose
+/// diagnostic names the reporting block) — falling back to any derived
+/// poison error.
+pub(crate) fn collect_block_results(
+    results: Vec<Result<BlockTimes, ExecError>>,
+) -> Result<Vec<BlockTimes>, ExecError> {
+    let mut times = Vec::with_capacity(results.len());
+    let mut origin: Option<ExecError> = None;
+    let mut derived: Option<ExecError> = None;
+    for (b, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(t) => times.push(t),
+            Err(e) => {
+                times.push(BlockTimes::default());
+                let is_origin = match &e {
+                    ExecError::BlockPanicked { block, .. } => *block == b,
+                    ExecError::BarrierTimeout { diagnostic } => diagnostic.waiting_block == b,
+                    _ => true,
+                };
+                if is_origin {
+                    origin.get_or_insert(e);
+                } else {
+                    derived.get_or_insert(e);
+                }
+            }
+        }
+    }
+    match origin.or(derived) {
+        Some(e) => Err(e),
+        None => Ok(times),
+    }
+}
+
+/// Translate a barrier-level fault into the run-level error, rebuilding a
+/// progress snapshot for victims of a peer's timeout.
+pub(crate) fn fault_to_error(fault: SyncFault, barrier: &dyn BarrierShared) -> ExecError {
+    match fault {
+        SyncFault::TimedOut { diagnostic } => ExecError::BarrierTimeout { diagnostic },
+        SyncFault::Poisoned {
+            block,
+            round,
+            cause: PoisonCause::Panic,
+        } => ExecError::BlockPanicked {
+            block,
+            round,
+            message: "poisoned by peer panic".to_string(),
+        },
+        SyncFault::Poisoned {
+            block,
+            round,
+            cause: PoisonCause::Timeout,
+        } => {
+            let (arrivals, departures) = barrier.control().progress();
+            ExecError::BarrierTimeout {
+                diagnostic: Box::new(StuckDiagnostic {
+                    barrier: barrier.name().to_string(),
+                    waiting_block: block,
+                    round,
+                    flag: "poisoned by peer timeout".to_string(),
+                    timeout: barrier.control().policy().timeout.unwrap_or_default(),
+                    arrivals,
+                    departures,
+                    recent_events: barrier.control().straggler_trail(block, round as u64),
+                }),
+            }
+        }
+    }
+}
+
+/// One-shot launch gate for persistent strategies: every block thread
+/// checks in and spins (yielding) until all peers exist. This pins down
+/// the "kernel launch" boundary — time before the gate opens is
+/// thread-spawn overhead (`t_O`), time after is round time — so round-0
+/// sync no longer absorbs the stagger of late-spawned threads. One
+/// `fetch_add` per thread per *launch*, well off the barrier hot path.
+pub(crate) struct StartGate {
+    arrived: AtomicUsize,
+    n: usize,
+}
+
+impl StartGate {
+    pub(crate) fn new(n: usize) -> Self {
+        StartGate {
+            arrived: AtomicUsize::new(0),
+            n,
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        self.arrived.fetch_add(1, Ordering::AcqRel);
+        while self.arrived.load(Ordering::Acquire) < self.n {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// A borrowed-or-owned kernel argument for the launch engine. Only the
+/// relaunch (CPU-explicit) strategy cares: with an owned kernel it may
+/// detach (abandon) a non-cooperative straggler thread instead of joining
+/// it.
+pub(crate) enum KernelArg<'a> {
+    /// A kernel the caller merely borrows for the duration of the run.
+    Borrowed(&'a dyn RoundKernel),
+    /// A co-owned kernel, safe to leave with a detached thread.
+    Owned(&'a Arc<dyn RoundKernel + Send + Sync>),
+}
+
+impl KernelArg<'_> {
+    pub(crate) fn as_dyn(&self) -> &dyn RoundKernel {
+        match self {
+            KernelArg::Borrowed(k) => *k,
+            KernelArg::Owned(k) => &***k,
+        }
+    }
+}
+
+/// Lifetime-erased borrowed kernel, so the borrowed relaunch path can
+/// reuse the owned-kernel strategy. Sound only because that path never
+/// detaches a worker thread (`detach_stragglers = false`): every spawned
+/// thread is joined before the borrowing call returns, so no dereference
+/// outlives the borrow.
+struct ErasedKernel(*const (dyn RoundKernel + 'static));
+
+// SAFETY: see `ErasedKernel` — the referent outlives every thread that can
+// touch the pointer, and `RoundKernel: Sync` covers the shared access.
+unsafe impl Send for ErasedKernel {}
+unsafe impl Sync for ErasedKernel {}
+
+impl RoundKernel for ErasedKernel {
+    fn rounds(&self) -> usize {
+        unsafe { (*self.0).rounds() }
+    }
+    fn round(&self, ctx: &BlockCtx, round: usize) {
+        unsafe { (*self.0).round(ctx, round) }
+    }
+    fn on_launch(&self, abort: &AbortSignal) {
+        unsafe { (*self.0).on_launch(abort) }
+    }
+}
+
+/// A compiled launch pipeline: a validated grid shape plus a resolved,
+/// concrete synchronization method.
+///
+/// Compile once, launch many times — each [`LaunchPlan::run`] stamps out a
+/// fresh [`LaunchSetup`] (barrier, recorder, abort), so faults stay
+/// per-launch. [`crate::GridExecutor`] compiles a plan per call; the
+/// pooled [`crate::GridRuntime`] and the launch-overhead benchmark hold
+/// one for their whole lifetime.
+#[derive(Debug, Clone)]
+pub struct LaunchPlan {
+    cfg: GridConfig,
+    method: SyncMethod,
+}
+
+impl LaunchPlan {
+    /// Validate `cfg` for `method` and fix the pipeline.
+    ///
+    /// # Errors
+    /// [`ExecError::Device`] if the grid shape is invalid for the method;
+    /// [`ExecError::BarrierUnavailable`] for [`SyncMethod::Auto`], which
+    /// is a selection directive, not an executable method — resolve it
+    /// (see [`crate::AutoTuner`]) before compiling.
+    pub fn compile(cfg: GridConfig, method: SyncMethod) -> Result<LaunchPlan, ExecError> {
+        if method == SyncMethod::Auto {
+            return Err(ExecError::BarrierUnavailable {
+                method: method.to_string(),
+            });
+        }
+        cfg.validate(method)?;
+        Ok(LaunchPlan { cfg, method })
+    }
+
+    /// The grid configuration this plan was compiled for.
+    pub fn config(&self) -> &GridConfig {
+        &self.cfg
+    }
+
+    /// The concrete method this plan executes.
+    pub fn method(&self) -> SyncMethod {
+        self.method
+    }
+
+    /// Stamp out the per-launch state: a fresh barrier (except for
+    /// `CpuExplicit`, whose "barrier" is the host's join, and `NoSync`),
+    /// a fresh trace recorder, and an un-raised abort signal.
+    ///
+    /// # Errors
+    /// [`ExecError::BarrierUnavailable`] if the method cannot build a
+    /// barrier for this grid.
+    pub(crate) fn setup(&self, rounds: usize) -> Result<LaunchSetup, ExecError> {
+        let n = self.cfg.n_blocks;
+        let barrier = match self.method {
+            SyncMethod::CpuExplicit | SyncMethod::NoSync => None,
+            m => Some(m.build_barrier_with(n, self.cfg.policy).ok_or_else(|| {
+                ExecError::BarrierUnavailable {
+                    method: m.to_string(),
+                }
+            })?),
+        };
+        let recorder = self
+            .cfg
+            .trace
+            .as_ref()
+            .filter(|_| EventRecorder::ENABLED)
+            .map(|tc| Arc::new(EventRecorder::new(n, rounds, tc)));
+        if let (Some(sh), Some(rec)) = (barrier.as_deref(), recorder.as_ref()) {
+            sh.control().attach_recorder(Arc::clone(rec));
+        }
+        Ok(LaunchSetup {
+            method: self.method,
+            n,
+            threads_per_block: self.cfg.threads_per_block,
+            policy: self.cfg.policy,
+            rounds,
+            barrier,
+            abort: AbortSignal::new(),
+            recorder,
+        })
+    }
+
+    /// Run a borrowed kernel through this plan (scoped strategies).
+    ///
+    /// # Errors
+    /// Same contract as [`crate::GridExecutor::run`].
+    pub fn run<K: RoundKernel>(&self, kernel: &K) -> Result<KernelStats, ExecError> {
+        self.execute(KernelArg::Borrowed(kernel))
+    }
+
+    /// [`LaunchPlan::run`] with an owned kernel, enabling the relaunch
+    /// strategy's straggler detachment (see
+    /// [`crate::GridExecutor::run_owned`]).
+    ///
+    /// # Errors
+    /// Same contract as [`crate::GridExecutor::run`].
+    pub fn run_owned(
+        &self,
+        kernel: Arc<dyn RoundKernel + Send + Sync>,
+    ) -> Result<KernelStats, ExecError> {
+        self.execute(KernelArg::Owned(&kernel))
+    }
+
+    /// Dispatch one launch to the strategy serving this plan's method.
+    pub(crate) fn execute(&self, kernel: KernelArg<'_>) -> Result<KernelStats, ExecError> {
+        let k = kernel.as_dyn();
+        let setup = self.setup(k.rounds())?;
+        k.on_launch(&setup.abort);
+        let start = Instant::now();
+        let per_block = match self.method {
+            SyncMethod::CpuExplicit => match &kernel {
+                KernelArg::Owned(owned) => run_relaunch(&setup, Arc::clone(owned), true)?,
+                KernelArg::Borrowed(k) => {
+                    // SAFETY: `detach_stragglers = false` means every
+                    // thread holding this pointer is joined before
+                    // `run_relaunch` returns (see `ErasedKernel`).
+                    let erased: Arc<dyn RoundKernel + Send + Sync> =
+                        Arc::new(ErasedKernel(unsafe {
+                            std::mem::transmute::<
+                                *const dyn RoundKernel,
+                                *const (dyn RoundKernel + 'static),
+                            >(*k as *const dyn RoundKernel)
+                        }));
+                    run_relaunch(&setup, erased, false)?
+                }
+            },
+            _ => run_scoped(&setup, k, start)?,
+        };
+        Ok(setup.stats(per_block, start.elapsed(), None))
+    }
+}
+
+/// Per-launch state stamped out by [`LaunchPlan::setup`]: everything the
+/// strategies and [`drive_block`] share for exactly one launch.
+pub(crate) struct LaunchSetup {
+    pub(crate) method: SyncMethod,
+    pub(crate) n: usize,
+    pub(crate) threads_per_block: usize,
+    pub(crate) policy: SyncPolicy,
+    pub(crate) rounds: usize,
+    /// Fresh per launch: poisoning is permanent, so reuse would leak one
+    /// launch's fault into the next.
+    pub(crate) barrier: Option<Arc<dyn BarrierShared>>,
+    pub(crate) abort: AbortSignal,
+    pub(crate) recorder: Option<Arc<EventRecorder>>,
+}
+
+impl LaunchSetup {
+    pub(crate) fn ctx(&self, block_id: usize) -> BlockCtx {
+        BlockCtx {
+            block_id,
+            n_blocks: self.n,
+            threads_per_block: self.threads_per_block,
+        }
+    }
+
+    /// Assemble the uniform [`KernelStats`] every strategy reports:
+    /// `launch` is the slowest block's launch share, telemetry comes from
+    /// this launch's recorder.
+    pub(crate) fn stats(
+        &self,
+        per_block: Vec<BlockTimes>,
+        wall: Duration,
+        pool: Option<Box<PoolLaunchStats>>,
+    ) -> KernelStats {
+        KernelStats {
+            method: self.method.to_string(),
+            n_blocks: self.n,
+            rounds: self.rounds,
+            wall,
+            launch: per_block.iter().map(|b| b.launch).max().unwrap_or_default(),
+            per_block,
+            telemetry: self.recorder.as_ref().map(|rec| Box::new(rec.finish())),
+            auto: None,
+            pool,
+        }
+    }
+}
+
+/// The one true round loop, run once per block per launch by every
+/// persistent strategy (scoped threads and pooled workers alike): for each
+/// round, execute the kernel body under `catch_unwind` (a panic poisons
+/// the barrier via [`BarrierShared::poison`], raises the abort signal, and
+/// surfaces as [`ExecError::BlockPanicked`]), then wait on the barrier
+/// (bounded by the [`SyncPolicy`]), accumulating compute/sync time and
+/// trace events into `t` as it goes. `t.launch` is the caller's to fill —
+/// only the strategy knows where its launch boundary is.
+pub(crate) fn drive_block(
+    setup: &LaunchSetup,
+    kernel: &dyn RoundKernel,
+    block: usize,
+    t: &mut BlockTimes,
+) -> Result<(), ExecError> {
+    let ctx = setup.ctx(block);
+    let mut waiter = setup.barrier.clone().map(|sh| sh.waiter(block));
+    for r in 0..setup.rounds {
+        let t0 = Instant::now();
+        if let Some(rec) = setup.recorder.as_deref() {
+            rec.record(block, r, TraceEventKind::RoundStart);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
+        if let Err(payload) = outcome {
+            if let Some(rec) = setup.recorder.as_deref() {
+                rec.record(block, r, TraceEventKind::Abort);
+            }
+            if let Some(sh) = setup.barrier.as_deref() {
+                sh.poison(block, r, PoisonCause::Panic);
+            }
+            setup.abort.abort();
+            return Err(ExecError::BlockPanicked {
+                block,
+                round: r,
+                message: payload_message(&*payload),
+            });
+        }
+        let t1 = Instant::now();
+        if let Some(rec) = setup.recorder.as_deref() {
+            rec.record(block, r, TraceEventKind::RoundEnd);
+        }
+        if let Some(w) = waiter.as_mut() {
+            if let Err(fault) = w.wait() {
+                setup.abort.abort();
+                let sh = setup.barrier.as_deref().expect("waiter implies barrier");
+                return Err(fault_to_error(fault, sh));
+            }
+        }
+        let t2 = Instant::now();
+        t.compute += t1 - t0;
+        t.sync += t2 - t1;
+        if let Some(rec) = setup.recorder.as_deref() {
+            if rec.sampled(r) {
+                rec.record_sync(block, (t2 - t1).as_nanos() as u64);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Scoped persistent strategy: spawn one thread per block for the whole
+/// launch, assemble at a [`StartGate`] (pinning `t_O`), then
+/// [`drive_block`]. Serves every barrier method — GPU-side, `CpuImplicit`
+/// (whose barrier is the driver rendezvous), and `NoSync` (no barrier).
+pub(crate) fn run_scoped(
+    setup: &LaunchSetup,
+    kernel: &dyn RoundKernel,
+    run_start: Instant,
+) -> Result<Vec<BlockTimes>, ExecError> {
+    let gate = StartGate::new(setup.n);
+    let results: Vec<Result<BlockTimes, ExecError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..setup.n)
+            .map(|b| {
+                let gate = &gate;
+                s.spawn(move || -> Result<BlockTimes, ExecError> {
+                    let mut t = BlockTimes::default();
+                    // The launch gate: no block starts round 0 until every
+                    // thread exists, so the time to here is the launch's
+                    // spawn overhead (t_O), not round-0 sync skew.
+                    gate.wait();
+                    t.launch = run_start.elapsed();
+                    drive_block(setup, kernel, b, &mut t)?;
+                    Ok(t)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine block thread must not panic"))
+            .collect()
+    });
+    collect_block_results(results)
+}
+
+/// Relaunch strategy (CPU explicit synchronization): spawn + join every
+/// round. The "barrier" is the host's join, so the policy timeout bounds
+/// the host's wait for all blocks to finish each round.
+///
+/// Time attribution per block per round: spawn delay (thread creation
+/// until the kernel starts) goes to `launch`, the kernel body to
+/// `compute`, and finish-until-release (everyone joined) to `sync` — so
+/// `sync` measures the synchronizing wait itself and does not absorb
+/// thread-startup overhead on short runs.
+///
+/// When the policy deadline expires, the host raises the abort signal and
+/// then *watchdog-joins*: it grants cooperative stragglers a short grace
+/// period to observe the signal and exit, and — with `detach_stragglers`
+/// (owned kernels only) — detaches any thread still stuck in
+/// non-cooperative kernel code instead of joining it, so the run returns
+/// [`ExecError::BarrierTimeout`] within the bound rather than hanging.
+/// Detached threads co-own (via `Arc`) everything they can still touch.
+/// Without `detach_stragglers` (the borrowed path, where the kernel must
+/// outlive every thread), the join after the grace period is
+/// unconditional, restoring the old behaviour for non-cooperative
+/// kernels.
+pub(crate) fn run_relaunch(
+    setup: &LaunchSetup,
+    kernel: Arc<dyn RoundKernel + Send + Sync>,
+    detach_stragglers: bool,
+) -> Result<Vec<BlockTimes>, ExecError> {
+    struct RoundTracker {
+        state: Mutex<usize>, // blocks finished this round
+        cv: Condvar,
+    }
+    /// One block's successful round: spawn delay, kernel time, and the
+    /// instant it finished (arrived at the host-side join "barrier").
+    struct RoundDone {
+        spawn_delay: Duration,
+        compute: Duration,
+        arrived: Instant,
+    }
+
+    let n = setup.n;
+    let recorder = setup.recorder.as_ref();
+    let mut times = vec![BlockTimes::default(); n];
+    for r in 0..setup.rounds {
+        let round_start = Instant::now();
+        let tracker = Arc::new(RoundTracker {
+            state: Mutex::new(0),
+            cv: Condvar::new(),
+        });
+        let done: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+        // Per-block outcome slots; a detached straggler's slot stays
+        // `None` (only the slot's own thread ever writes it).
+        type Slot = Mutex<Option<Result<RoundDone, ExecError>>>;
+        let slots: Arc<Vec<Slot>> = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        // Completion states captured at the moment the deadline expired
+        // (the straggler may still finish between deadline and join).
+        let mut deadline_snapshot: Option<Vec<bool>> = None;
+        let handles: Vec<std::thread::JoinHandle<()>> = (0..n)
+            .map(|b| {
+                let ctx = setup.ctx(b);
+                let kernel = Arc::clone(&kernel);
+                let tracker = Arc::clone(&tracker);
+                let done = Arc::clone(&done);
+                let slots = Arc::clone(&slots);
+                let recorder = recorder.cloned();
+                std::thread::spawn(move || {
+                    let t0 = Instant::now();
+                    // Round r's thread for block b is the ring's writer
+                    // this round; the host's join below and the next
+                    // spawn give the handoff edges.
+                    if let Some(rec) = recorder.as_deref() {
+                        rec.record(b, r, TraceEventKind::RoundStart);
+                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
+                    let result = match outcome {
+                        Ok(()) => {
+                            let arrived = Instant::now();
+                            if let Some(rec) = recorder.as_deref() {
+                                rec.record(b, r, TraceEventKind::RoundEnd);
+                                rec.record(b, r, TraceEventKind::BarrierArrive);
+                            }
+                            Ok(RoundDone {
+                                spawn_delay: t0 - round_start,
+                                compute: arrived - t0,
+                                arrived,
+                            })
+                        }
+                        Err(payload) => {
+                            if let Some(rec) = recorder.as_deref() {
+                                rec.record(b, r, TraceEventKind::Abort);
+                            }
+                            Err(ExecError::BlockPanicked {
+                                block: b,
+                                round: r,
+                                message: payload_message(&*payload),
+                            })
+                        }
+                    };
+                    *slots[b].lock() = Some(result);
+                    done[b].store(true, Ordering::Release);
+                    let mut g = tracker.state.lock();
+                    *g += 1;
+                    tracker.cv.notify_all();
+                })
+            })
+            .collect();
+
+        // The host-side "cudaThreadSynchronize": wait for all blocks,
+        // bounded by the policy timeout.
+        if let Some(timeout) = setup.policy.timeout {
+            let deadline = Instant::now() + timeout;
+            let mut g = tracker.state.lock();
+            while *g < n {
+                let now = Instant::now();
+                if now >= deadline {
+                    deadline_snapshot =
+                        Some(done.iter().map(|d| d.load(Ordering::Acquire)).collect());
+                    // Ask cooperative stragglers to bail out so the join
+                    // below can complete.
+                    setup.abort.abort();
+                    break;
+                }
+                let _ = tracker.cv.wait_for(&mut g, deadline - now);
+            }
+            drop(g);
+        }
+        if deadline_snapshot.is_some() && detach_stragglers {
+            // Watchdog join: a grace period for cooperative stragglers to
+            // observe the abort, then detach whoever is still stuck in
+            // kernel code — the bounded-return half of the
+            // fault-tolerance contract for owned kernels.
+            let grace = setup
+                .policy
+                .timeout
+                .unwrap_or_default()
+                .clamp(Duration::from_millis(10), Duration::from_secs(1));
+            let watchdog_deadline = Instant::now() + grace;
+            let mut g = tracker.state.lock();
+            while *g < n {
+                let now = Instant::now();
+                if now >= watchdog_deadline {
+                    break;
+                }
+                let _ = tracker.cv.wait_for(&mut g, watchdog_deadline - now);
+            }
+            drop(g);
+            for h in handles {
+                if h.is_finished() {
+                    h.join().expect("engine block thread must not panic");
+                }
+                // else: detached. The thread co-owns (Arc) the kernel,
+                // tracker, slots, and recorder, so leaking it is sound;
+                // the deadline snapshot below reports it as stuck.
+            }
+        } else {
+            for h in handles {
+                h.join().expect("engine block thread must not panic");
+            }
+        }
+
+        // Every block is released the moment the last join completed.
+        let release = Instant::now();
+        let mut origin: Option<ExecError> = None;
+        let mut released: Vec<(usize, Instant)> = Vec::new();
+        for (b, slot) in slots.iter().enumerate() {
+            match slot.lock().take() {
+                Some(Ok(d)) => {
+                    times[b].launch += d.spawn_delay;
+                    times[b].compute += d.compute;
+                    times[b].sync += release.saturating_duration_since(d.arrived);
+                    released.push((b, d.arrived));
+                }
+                Some(Err(e)) => {
+                    origin.get_or_insert(e);
+                }
+                // A detached straggler never filled its slot; the
+                // deadline snapshot reports it.
+                None => {}
+            }
+        }
+        if let Some(e) = origin {
+            return Err(e);
+        }
+        if let Some(snapshot) = deadline_snapshot {
+            // Any block not done at the deadline was the straggler, even
+            // if it finished between deadline and join.
+            let arrivals: Vec<u64> = snapshot.iter().map(|&d| r as u64 + u64::from(d)).collect();
+            let waiting_block = arrivals.iter().position(|&a| a > r as u64).unwrap_or(0);
+            let straggler = arrivals
+                .iter()
+                .position(|&a| a <= r as u64)
+                .unwrap_or(waiting_block);
+            return Err(ExecError::BarrierTimeout {
+                diagnostic: Box::new(StuckDiagnostic {
+                    barrier: "cpu-explicit".to_string(),
+                    waiting_block,
+                    round: r,
+                    flag: format!("join of round {r}"),
+                    timeout: setup.policy.timeout.unwrap_or_default(),
+                    departures: arrivals.iter().map(|a| a.saturating_sub(1)).collect(),
+                    arrivals,
+                    recent_events: recorder
+                        .map(|rec| {
+                            rec.tail(straggler, 8)
+                                .iter()
+                                .map(|e| e.to_string())
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                }),
+            });
+        }
+        // Host-stamped departures: every block leaves the join barrier at
+        // `release`, the same instant the sync accounting uses. Round r's
+        // thread has joined, so writing its ring here is the sequential
+        // half of the single-writer handoff.
+        if let Some(rec) = recorder {
+            let at = release.saturating_duration_since(rec.epoch());
+            for &(b, arrived) in &released {
+                rec.record_at(b, r, TraceEventKind::BarrierDepart, at);
+                if rec.sampled(r) {
+                    rec.record_sync(
+                        b,
+                        release.saturating_duration_since(arrived).as_nanos() as u64,
+                    );
+                }
+            }
+        }
+    }
+    Ok(times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmem::GlobalBuffer;
+    use crate::method::TreeLevels;
+
+    struct Count {
+        slots: GlobalBuffer<u64>,
+        rounds: usize,
+    }
+
+    impl RoundKernel for Count {
+        fn rounds(&self) -> usize {
+            self.rounds
+        }
+        fn round(&self, ctx: &BlockCtx, _round: usize) {
+            let b = ctx.block_id;
+            self.slots.set(b, self.slots.get(b) + 1);
+        }
+    }
+
+    #[test]
+    fn compile_rejects_auto() {
+        let err = LaunchPlan::compile(GridConfig::new(4, 8), SyncMethod::Auto).unwrap_err();
+        assert!(matches!(err, ExecError::BarrierUnavailable { .. }), "{err}");
+    }
+
+    #[test]
+    fn compile_validates_the_grid() {
+        assert!(LaunchPlan::compile(GridConfig::new(0, 8), SyncMethod::GpuSimple).is_err());
+        assert!(LaunchPlan::compile(GridConfig::new(31, 8), SyncMethod::GpuSimple).is_err());
+        assert!(LaunchPlan::compile(GridConfig::new(31, 8), SyncMethod::CpuImplicit).is_ok());
+    }
+
+    #[test]
+    fn one_plan_serves_many_launches() {
+        let plan = LaunchPlan::compile(GridConfig::new(4, 8), SyncMethod::GpuLockFree).unwrap();
+        assert_eq!(plan.method(), SyncMethod::GpuLockFree);
+        assert_eq!(plan.config().n_blocks, 4);
+        for _ in 0..3 {
+            let k = Count {
+                slots: GlobalBuffer::new(4),
+                rounds: 10,
+            };
+            let stats = plan.run(&k).unwrap();
+            assert_eq!(stats.rounds, 10);
+            assert!(k.slots.to_vec().iter().all(|&v| v == 10));
+        }
+    }
+
+    #[test]
+    fn plan_runs_every_concrete_method() {
+        for method in [
+            SyncMethod::CpuExplicit,
+            SyncMethod::CpuImplicit,
+            SyncMethod::GpuSimple,
+            SyncMethod::GpuTree(TreeLevels::Two),
+            SyncMethod::GpuLockFree,
+            SyncMethod::SenseReversing,
+            SyncMethod::Dissemination,
+            SyncMethod::NoSync,
+        ] {
+            let plan = LaunchPlan::compile(GridConfig::new(3, 8), method).unwrap();
+            let k = Count {
+                slots: GlobalBuffer::new(3),
+                rounds: 7,
+            };
+            let stats = plan.run(&k).unwrap();
+            assert_eq!(stats.method, method.to_string());
+            assert!(k.slots.to_vec().iter().all(|&v| v == 7), "{method}");
+        }
+    }
+
+    #[test]
+    fn owned_plan_run_matches_borrowed() {
+        let plan = LaunchPlan::compile(GridConfig::new(2, 8), SyncMethod::CpuExplicit).unwrap();
+        let k = Arc::new(Count {
+            slots: GlobalBuffer::new(2),
+            rounds: 4,
+        });
+        let stats = plan.run_owned(Arc::clone(&k) as _).unwrap();
+        assert_eq!(stats.rounds, 4);
+        assert!(k.slots.to_vec().iter().all(|&v| v == 4));
+    }
+}

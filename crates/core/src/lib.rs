@@ -72,6 +72,8 @@ pub mod error;
 pub mod executor;
 pub mod fault;
 pub mod gmem;
+pub mod implicit;
+pub mod launch;
 pub mod lockfree;
 pub mod method;
 pub mod metrics;
@@ -92,6 +94,8 @@ pub use error::{ExecError, StuckDiagnostic};
 pub use executor::{AbortSignal, BlockCtx, GridConfig, GridExecutor, RoundKernel};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use gmem::{GlobalBuffer, GlobalBuffer2d};
+pub use implicit::CpuImplicitSync;
+pub use launch::LaunchPlan;
 pub use lockfree::{FuzzyLockFreeWaiter, GpuLockFreeSync};
 pub use method::{ResetStrategy, SyncMethod, TreeLevels};
 pub use metrics::{BlockHistogram, Histogram};

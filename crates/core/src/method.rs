@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crate::barrier::{BarrierShared, SyncPolicy};
 use crate::dissemination::DisseminationSync;
+use crate::implicit::CpuImplicitSync;
 use crate::lockfree::GpuLockFreeSync;
 use crate::sense::SenseReversingSync;
 use crate::simple::GpuSimpleSync;
@@ -66,8 +67,9 @@ pub enum SyncMethod {
     /// launches (Section 4.1). Here: spawn worker threads each round and
     /// join them.
     CpuExplicit,
-    /// Kernel relaunch per round, launches pipelined (Section 4.2). Here: a
-    /// persistent pool coordinated through a central dispatcher per round.
+    /// Kernel relaunch per round, launches pipelined (Section 4.2). Here:
+    /// persistent block threads synchronized through the driver rendezvous
+    /// barrier ([`CpuImplicitSync`], one mutex + condvar).
     CpuImplicit,
     /// One global mutex + `atomicAdd` + spin (Section 5.1).
     GpuSimple,
@@ -135,19 +137,22 @@ impl SyncMethod {
         matches!(self, SyncMethod::CpuExplicit | SyncMethod::CpuImplicit)
     }
 
-    /// Build the shared barrier state for a GPU-side method.
+    /// Build the shared barrier state for a barrier-backed method: the
+    /// five device-side spin barriers, or the CPU-implicit driver
+    /// rendezvous ([`CpuImplicitSync`], a condvar barrier).
     ///
-    /// Returns `None` for CPU-side methods and `NoSync` (they have no
-    /// device-side barrier object).
+    /// Returns `None` for `CpuExplicit` (its "barrier" is the host's
+    /// per-round join, not a shared object), `NoSync`, and `Auto` (which
+    /// resolves to a concrete method first).
     pub fn build_barrier(self, n_blocks: usize) -> Option<Arc<dyn BarrierShared>> {
         self.build_barrier_with(n_blocks, SyncPolicy::default())
     }
 
-    /// Build the shared barrier state for a GPU-side method under an
+    /// Build the shared barrier state for a barrier-backed method under an
     /// explicit fault policy (timeout + spin strategy).
     ///
-    /// Returns `None` for CPU-side methods and `NoSync` (they have no
-    /// device-side barrier object).
+    /// Returns `None` for `CpuExplicit`, `NoSync`, and `Auto` (see
+    /// [`SyncMethod::build_barrier`]).
     pub fn build_barrier_with(
         self,
         n_blocks: usize,
@@ -167,10 +172,10 @@ impl SyncMethod {
             SyncMethod::Dissemination => {
                 Some(Arc::new(DisseminationSync::with_policy(n_blocks, policy)))
             }
-            SyncMethod::CpuExplicit
-            | SyncMethod::CpuImplicit
-            | SyncMethod::NoSync
-            | SyncMethod::Auto => None,
+            SyncMethod::CpuImplicit => {
+                Some(Arc::new(CpuImplicitSync::with_policy(n_blocks, policy)))
+            }
+            SyncMethod::CpuExplicit | SyncMethod::NoSync | SyncMethod::Auto => None,
         }
     }
 }
@@ -247,7 +252,12 @@ mod tests {
             assert_eq!(b.num_blocks(), 8);
         }
         assert!(SyncMethod::CpuExplicit.build_barrier(8).is_none());
-        assert!(SyncMethod::CpuImplicit.build_barrier(8).is_none());
+        // CPU-implicit's driver rendezvous is a real barrier object now.
+        let implicit = SyncMethod::CpuImplicit
+            .build_barrier(8)
+            .expect("cpu-implicit builds its rendezvous barrier");
+        assert_eq!(implicit.num_blocks(), 8);
+        assert_eq!(implicit.name(), "cpu-implicit");
         assert!(SyncMethod::NoSync.build_barrier(8).is_none());
         // Auto has no barrier of its own; the executor resolves it first.
         assert!(SyncMethod::Auto.build_barrier(8).is_none());

@@ -11,6 +11,13 @@
 //! a launch queue, the pipelined-relaunch shape of the paper's CPU
 //! implicit sync (Section 4.2) applied to whole kernels instead of rounds.
 //!
+//! The pool is a *strategy* over the shared launch engine: it compiles one
+//! [`LaunchPlan`] at construction, stamps a fresh
+//! [`crate::launch::LaunchSetup`] per submission, and each pinned worker
+//! runs the same [`drive_block`] round loop the scoped executor uses —
+//! only thread placement (pinned vs spawned) and the warm-launch
+//! accounting differ.
+//!
 //! ## Launch log
 //!
 //! Submissions append to a monotonically numbered launch log; each worker
@@ -18,7 +25,10 @@
 //! [`GridRuntime::submit`] calls pipeline: block `b` can start launch
 //! `k+1` the moment it finished its part of launch `k`, without a global
 //! drain barrier in between. [`LaunchHandle::wait`] resolves one launch to
-//! its [`crate::KernelStats`].
+//! its [`crate::KernelStats`]. This in-order pipelined consumption is
+//! exactly the paper's implicit-sync launch queue, which is why
+//! `CpuImplicit` runs pooled natively: its driver rendezvous
+//! ([`crate::CpuImplicitSync`]) is just another barrier to the engine.
 //!
 //! ## Fault semantics
 //!
@@ -39,34 +49,33 @@
 //! the scoped executor's contract.
 
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::barrier::{BarrierShared, PoisonCause};
+use crate::barrier::PoisonCause;
 use crate::error::{ExecError, StuckDiagnostic};
-use crate::executor::{
-    collect_block_results, fault_to_error, payload_message, AbortSignal, BlockCtx, GridConfig,
-    RoundKernel,
-};
+use crate::executor::{GridConfig, RoundKernel};
+use crate::launch::{collect_block_results, drive_block, LaunchPlan, LaunchSetup};
 use crate::method::SyncMethod;
 use crate::stats::{BlockTimes, KernelStats};
-use crate::trace::{EventRecorder, TraceEventKind};
+use crate::trace::TraceEventKind;
 
 /// Which host runtime a [`crate::GridExecutor`] uses for persistent-mode
 /// methods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RuntimeKind {
     /// Spawn fresh per-block threads every `run()` (cold `t_O`; the
-    /// default, and the only option for CPU-side methods, which relaunch
-    /// by definition).
+    /// default).
     #[default]
     Scoped,
     /// Reuse a persistent [`GridRuntime`] worker pool across `run()` calls
-    /// (warm `t_O` after the first launch).
+    /// (warm `t_O` after the first launch). Serves every method except
+    /// `CpuExplicit` (which relaunches from the host by definition) and
+    /// `Auto` (which resolves per launch); those fall back to scoped and
+    /// record the reason in [`KernelStats::pool`].
     Pooled,
 }
 
@@ -91,9 +100,10 @@ impl std::fmt::Display for RuntimeKind {
 }
 
 /// Pool-side launch accounting attached to [`KernelStats::pool`] for runs
-/// executed by a [`GridRuntime`]. The warm `t_O` itself is
-/// [`KernelStats::launch`] (dispatch → all workers assembled); this struct
-/// carries the queueing context around it.
+/// executed by a [`GridRuntime`] — or for runs that *asked* for the pool
+/// and fell back to scoped execution (see [`PoolLaunchStats::fallback`]).
+/// The warm `t_O` itself is [`KernelStats::launch`] (dispatch → all
+/// workers assembled); this struct carries the queueing context around it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolLaunchStats {
     /// Zero-based sequence number of this launch on its pool. Sequence 0
@@ -107,6 +117,32 @@ pub struct PoolLaunchStats {
     pub queued: Duration,
     /// Whether this was the pool's cold (first) launch.
     pub cold: bool,
+    /// `None` when the launch really ran on a pool. `Some(reason)` when
+    /// [`RuntimeKind::Pooled`] was requested but the method cannot run
+    /// pooled and the scoped engine served the launch instead — the other
+    /// fields are then zero placeholders.
+    pub fallback: Option<String>,
+}
+
+impl PoolLaunchStats {
+    /// Marker attached by the executor when a pooled *request* was served
+    /// by the scoped engine, so the fallback is observable instead of
+    /// silent.
+    pub(crate) fn scoped_fallback(reason: String) -> Self {
+        PoolLaunchStats {
+            launch_seq: 0,
+            queue_depth: 0,
+            queued: Duration::ZERO,
+            cold: false,
+            fallback: Some(reason),
+        }
+    }
+
+    /// Whether the launch actually executed on a persistent pool (`false`
+    /// means a recorded scoped fallback).
+    pub fn ran_pooled(&self) -> bool {
+        self.fallback.is_none()
+    }
 }
 
 /// Erased kernel reference carried by a launch.
@@ -151,25 +187,21 @@ struct LaunchDone {
     abandoned: bool,
 }
 
-/// One entry of the launch log.
+/// One entry of the launch log: the engine's per-launch state
+/// ([`LaunchSetup`]: fresh barrier, recorder, abort) plus the pool's
+/// queueing and completion bookkeeping.
 struct Launch {
     seq: u64,
     kernel: KernelRef,
-    rounds: usize,
-    /// Fresh barrier per launch: poisoning is permanent, so reuse would
-    /// leak one launch's fault into the next.
-    barrier: Option<Arc<dyn BarrierShared>>,
-    abort: AbortSignal,
-    recorder: Option<Arc<EventRecorder>>,
-    timeout: Option<Duration>,
-    n: usize,
+    setup: LaunchSetup,
     queue_depth: usize,
     submitted: Instant,
     /// When the first worker picked this launch up (end of queueing).
     activated: Mutex<Option<Instant>>,
     /// Assembly gate: workers check in and spin until all peers of *this
     /// launch* exist, pinning the warm-launch boundary exactly like the
-    /// scoped executor's start gate.
+    /// scoped engine's start gate — with an extra abort escape, since a
+    /// pinned peer may never arrive once the launch has failed.
     gate: AtomicUsize,
     done: Mutex<LaunchDone>,
     done_cv: Condvar,
@@ -189,7 +221,7 @@ impl Launch {
         }
         if res.is_err() {
             g.first_failure.get_or_insert_with(Instant::now);
-            self.abort.abort();
+            self.setup.abort.abort();
         }
         g.results[block] = Some(res);
         g.finished += 1;
@@ -201,7 +233,6 @@ impl Launch {
 struct Shared {
     state: Mutex<PoolState>,
     cv: Condvar,
-    threads_per_block: usize,
 }
 
 struct PoolState {
@@ -244,7 +275,7 @@ fn worker_loop(shared: &Arc<Shared>, block: usize, gen: u64, mut cursor: u64) {
         // A launch the host already gave up on: its results were
         // synthesized, so just step over it.
         if !launch.is_abandoned() {
-            run_launch(shared, &launch, block);
+            run_launch(&launch, block);
         }
         cursor += 1;
         let mut st = shared.state.lock();
@@ -260,28 +291,23 @@ fn worker_loop(shared: &Arc<Shared>, block: usize, gen: u64, mut cursor: u64) {
     }
 }
 
-/// Execute one launch for `block` — the pooled analogue of the scoped
-/// executor's per-block persistent loop.
-fn run_launch(shared: &Arc<Shared>, launch: &Arc<Launch>, block: usize) {
+/// Execute one launch for `block`: stamp the activation, assemble at the
+/// gate, then hand off to the engine's shared [`drive_block`] round loop —
+/// the pooled strategy contributes only the warm-`t_O` accounting here.
+fn run_launch(launch: &Arc<Launch>, block: usize) {
     // SAFETY: Owned refs are kept alive by the Arc in the launch log;
     // Borrowed refs are alive per the `GridRuntime::run` completion
     // protocol (see `KernelRef`).
     let kernel = unsafe { launch.kernel.get() };
-    let ctx = BlockCtx {
-        block_id: block,
-        n_blocks: launch.n,
-        threads_per_block: shared.threads_per_block,
-    };
     {
         let mut a = launch.activated.lock();
         a.get_or_insert_with(Instant::now);
     }
-    let mut waiter = launch.barrier.clone().map(|sh| sh.waiter(block));
     // Assembly gate with an abort escape so peers of an already-failed
     // launch don't spin forever waiting for a worker that will never come.
     launch.gate.fetch_add(1, Ordering::AcqRel);
-    while launch.gate.load(Ordering::Acquire) < launch.n {
-        if launch.abort.is_aborted() {
+    while launch.gate.load(Ordering::Acquire) < launch.setup.n {
+        if launch.setup.abort.is_aborted() {
             break;
         }
         std::thread::yield_now();
@@ -292,52 +318,10 @@ fn run_launch(shared: &Arc<Shared>, launch: &Arc<Launch>, block: usize) {
         launch: Instant::now().saturating_duration_since(base),
         ..BlockTimes::default()
     };
-    if let Some(rec) = launch.recorder.as_deref() {
+    if let Some(rec) = launch.setup.recorder.as_deref() {
         rec.record(block, 0, TraceEventKind::Launch);
     }
-    let res = (|| -> Result<BlockTimes, ExecError> {
-        for r in 0..launch.rounds {
-            let t0 = Instant::now();
-            if let Some(rec) = launch.recorder.as_deref() {
-                rec.record(block, r, TraceEventKind::RoundStart);
-            }
-            let outcome = catch_unwind(AssertUnwindSafe(|| kernel.round(&ctx, r)));
-            if let Err(payload) = outcome {
-                if let Some(rec) = launch.recorder.as_deref() {
-                    rec.record(block, r, TraceEventKind::Abort);
-                }
-                if let Some(sh) = launch.barrier.as_deref() {
-                    sh.control().poison(block, r, PoisonCause::Panic);
-                }
-                launch.abort.abort();
-                return Err(ExecError::BlockPanicked {
-                    block,
-                    round: r,
-                    message: payload_message(&*payload),
-                });
-            }
-            let t1 = Instant::now();
-            if let Some(rec) = launch.recorder.as_deref() {
-                rec.record(block, r, TraceEventKind::RoundEnd);
-            }
-            if let Some(w) = waiter.as_mut() {
-                if let Err(fault) = w.wait() {
-                    launch.abort.abort();
-                    let sh = launch.barrier.as_deref().expect("waiter implies barrier");
-                    return Err(fault_to_error(fault, sh));
-                }
-            }
-            let t2 = Instant::now();
-            t.compute += t1 - t0;
-            t.sync += t2 - t1;
-            if let Some(rec) = launch.recorder.as_deref() {
-                if rec.sampled(r) {
-                    rec.record_sync(block, (t2 - t1).as_nanos() as u64);
-                }
-            }
-        }
-        Ok(t)
-    })();
+    let res = drive_block(&launch.setup, kernel, block, &mut t).map(|()| t);
     launch.record_result(block, res);
 }
 
@@ -350,7 +334,6 @@ fn run_launch(shared: &Arc<Shared>, launch: &Arc<Launch>, block: usize) {
 pub struct LaunchHandle {
     shared: Arc<Shared>,
     launch: Arc<Launch>,
-    method: SyncMethod,
 }
 
 impl LaunchHandle {
@@ -361,7 +344,7 @@ impl LaunchHandle {
 
     /// Whether every block has reported (or the launch was abandoned).
     pub fn is_done(&self) -> bool {
-        self.launch.done.lock().finished >= self.launch.n
+        self.launch.done.lock().finished >= self.launch.setup.n
     }
 
     /// Block until the launch completes and return its stats.
@@ -377,7 +360,7 @@ impl LaunchHandle {
     /// The merged per-block error of the launch, origin first — the same
     /// contract as [`crate::GridExecutor::run`].
     pub fn wait(self) -> Result<KernelStats, ExecError> {
-        wait_launch(&self.shared, &self.launch, self.method, true)
+        wait_launch(&self.shared, &self.launch, true)
     }
 }
 
@@ -391,15 +374,14 @@ fn abandon_grace(timeout: Duration) -> Duration {
 fn wait_launch(
     shared: &Arc<Shared>,
     launch: &Arc<Launch>,
-    method: SyncMethod,
     allow_abandon: bool,
 ) -> Result<KernelStats, ExecError> {
-    let n = launch.n;
+    let n = launch.setup.n;
     let mut replaced: Vec<usize> = Vec::new();
     let results: Vec<Result<BlockTimes, ExecError>> = {
         let mut g = launch.done.lock();
         while g.finished < n {
-            match launch.timeout.filter(|_| allow_abandon) {
+            match launch.setup.policy.timeout.filter(|_| allow_abandon) {
                 None => launch.done_cv.wait(&mut g),
                 Some(timeout) => {
                     let grace = abandon_grace(timeout);
@@ -427,44 +409,42 @@ fn wait_launch(
     }
     let per_block = collect_block_results(results)?;
     let activated = (*launch.activated.lock()).unwrap_or(launch.submitted);
-    Ok(KernelStats {
-        method: method.to_string(),
-        n_blocks: n,
-        rounds: launch.rounds,
-        wall: launch.submitted.elapsed(),
-        launch: per_block.iter().map(|b| b.launch).max().unwrap_or_default(),
+    Ok(launch.setup.stats(
         per_block,
-        telemetry: launch.recorder.as_ref().map(|rec| Box::new(rec.finish())),
-        auto: None,
-        pool: Some(Box::new(PoolLaunchStats {
+        launch.submitted.elapsed(),
+        Some(Box::new(PoolLaunchStats {
             launch_seq: launch.seq,
             queue_depth: launch.queue_depth,
             queued: activated.saturating_duration_since(launch.submitted),
             cold: launch.seq == 0,
+            fallback: None,
         })),
-    })
+    ))
 }
 
 /// Give up on the blocks that never reported: synthesize their timeout
 /// diagnostics, poison the launch so stragglers that eventually wake fail
-/// fast, and note them for worker replacement.
+/// fast, and note them for worker replacement. Poisoning goes through the
+/// [`crate::BarrierShared::poison`] hook so barriers whose waiters sleep
+/// (the CPU-implicit condvar rendezvous) are woken, not just flagged.
 fn abandon(launch: &Launch, g: &mut LaunchDone, timeout: Duration, replaced: &mut Vec<usize>) {
     g.abandoned = true;
-    launch.abort.abort();
-    let (arrivals, departures) = match launch.barrier.as_deref() {
+    launch.setup.abort.abort();
+    let (arrivals, departures) = match launch.setup.barrier.as_deref() {
         Some(sh) => sh.control().progress(),
-        None => (vec![0; launch.n], vec![0; launch.n]),
+        None => (vec![0; launch.setup.n], vec![0; launch.setup.n]),
     };
-    for b in 0..launch.n {
+    for b in 0..launch.setup.n {
         if g.results[b].is_some() {
             continue;
         }
         let round = arrivals.get(b).copied().unwrap_or(0) as usize;
-        if let Some(sh) = launch.barrier.as_deref() {
-            sh.control().poison(b, round, PoisonCause::Timeout);
+        if let Some(sh) = launch.setup.barrier.as_deref() {
+            sh.poison(b, round, PoisonCause::Timeout);
         }
         let diagnostic = Box::new(StuckDiagnostic {
             barrier: launch
+                .setup
                 .barrier
                 .as_deref()
                 .map_or("pooled:no-sync".to_string(), |sh| {
@@ -477,6 +457,7 @@ fn abandon(launch: &Launch, g: &mut LaunchDone, timeout: Duration, replaced: &mu
             arrivals: arrivals.clone(),
             departures: departures.clone(),
             recent_events: launch
+                .setup
                 .recorder
                 .as_deref()
                 .map(|rec| rec.tail(b, 8).iter().map(|e| e.to_string()).collect())
@@ -510,40 +491,42 @@ fn replace_workers(shared: &Arc<Shared>, blocks: &[usize], after_seq: u64) {
 /// launch-log and fault-recovery design.
 pub struct GridRuntime {
     shared: Arc<Shared>,
-    cfg: GridConfig,
-    method: SyncMethod,
+    plan: LaunchPlan,
 }
 
 impl std::fmt::Debug for GridRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GridRuntime")
-            .field("n_blocks", &self.cfg.n_blocks)
-            .field("method", &self.method)
+            .field("n_blocks", &self.plan.config().n_blocks)
+            .field("method", &self.plan.method())
             .finish()
     }
 }
 
 impl GridRuntime {
-    /// Whether `method` can run on a persistent pool. CPU-side methods
-    /// relaunch kernels (explicitly or pipelined) by definition, and
-    /// `Auto` must resolve to a concrete method first.
+    /// Whether `method` can run on a persistent pool. Everything can
+    /// except `CpuExplicit` — whose whole point is relaunching from the
+    /// host every round — and `Auto`, which must resolve to a concrete
+    /// method first. `CpuImplicit` pools natively: the launch log's
+    /// in-order pipelined consumption *is* implicit sync, with the driver
+    /// rendezvous as its barrier.
     pub fn supports(method: SyncMethod) -> bool {
-        method.is_gpu_side() || method == SyncMethod::NoSync
+        !matches!(method, SyncMethod::CpuExplicit | SyncMethod::Auto)
     }
 
     /// Build the pool and pin one worker per block.
     ///
     /// # Errors
     /// [`ExecError::Device`] for an invalid grid shape;
-    /// [`ExecError::RuntimeUnsupported`] for CPU-side methods or `Auto`.
+    /// [`ExecError::RuntimeUnsupported`] for `CpuExplicit` or `Auto`.
     pub fn new(cfg: GridConfig, method: SyncMethod) -> Result<GridRuntime, ExecError> {
         if !Self::supports(method) {
             return Err(ExecError::RuntimeUnsupported {
                 method: method.to_string(),
             });
         }
-        cfg.validate(method)?;
-        let n = cfg.n_blocks;
+        let plan = LaunchPlan::compile(cfg, method)?;
+        let n = plan.config().n_blocks;
         let shared = Arc::new(Shared {
             state: Mutex::new(PoolState {
                 queue: VecDeque::new(),
@@ -554,26 +537,21 @@ impl GridRuntime {
                 shutdown: false,
             }),
             cv: Condvar::new(),
-            threads_per_block: cfg.threads_per_block,
         });
         for b in 0..n {
             spawn_worker(Arc::clone(&shared), b, 0, 0);
         }
-        Ok(GridRuntime {
-            shared,
-            cfg,
-            method,
-        })
+        Ok(GridRuntime { shared, plan })
     }
 
     /// The pool's grid configuration.
     pub fn config(&self) -> &GridConfig {
-        &self.cfg
+        self.plan.config()
     }
 
     /// The pool's synchronization method.
     pub fn method(&self) -> SyncMethod {
-        self.method
+        self.plan.method()
     }
 
     /// Launches still pending (submitted but not yet completed by every
@@ -584,7 +562,7 @@ impl GridRuntime {
         let st = self.shared.state.lock();
         st.queue
             .iter()
-            .filter(|l| l.done.lock().finished < l.n)
+            .filter(|l| l.done.lock().finished < l.setup.n)
             .count()
     }
 
@@ -616,11 +594,10 @@ impl GridRuntime {
         kernel: Arc<dyn RoundKernel + Send + Sync>,
     ) -> Result<LaunchHandle, ExecError> {
         let launch = self.enqueue(KernelRef::Owned(Arc::clone(&kernel)), kernel.rounds())?;
-        kernel.on_launch(&launch.abort);
+        kernel.on_launch(&launch.setup.abort);
         Ok(LaunchHandle {
             shared: Arc::clone(&self.shared),
             launch,
-            method: self.method,
         })
     }
 
@@ -645,51 +622,29 @@ impl GridRuntime {
         let ptr: *const (dyn RoundKernel + 'static) =
             unsafe { std::mem::transmute(dyn_ref as *const dyn RoundKernel) };
         let launch = self.enqueue(KernelRef::Borrowed(ptr), kernel.rounds())?;
-        kernel.on_launch(&launch.abort);
-        wait_launch(&self.shared, &launch, self.method, false)
+        kernel.on_launch(&launch.setup.abort);
+        wait_launch(&self.shared, &launch, false)
     }
 
     fn enqueue(&self, kernel: KernelRef, rounds: usize) -> Result<Arc<Launch>, ExecError> {
-        let n = self.cfg.n_blocks;
-        let barrier = match self.method {
-            SyncMethod::NoSync => None,
-            m => Some(m.build_barrier_with(n, self.cfg.policy).ok_or_else(|| {
-                ExecError::BarrierUnavailable {
-                    method: m.to_string(),
-                }
-            })?),
-        };
-        let recorder = self
-            .cfg
-            .trace
-            .as_ref()
-            .filter(|_| EventRecorder::ENABLED)
-            .map(|tc| Arc::new(EventRecorder::new(n, rounds, tc)));
-        if let (Some(sh), Some(rec)) = (barrier.as_deref(), recorder.as_ref()) {
-            sh.control().attach_recorder(Arc::clone(rec));
-        }
+        let setup = self.plan.setup(rounds)?;
         let mut st = self.shared.state.lock();
         let min = st.cursors.iter().copied().min().unwrap_or(st.next_seq);
         let launch = Arc::new(Launch {
             seq: st.next_seq,
             kernel,
-            rounds,
-            barrier,
-            abort: AbortSignal::new(),
-            recorder,
-            timeout: self.cfg.policy.timeout,
-            n,
             queue_depth: (st.next_seq - min) as usize,
             submitted: Instant::now(),
             activated: Mutex::new(None),
             gate: AtomicUsize::new(0),
             done: Mutex::new(LaunchDone {
-                results: vec![None; n],
+                results: vec![None; setup.n],
                 finished: 0,
                 first_failure: None,
                 abandoned: false,
             }),
             done_cv: Condvar::new(),
+            setup,
         });
         st.queue.push_back(Arc::clone(&launch));
         st.next_seq += 1;
@@ -714,8 +669,9 @@ impl Drop for GridRuntime {
 mod tests {
     use super::*;
     use crate::barrier::SyncPolicy;
+    use crate::executor::BlockCtx;
     use crate::gmem::GlobalBuffer;
-    use crate::trace::TraceConfig;
+    use crate::trace::{EventRecorder, TraceConfig};
     use std::sync::atomic::AtomicBool;
 
     /// Every block bumps its slot once per round; a correct barrier makes
@@ -740,16 +696,15 @@ mod tests {
     }
 
     #[test]
-    fn rejects_cpu_side_methods_and_auto() {
-        for m in [
-            SyncMethod::CpuExplicit,
-            SyncMethod::CpuImplicit,
-            SyncMethod::Auto,
-        ] {
+    fn rejects_cpu_explicit_and_auto_but_pools_cpu_implicit() {
+        for m in [SyncMethod::CpuExplicit, SyncMethod::Auto] {
             assert!(!GridRuntime::supports(m));
             let err = GridRuntime::new(GridConfig::new(2, 64), m).unwrap_err();
             assert!(matches!(err, ExecError::RuntimeUnsupported { .. }), "{err}");
         }
+        assert!(GridRuntime::supports(SyncMethod::CpuImplicit));
+        assert!(GridRuntime::supports(SyncMethod::NoSync));
+        assert!(GridRuntime::supports(SyncMethod::GpuLockFree));
     }
 
     #[test]
@@ -768,6 +723,35 @@ mod tests {
         }
         assert_eq!(rt.launches(), 3);
         assert_eq!(rt.queue_depth(), 0);
+    }
+
+    #[test]
+    fn cpu_implicit_pools_with_pipelined_launches() {
+        // Satellite regression: `GridRuntime::submit` of a CpuImplicit
+        // kernel must succeed with pipelined launches — the launch log is
+        // implicit sync, with the driver rendezvous as its barrier.
+        let rt = pool(3, SyncMethod::CpuImplicit);
+        let kernels: Vec<Arc<CountKernel>> = (0..4)
+            .map(|_| {
+                Arc::new(CountKernel {
+                    slots: GlobalBuffer::new(3),
+                    rounds: 25,
+                })
+            })
+            .collect();
+        let handles: Vec<LaunchHandle> = kernels
+            .iter()
+            .map(|k| rt.submit(Arc::clone(k)).unwrap())
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let stats = h.wait().unwrap();
+            assert_eq!(stats.method, "cpu-implicit");
+            let p = stats.pool.as_ref().unwrap();
+            assert!(p.ran_pooled());
+            assert_eq!(p.launch_seq, i as u64);
+            assert!(kernels[i].slots.to_vec().iter().all(|&v| v == 25));
+        }
+        assert_eq!(rt.launches(), 4);
     }
 
     #[test]
@@ -791,6 +775,7 @@ mod tests {
             let p = stats.pool.as_ref().unwrap();
             assert_eq!(p.launch_seq, i as u64);
             assert_eq!(p.cold, i == 0);
+            assert!(p.ran_pooled());
             assert!(kernels[i].slots.to_vec().iter().all(|&v| v == 20));
         }
     }

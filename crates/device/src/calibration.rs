@@ -267,9 +267,10 @@ impl Default for MeasureBudget {
 /// * **uncontended `fetch_add`** → `syncthreads_ns` (an intra-block fence
 ///   on the host is one local atomic);
 /// * **thread spawn/join and condvar rendezvous** → `kernel_launch_ns`,
-///   `explicit_round_overhead_ns` (spawn+join per round, as
-///   `run_cpu_explicit` pays) and `implicit_round_overhead_ns` (one
-///   dispatcher round trip, as `run_cpu_implicit` pays).
+///   `explicit_round_overhead_ns` (spawn+join per round, as the launch
+///   engine's `run_relaunch` strategy pays for `cpu-explicit`) and
+///   `implicit_round_overhead_ns` (one driver round trip, as
+///   `CpuImplicitSync`'s rendezvous pays for `cpu-implicit`).
 ///
 /// The split of the one-way ping-pong cost between its store and observe
 /// halves is a first-order attribution (stores are charged 1/4; a spinner
@@ -419,8 +420,8 @@ fn explicit_round_ns(rounds: u32) -> u64 {
 }
 
 /// Per-round cost of CPU-implicit style synchronization: a persistent
-/// worker and a dispatcher exchanging rounds through a mutex + condvar —
-/// the same rendezvous `run_cpu_implicit` uses.
+/// worker and a driver exchanging rounds through a mutex + condvar —
+/// the same rendezvous `CpuImplicitSync` uses.
 fn implicit_round_ns(rounds: u32) -> u64 {
     #[derive(Default)]
     struct Rendezvous {

@@ -12,15 +12,17 @@ use blocksync::core::{
 };
 use proptest::prelude::*;
 
-/// Every method the pooled runtime supports: the device-side barriers plus
-/// the barrier-free control.
-const POOLED_METHODS: [SyncMethod; 7] = [
+/// Every method the pooled runtime supports: the device-side barriers, the
+/// CPU-implicit driver rendezvous (the launch log *is* pipelined implicit
+/// sync), and the barrier-free control.
+const POOLED_METHODS: [SyncMethod; 8] = [
     SyncMethod::GpuSimple,
     SyncMethod::GpuTree(TreeLevels::Two),
     SyncMethod::GpuTree(TreeLevels::Three),
     SyncMethod::GpuLockFree,
     SyncMethod::SenseReversing,
     SyncMethod::Dissemination,
+    SyncMethod::CpuImplicit,
     SyncMethod::NoSync,
 ];
 
@@ -196,22 +198,52 @@ fn pooled_straggler_times_out_with_diagnostic() {
     assert!(clean.slots.to_vec().iter().all(|&v| v == 3));
 }
 
-/// `RuntimeKind::Pooled` on a CPU-side method silently runs scoped (the
-/// executor falls back), while constructing a `GridRuntime` directly is a
-/// structured error.
+/// `--runtime pooled` semantics after the launch-engine unification:
+/// `CpuImplicit` runs pooled for real (pipelined submits through the launch
+/// log), while `CpuExplicit` falls back to scoped *loudly* — the stats
+/// record the fallback reason — and constructing a `GridRuntime` for it
+/// directly is a structured error.
 #[test]
-fn cpu_side_methods_fall_back_to_scoped() {
+fn cpu_explicit_falls_back_loudly_and_cpu_implicit_pools() {
+    // CpuImplicit: a pooled request is served by a real pool.
+    let cfg = GridConfig::new(3, 8).with_runtime(RuntimeKind::Pooled);
+    let exec = GridExecutor::new(cfg, SyncMethod::CpuImplicit);
+    let k = Increment::new(3, 4);
+    let stats = exec.run(&k).unwrap();
+    let pool = stats
+        .pool
+        .as_deref()
+        .expect("pooled run carries pool stats");
+    assert!(pool.ran_pooled(), "fallback recorded: {:?}", pool.fallback);
+    assert!(k.slots.to_vec().iter().all(|&v| v == 4));
+    // ... with pipelined launches through the same pool.
+    let rt = GridRuntime::new(GridConfig::new(3, 8), SyncMethod::CpuImplicit).unwrap();
+    let kernels: Vec<Arc<Increment>> = (0..3).map(|_| Arc::new(Increment::new(3, 6))).collect();
+    let handles: Vec<_> = kernels
+        .iter()
+        .map(|k| rt.submit(Arc::clone(k)).unwrap())
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let stats = h.wait().unwrap();
+        assert_eq!(stats.pool.as_ref().unwrap().launch_seq, i as u64);
+        assert!(kernels[i].slots.to_vec().iter().all(|&v| v == 6));
+    }
+
+    // CpuExplicit: scoped fallback, but recorded rather than silent.
     let cfg = GridConfig::new(3, 8).with_runtime(RuntimeKind::Pooled);
     let k = Increment::new(3, 4);
-    let stats = GridExecutor::new(cfg, SyncMethod::CpuImplicit)
+    let stats = GridExecutor::new(cfg, SyncMethod::CpuExplicit)
         .run(&k)
         .unwrap();
+    let pool = stats.pool.as_deref().expect("fallback must be recorded");
+    assert!(!pool.ran_pooled());
     assert!(
-        stats.pool.is_none(),
-        "CPU-side run must not claim pool stats"
+        pool.fallback.as_deref().unwrap().contains("cpu-explicit"),
+        "reason names the method: {:?}",
+        pool.fallback
     );
     assert!(k.slots.to_vec().iter().all(|&v| v == 4));
-    let err = GridRuntime::new(GridConfig::new(3, 8), SyncMethod::CpuImplicit).unwrap_err();
+    let err = GridRuntime::new(GridConfig::new(3, 8), SyncMethod::CpuExplicit).unwrap_err();
     assert!(
         matches!(err, ExecError::RuntimeUnsupported { .. }),
         "got {err:?}"
