@@ -10,8 +10,8 @@ use blocksync_algos::swat::{
 use std::time::Duration;
 
 use blocksync_core::{
-    AutoTuner, ChromeTraceBuilder, GridConfig, GridExecutor, KernelStats, RoundKernel, RuntimeKind,
-    SyncMethod, SyncPolicy, TraceConfig,
+    AutoTuner, ChaosConfig, ChromeTraceBuilder, GridConfig, GridExecutor, KernelStats, RoundKernel,
+    RuntimeKind, SyncMethod, SyncPolicy, TraceConfig,
 };
 use blocksync_device::{CalibrationProfile, GpuSpec};
 use blocksync_microbench::{run_host_traced, MeanKernel};
@@ -577,6 +577,77 @@ pub fn trace(a: &Args) -> Result<(), String> {
         println!("wrote chrome://tracing timeline to {out}");
     }
     Ok(())
+}
+
+/// `blocksync chaos` — the chaos soak harness: push pipelined launches
+/// through the runtime where a configurable fraction carry seeded-random
+/// fault schedules, and assert after every faulty launch that the error
+/// names the scheduled cause, the pool self-heals, and interleaved clean
+/// launches stay bit-identical. The seed is always printed so any red run
+/// replays with one command.
+pub fn chaos(a: &Args) -> Result<(), String> {
+    let defaults = ChaosConfig::default();
+    let timeout_secs = a.get_f64("sync-timeout", defaults.timeout.as_secs_f64());
+    if timeout_secs <= 0.0 || !timeout_secs.is_finite() {
+        return Err("chaos needs a positive --sync-timeout (faults must be detected)".into());
+    }
+    let cfg = ChaosConfig {
+        launches: a.get_usize("launches", defaults.launches),
+        fault_rate: a.get_f64("fault-rate", defaults.fault_rate),
+        seed: a.get_usize("seed", defaults.seed as usize) as u64,
+        method: parse_method(a.get("method", "gpu-lock-free"))?,
+        runtime: runtime_kind_default_pooled(a)?,
+        n_blocks: a.get_usize("blocks", defaults.n_blocks),
+        threads_per_block: a.get_usize("tpb", defaults.threads_per_block),
+        rounds: a.get_usize("rounds", defaults.rounds),
+        timeout: Duration::from_secs_f64(timeout_secs),
+        window: a.get_usize("window", defaults.window),
+    };
+    println!(
+        "chaos soak: {} launches, fault rate {:.2}, {} runtime, method {}, \
+         {} blocks x {} rounds, timeout {:?}, seed {}",
+        cfg.launches,
+        cfg.fault_rate,
+        cfg.runtime,
+        cfg.method,
+        cfg.n_blocks,
+        cfg.rounds,
+        cfg.timeout,
+        cfg.seed
+    );
+    // Injected round-body panics are caught by the engine and surfaced as
+    // `BlockPanicked`; silence their default panic-hook spew so the soak
+    // output stays readable, while real (un-injected) panics still print.
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("injected fault:"));
+        if !injected {
+            previous(info);
+        }
+    }));
+    let report = cfg.run();
+    let _ = std::panic::take_hook(); // restore default panic reporting
+    let report = report?;
+    println!("{report}");
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} invariant violation(s); reproduce with --seed {}",
+            report.failures.len(),
+            report.seed
+        ))
+    }
+}
+
+/// Like [`runtime_kind`] but defaulting to pooled — chaos exists mainly to
+/// soak the pool's abandon-and-replace path.
+fn runtime_kind_default_pooled(a: &Args) -> Result<RuntimeKind, String> {
+    let s = a.get("runtime", "pooled");
+    RuntimeKind::parse(s).ok_or_else(|| format!("unknown --runtime {s:?}; valid: scoped pooled"))
 }
 
 #[cfg(test)]

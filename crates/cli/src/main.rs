@@ -9,6 +9,7 @@
 //! blocksync scan     --n 100000 --blocks 4
 //! blocksync micro    --blocks 4 --rounds 2000 [--trace out.json] [--metrics]
 //! blocksync trace    --blocks 4 --rounds 200 --method lock-free
+//! blocksync chaos    --launches 200 --fault-rate 0.25 --seed 42
 //! ```
 //!
 //! Every subcommand prints what it verified, what it measured, and (for
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "micro" => commands::micro(&parsed),
         "trace" => commands::trace(&parsed),
         "tune" => commands::tune(&parsed),
+        "chaos" => commands::chaos(&parsed),
         other => Err(format!("unknown command {other:?}; run `blocksync help`")),
     };
     match result {
@@ -75,6 +77,14 @@ COMMANDS:
              and method crossover points for a grid size
              --blocks N [--profile host|gtx280|fermi] [--max-gpu-blocks B]
              [--max-n N]
+  chaos      chaos soak: pipelined launches where a fraction carry
+             seeded-random fault schedules (panics, delays, stragglers,
+             stalls — in round bodies, barrier waits, or pooled assembly);
+             asserts errors name the cause, the pool self-heals, and clean
+             launches stay bit-identical. Prints the seed for repro.
+             --launches N --fault-rate F --seed S --method M --blocks B
+             --rounds R [--runtime pooled|scoped] [--window W]
+             [--sync-timeout SECS]
 
 COMMON FLAGS:
   --runtime R        scoped (default) spawns workers per run; pooled keeps

@@ -43,7 +43,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::utils::CachePadded;
 
-use crate::error::StuckDiagnostic;
+use crate::error::{StuckDiagnostic, StuckPhase};
 use crate::trace::{EventRecorder, TraceEventKind};
 
 /// How a waiting block burns time between polls of its barrier flag.
@@ -73,6 +73,23 @@ pub struct SyncPolicy {
     pub timeout: Option<Duration>,
     /// How to burn time between flag polls.
     pub spin: SpinStrategy,
+    /// Grace the pooled runtime grants a launch past its first observed
+    /// failure before abandoning the stragglers and replacing their
+    /// workers. `None` (the default) derives it from `timeout`:
+    /// `clamp(timeout, 10ms, 1s) + 100ms` — long enough for every
+    /// cooperatively-aborting peer to drain, short enough that a 50 ms
+    /// timeout still fails in well under a second. Only meaningful when
+    /// `timeout` is set (without a timeout, owned pooled launches are
+    /// never abandoned).
+    pub abandon_grace: Option<Duration>,
+    /// Backstop after which an injected cooperative straggler
+    /// ([`crate::FaultKind::Straggler`]) gives up waiting for the abort
+    /// signal. `None` (the default) keeps the historical 30 s bound; set
+    /// it below the harness timeout when soak-testing with tight
+    /// deadlines. Independent of `timeout`: the backstop only fires when
+    /// no peer ever times out (e.g. an unbounded policy), so it should
+    /// stay well above `timeout` to never race a real deadline.
+    pub straggler_backstop: Option<Duration>,
 }
 
 impl SyncPolicy {
@@ -80,7 +97,7 @@ impl SyncPolicy {
     pub fn with_timeout(timeout: Duration) -> Self {
         SyncPolicy {
             timeout: Some(timeout),
-            spin: SpinStrategy::default(),
+            ..SyncPolicy::default()
         }
     }
 
@@ -88,6 +105,34 @@ impl SyncPolicy {
     pub fn with_spin(mut self, spin: SpinStrategy) -> Self {
         self.spin = spin;
         self
+    }
+
+    /// Replace the pooled-runtime abandon grace (see
+    /// [`SyncPolicy::abandon_grace`]).
+    pub fn with_abandon_grace(mut self, grace: Duration) -> Self {
+        self.abandon_grace = Some(grace);
+        self
+    }
+
+    /// Replace the injected-straggler backstop (see
+    /// [`SyncPolicy::straggler_backstop`]).
+    pub fn with_straggler_backstop(mut self, backstop: Duration) -> Self {
+        self.straggler_backstop = Some(backstop);
+        self
+    }
+
+    /// The abandon grace the pooled runtime will actually use: the
+    /// explicit [`SyncPolicy::abandon_grace`] override if set, otherwise
+    /// the historical derivation `clamp(timeout, 10ms, 1s) + 100ms`
+    /// (timeout defaulting to zero when unset — but an unbounded policy
+    /// never abandons owned launches in the first place).
+    pub fn effective_abandon_grace(&self) -> Duration {
+        self.abandon_grace.unwrap_or_else(|| {
+            self.timeout
+                .unwrap_or_default()
+                .clamp(Duration::from_millis(10), Duration::from_secs(1))
+                + Duration::from_millis(100)
+        })
     }
 }
 
@@ -147,6 +192,21 @@ fn unpack_poison(word: u64) -> (usize, usize, PoisonCause) {
     )
 }
 
+/// Hook invoked at the top of every [`BarrierControl::record_arrival`] —
+/// i.e. as a block *enters* its barrier wait, before the arrival is
+/// published. The fault-injection plane ([`crate::FaultSchedule`]) uses it
+/// to misbehave *inside* the wait path: a block that panics, delays, or
+/// straggles here correctly shows up in peers' diagnostics as
+/// never-arrived. Installed at most once per barrier (per launch, since
+/// barriers are fresh per launch); absent on fault-free launches, where
+/// the cost is one `OnceLock` load per wait.
+pub trait WaitFaultHook: Send + Sync + 'static {
+    /// Called by `record_arrival` for (`block`, `round`) before the
+    /// arrival store. May sleep, spin, or poison the barrier; must not
+    /// panic (it runs outside the round body's `catch_unwind`).
+    fn on_arrive(&self, block: usize, round: u64);
+}
+
 /// Shared fault-control plane embedded in every barrier implementation:
 /// the poison word, the per-block progress table, and the [`SyncPolicy`].
 ///
@@ -169,6 +229,10 @@ pub struct BarrierControl {
     /// spin loop) doubles as the event-emission point, so every barrier
     /// implementation is traced without touching its spin code.
     recorder: OnceLock<Arc<EventRecorder>>,
+    /// Barrier-wait fault hook (see [`WaitFaultHook`]); installed by the
+    /// launch engine when a kernel carries a [`crate::FaultSchedule`] with
+    /// wait-phase faults, absent otherwise.
+    wait_hook: OnceLock<Arc<dyn WaitFaultHook>>,
 }
 
 impl BarrierControl {
@@ -187,6 +251,7 @@ impl BarrierControl {
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
             recorder: OnceLock::new(),
+            wait_hook: OnceLock::new(),
         }
     }
 
@@ -206,9 +271,23 @@ impl BarrierControl {
         self.recorder.get()
     }
 
+    /// Install the barrier-wait fault hook (first caller wins; the launch
+    /// engine does this once per launch, before any block waits).
+    pub fn attach_wait_hook(&self, hook: Arc<dyn WaitFaultHook>) {
+        let _ = self.wait_hook.set(hook);
+    }
+
     /// Record that `block` has entered its round-`round` (0-based) wait.
+    ///
+    /// Any installed [`WaitFaultHook`] runs *before* the arrival store, so
+    /// a block faulted in its wait phase is observed by peers as
+    /// never-arrived — exactly a straggler stuck between round body and
+    /// barrier.
     #[inline]
     pub fn record_arrival(&self, block: usize, round: u64) {
+        if let Some(hook) = self.wait_hook.get() {
+            hook.on_arrive(block, round);
+        }
         self.arrivals[block].store(round + 1, Ordering::Relaxed);
         if let Some(rec) = self.recorder.get() {
             rec.record(block, round as usize, TraceEventKind::BarrierArrive);
@@ -314,9 +393,15 @@ impl BarrierControl {
                 if polls % Self::DEADLINE_STRIDE == Self::DEADLINE_STRIDE - 1
                     && Instant::now() >= when
                 {
+                    // Snapshot progress *before* publishing the poison:
+                    // a cooperative straggler (e.g. an injected wait-phase
+                    // fault) is released by the poison itself and would
+                    // record its arrival before the snapshot, erasing the
+                    // very evidence — stragglers() — this diagnostic
+                    // exists to report.
+                    let (arrivals, departures) = self.progress();
                     self.poison(block, round as usize, PoisonCause::Timeout);
                     self.note_spin(block, polls);
-                    let (arrivals, departures) = self.progress();
                     let diagnostic = StuckDiagnostic {
                         barrier: barrier.to_string(),
                         waiting_block: block,
@@ -326,6 +411,7 @@ impl BarrierControl {
                         arrivals,
                         departures,
                         recent_events: self.straggler_trail(block, round),
+                        phase: StuckPhase::Barrier,
                     };
                     return Err(SyncFault::TimedOut {
                         diagnostic: Box::new(diagnostic),

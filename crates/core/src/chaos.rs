@@ -1,0 +1,493 @@
+//! Chaos soak harness: random fault schedules against the pooled runtime.
+//!
+//! The fault plane ([`crate::FaultSchedule`]) can describe any single
+//! failure; this module asks the *statistical* question — does the runtime
+//! survive hundreds of pipelined launches where a configurable fraction
+//! carry seeded-random schedules? After every faulty launch the harness
+//! checks three invariants:
+//!
+//! 1. **The error names the cause.** The launch's [`crate::ExecError`]
+//!    must report one of the scheduled fault sites
+//!    ([`FaultSchedule::matches_error`]) — the right variant, block,
+//!    round, and phase (assembly faults must surface as assembly, not as
+//!    a round-0 body fault).
+//! 2. **The pool self-heals.** A launch whose faults are all
+//!    non-cooperative stalls *must* leave abandoned stragglers replaced:
+//!    the per-block worker generation counters
+//!    ([`crate::GridRuntime::generations`]) strictly advance across its
+//!    wait.
+//! 3. **Fault-free launches stay bit-identical.** Every clean (and every
+//!    benign, delay-only) launch's output must equal the sequential
+//!    reference — a prior fault must not contaminate later launches.
+//!
+//! Everything derives from one logged `u64` seed: a red soak anywhere
+//! reproduces locally with `blocksync chaos --seed <seed>`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::barrier::SyncPolicy;
+use crate::executor::{BlockCtx, GridConfig, GridExecutor, RoundKernel};
+use crate::fault::{FaultInjector, FaultKind, FaultProfile, FaultSchedule, SplitMix64};
+use crate::gmem::GlobalBuffer;
+use crate::method::SyncMethod;
+use crate::runtime::{GridRuntime, LaunchHandle, RuntimeKind};
+
+/// Configuration of one chaos soak run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Total launches to push through the runtime.
+    pub launches: usize,
+    /// Fraction of launches (0.0..=1.0) that carry a random fault
+    /// schedule.
+    pub fault_rate: f64,
+    /// Master seed; every fault schedule and every faulty/clean decision
+    /// derives from it, so one `u64` reproduces the whole soak.
+    pub seed: u64,
+    /// Synchronization method under test. Must be a barrier method the
+    /// pooled runtime supports (not `CpuExplicit`, `Auto`, or `NoSync` —
+    /// chaos needs a barrier to poison and peers to observe faults).
+    pub method: SyncMethod,
+    /// Pooled (the default — exercises assembly faults, abandonment, and
+    /// worker replacement) or scoped (per-launch threads; assembly-phase
+    /// faults are not drawn, and self-heal checks do not apply).
+    pub runtime: RuntimeKind,
+    /// Blocks per launch (at least 2 — faults need a healthy witness).
+    pub n_blocks: usize,
+    /// Threads per block (affects grid validation only; the mix kernel is
+    /// block-level).
+    pub threads_per_block: usize,
+    /// Rounds per launch.
+    pub rounds: usize,
+    /// Policy timeout for every launch; fault durations are sized from it.
+    pub timeout: Duration,
+    /// Pipelining window: how many launches are in flight before the
+    /// oldest is waited on (pooled only; scoped runs sequentially).
+    pub window: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            launches: 200,
+            fault_rate: 0.25,
+            seed: 42,
+            method: SyncMethod::GpuLockFree,
+            runtime: RuntimeKind::Pooled,
+            n_blocks: 4,
+            threads_per_block: 8,
+            rounds: 6,
+            timeout: Duration::from_millis(80),
+            window: 4,
+        }
+    }
+}
+
+/// Outcome of a chaos soak. `failures` holds one human-readable line per
+/// violated invariant; an empty list means the soak passed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChaosReport {
+    /// The master seed (echo of [`ChaosConfig::seed`], for repro).
+    pub seed: u64,
+    /// Launches completed.
+    pub launches: usize,
+    /// Launches that carried a fatal fault schedule (expected to fail).
+    pub faulty: usize,
+    /// Launches that carried a benign (delay-only) schedule (expected to
+    /// succeed bit-identically).
+    pub benign: usize,
+    /// Fault-free launches (expected to succeed bit-identically).
+    pub clean: usize,
+    /// Total worker replacements observed (sum of generation-counter
+    /// advances; 0 under the scoped runtime).
+    pub replacements: u64,
+    /// Invariant violations, one line each. Empty = passed.
+    pub failures: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether every invariant held on every launch.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chaos soak: {} launches ({} faulty, {} benign, {} clean), \
+             {} worker replacements, seed {}",
+            self.launches, self.faulty, self.benign, self.clean, self.replacements, self.seed
+        )?;
+        if self.passed() {
+            write!(f, "PASS: all invariants held")
+        } else {
+            writeln!(f, "FAIL: {} invariant violation(s):", self.failures.len())?;
+            for line in &self.failures {
+                writeln!(f, "  - {line}")?;
+            }
+            write!(f, "reproduce with: blocksync chaos --seed {}", self.seed)
+        }
+    }
+}
+
+/// Deterministic cross-block mixing kernel: each round every block folds a
+/// rotating peer's previous-round value into its own slot (ping-pong
+/// buffers keep same-round reads and writes disjoint, per the
+/// [`RoundKernel`] invariant). Any lost round, early release, or missing
+/// publication changes the final bits, which is exactly what the
+/// bit-identical invariant needs.
+struct MixKernel {
+    ping: GlobalBuffer<u64>,
+    pong: GlobalBuffer<u64>,
+    n: usize,
+    rounds: usize,
+}
+
+fn mix(a: u64, b: u64, r: usize) -> u64 {
+    let mut z = a ^ b.rotate_left(17) ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 27)
+}
+
+fn seed_slot(b: usize) -> u64 {
+    (b as u64).wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0x5bf0_3635
+}
+
+impl MixKernel {
+    fn new(n: usize, rounds: usize) -> Self {
+        let ping = GlobalBuffer::new(n);
+        for b in 0..n {
+            ping.set(b, seed_slot(b));
+        }
+        MixKernel {
+            ping,
+            pong: GlobalBuffer::new(n),
+            n,
+            rounds,
+        }
+    }
+
+    /// The buffer the last round wrote.
+    fn output(&self) -> Vec<u64> {
+        if self.rounds % 2 == 1 {
+            self.pong.to_vec()
+        } else {
+            self.ping.to_vec()
+        }
+    }
+
+    /// The sequential reference every fault-free launch must reproduce.
+    fn expected(n: usize, rounds: usize) -> Vec<u64> {
+        let mut cur: Vec<u64> = (0..n).map(seed_slot).collect();
+        for r in 0..rounds {
+            let next: Vec<u64> = (0..n)
+                .map(|b| mix(cur[b], cur[(b + 1 + r) % n], r))
+                .collect();
+            cur = next;
+        }
+        cur
+    }
+}
+
+impl RoundKernel for MixKernel {
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn round(&self, ctx: &BlockCtx, r: usize) {
+        let b = ctx.block_id;
+        let (src, dst) = if r.is_multiple_of(2) {
+            (&self.ping, &self.pong)
+        } else {
+            (&self.pong, &self.ping)
+        };
+        dst.set(b, mix(src.get(b), src.get((b + 1 + r) % self.n), r));
+    }
+}
+
+/// What the harness planned for one launch.
+enum Planned {
+    Clean(Arc<MixKernel>),
+    Faulty {
+        schedule: FaultSchedule,
+        kernel: Arc<FaultInjector<MixKernel>>,
+    },
+}
+
+impl Planned {
+    fn output(&self) -> Vec<u64> {
+        match self {
+            Planned::Clean(k) => k.output(),
+            Planned::Faulty { kernel, .. } => kernel.inner().output(),
+        }
+    }
+
+    fn schedule(&self) -> Option<&FaultSchedule> {
+        match self {
+            Planned::Clean(_) => None,
+            Planned::Faulty { schedule, .. } => Some(schedule),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Validate the grid/method combination without running anything.
+    ///
+    /// # Errors
+    /// A human-readable reason when the configuration cannot host a chaos
+    /// soak (method without a poisonable barrier, too few blocks, ...).
+    pub fn validate(&self) -> Result<(), String> {
+        match self.method {
+            SyncMethod::CpuExplicit | SyncMethod::Auto | SyncMethod::NoSync => {
+                return Err(format!(
+                    "chaos needs a poisonable barrier method; {} cannot host fault \
+                     schedules (pick e.g. gpu-lockfree)",
+                    self.method
+                ));
+            }
+            _ => {}
+        }
+        if self.n_blocks < 2 {
+            return Err("chaos needs at least 2 blocks (a healthy witness per fault)".into());
+        }
+        if self.rounds < 1 {
+            return Err("chaos needs at least 1 round".into());
+        }
+        if !(0.0..=1.0).contains(&self.fault_rate) {
+            return Err(format!("fault rate {} outside 0.0..=1.0", self.fault_rate));
+        }
+        let cfg = GridConfig::new(self.n_blocks, self.threads_per_block);
+        cfg.validate(self.method).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    /// Run the soak to completion and report.
+    ///
+    /// Never panics on an invariant violation — every violation is
+    /// collected into [`ChaosReport::failures`] so one bad launch does not
+    /// hide the rest of the run.
+    ///
+    /// # Errors
+    /// See [`ChaosConfig::validate`]; construction failures of the pooled
+    /// runtime are also reported here.
+    pub fn run(&self) -> Result<ChaosReport, String> {
+        self.validate()?;
+        let pooled = self.runtime == RuntimeKind::Pooled;
+        let policy = SyncPolicy::with_timeout(self.timeout)
+            .with_straggler_backstop(self.timeout * 20 + Duration::from_secs(1));
+        let cfg = GridConfig::new(self.n_blocks, self.threads_per_block)
+            .with_policy(policy)
+            .with_runtime(self.runtime);
+        let profile = FaultProfile {
+            n_blocks: self.n_blocks,
+            rounds: self.rounds,
+            timeout: self.timeout,
+            max_faults: 2,
+            // Assembly is a pooled-runtime phase; scoped launches would
+            // never fire it, turning expected failures into false alarms.
+            allow_assembly: pooled,
+        };
+        let expected = MixKernel::expected(self.n_blocks, self.rounds);
+        let mut report = ChaosReport {
+            seed: self.seed,
+            ..ChaosReport::default()
+        };
+        let mut rng = SplitMix64::new(self.seed);
+        let plans: Vec<Planned> = (0..self.launches)
+            .map(|_| {
+                let faulty = rng.next_f64() < self.fault_rate;
+                let kernel = MixKernel::new(self.n_blocks, self.rounds);
+                if faulty {
+                    let schedule = FaultSchedule::random(rng.next(), &profile);
+                    Planned::Faulty {
+                        schedule: schedule.clone(),
+                        kernel: Arc::new(
+                            FaultInjector::with_schedule(kernel, schedule).with_policy(policy),
+                        ),
+                    }
+                } else {
+                    Planned::Clean(Arc::new(kernel))
+                }
+            })
+            .collect();
+
+        if pooled {
+            let rt = GridRuntime::new(cfg, self.method).map_err(|e| e.to_string())?;
+            let mut inflight: VecDeque<(usize, LaunchHandle, &Planned)> = VecDeque::new();
+            for (i, plan) in plans.iter().enumerate() {
+                let submit = match plan {
+                    Planned::Clean(k) => rt.submit(Arc::clone(k)),
+                    Planned::Faulty { kernel, .. } => rt.submit(Arc::clone(kernel)),
+                };
+                match submit {
+                    Ok(h) => inflight.push_back((i, h, plan)),
+                    Err(e) => report
+                        .failures
+                        .push(format!("launch {i}: submit failed: {e}")),
+                }
+                if inflight.len() >= self.window.max(1) {
+                    let (i, h, plan) = inflight.pop_front().expect("nonempty");
+                    settle(&mut report, &expected, i, plan, Some(&rt), h.wait());
+                }
+            }
+            while let Some((i, h, plan)) = inflight.pop_front() {
+                settle(&mut report, &expected, i, plan, Some(&rt), h.wait());
+            }
+            report.replacements = rt.generations().iter().sum();
+        } else {
+            let exec = GridExecutor::new(cfg, self.method);
+            for (i, plan) in plans.iter().enumerate() {
+                let res = match plan {
+                    Planned::Clean(k) => exec.run(&**k).map(|_| ()),
+                    Planned::Faulty { kernel, .. } => exec.run(&**kernel).map(|_| ()),
+                };
+                settle(&mut report, &expected, i, plan, None, res);
+            }
+        }
+        report.launches = self.launches;
+        Ok(report)
+    }
+}
+
+/// Check one completed launch against the three soak invariants, folding
+/// violations into the report.
+fn settle<T>(
+    report: &mut ChaosReport,
+    expected: &[u64],
+    i: usize,
+    plan: &Planned,
+    pool: Option<&GridRuntime>,
+    outcome: Result<T, crate::error::ExecError>,
+) {
+    let schedule = plan.schedule();
+    let expects_failure = schedule.is_some_and(FaultSchedule::expects_failure);
+    match (&outcome, schedule) {
+        (Ok(_), _) if expects_failure => {
+            report.failures.push(format!(
+                "launch {i}: expected a failure but it succeeded (schedule {:?})",
+                schedule.expect("expects_failure implies a schedule")
+            ));
+        }
+        (Ok(_), _) => {
+            // Invariant 3: fault-free and benign launches are bit-identical
+            // to the sequential reference.
+            let got = plan.output();
+            if got != expected {
+                report.failures.push(format!(
+                    "launch {i}: output diverged from reference: {got:?} != {expected:?}"
+                ));
+            }
+        }
+        (Err(e), Some(s)) if expects_failure => {
+            // Invariant 1: the error names a scheduled fault site.
+            if !s.matches_error(e) {
+                report.failures.push(format!(
+                    "launch {i}: error does not name a scheduled fault: `{e}` vs {s:?}"
+                ));
+            }
+        }
+        (Err(e), _) => {
+            report.failures.push(format!(
+                "launch {i}: unexpected failure of a {} launch: {e}",
+                if schedule.is_some() {
+                    "benign"
+                } else {
+                    "clean"
+                }
+            ));
+        }
+    }
+    match plan {
+        Planned::Clean(_) => report.clean += 1,
+        Planned::Faulty { .. } if expects_failure => report.faulty += 1,
+        Planned::Faulty { .. } => report.benign += 1,
+    }
+    // Invariant 2: a launch whose fatal faults are all non-cooperative
+    // stalls must have forced abandon-and-replace — its wait strictly
+    // advances some generation counter. (Mixed schedules may fail before
+    // any stall site is reached, so only all-stall schedules assert.)
+    if let (Some(rt), Some(s)) = (pool, schedule) {
+        let fatal: Vec<_> = s.faults().iter().filter(|f| f.is_fatal()).collect();
+        let all_stalls =
+            !fatal.is_empty() && fatal.iter().all(|f| matches!(f.kind, FaultKind::Stall(_)));
+        if all_stalls {
+            let gens: u64 = rt.generations().iter().sum();
+            if gens <= report.replacements {
+                report.failures.push(format!(
+                    "launch {i}: stall schedule did not advance any worker generation \
+                     (pool failed to self-heal): {s:?}"
+                ));
+            }
+            report.replacements = gens.max(report.replacements);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_a_clean_run() {
+        let k = MixKernel::new(3, 5);
+        let cfg = GridConfig::new(3, 8);
+        GridExecutor::new(cfg, SyncMethod::GpuSimple)
+            .run(&k)
+            .unwrap();
+        assert_eq!(k.output(), MixKernel::expected(3, 5));
+    }
+
+    #[test]
+    fn validate_rejects_barrierless_methods_and_tiny_grids() {
+        let bad = ChaosConfig {
+            method: SyncMethod::NoSync,
+            ..ChaosConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ChaosConfig {
+            method: SyncMethod::CpuExplicit,
+            ..ChaosConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ChaosConfig {
+            n_blocks: 1,
+            ..ChaosConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(ChaosConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_fault_rate_soak_is_all_clean_and_passes() {
+        let report = ChaosConfig {
+            launches: 8,
+            fault_rate: 0.0,
+            rounds: 4,
+            ..ChaosConfig::default()
+        }
+        .run()
+        .unwrap();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.clean, 8);
+        assert_eq!(report.faulty + report.benign, 0);
+    }
+
+    #[test]
+    fn report_display_carries_the_seed() {
+        let mut r = ChaosReport {
+            seed: 7,
+            launches: 1,
+            ..ChaosReport::default()
+        };
+        assert!(r.to_string().contains("seed 7"));
+        assert!(r.to_string().contains("PASS"));
+        r.failures.push("launch 0: boom".into());
+        let s = r.to_string();
+        assert!(s.contains("FAIL"), "{s}");
+        assert!(s.contains("--seed 7"), "{s}");
+    }
+}

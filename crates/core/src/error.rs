@@ -11,6 +11,33 @@ use std::time::Duration;
 
 use blocksync_device::DeviceError;
 
+/// Which phase of a launch a [`StuckDiagnostic`] was taken in.
+///
+/// Almost every timeout is a [`StuckPhase::Barrier`] wait; the pooled
+/// runtime adds an earlier failure window — [`StuckPhase::Assembly`], the
+/// start gate where pinned workers rendezvous before round 0. Reporting
+/// the phase keeps an assembly-stuck worker from masquerading as a
+/// round-0 body fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StuckPhase {
+    /// Stuck inside a barrier wait (the default, and the only phase the
+    /// scoped strategies can report).
+    #[default]
+    Barrier,
+    /// Stuck assembling at the pooled runtime's launch gate, before any
+    /// round of the launch ran.
+    Assembly,
+}
+
+impl fmt::Display for StuckPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StuckPhase::Barrier => "barrier",
+            StuckPhase::Assembly => "assembly",
+        })
+    }
+}
+
 /// Per-block progress snapshot taken when a barrier wait gives up.
 ///
 /// `arrivals[b]` is how many barrier rounds block `b` had *entered* and
@@ -39,6 +66,8 @@ pub struct StuckDiagnostic {
     /// human-readable), when the run had tracing enabled — what the stuck
     /// block was *doing*, not just where it stopped. Empty without a trace.
     pub recent_events: Vec<String>,
+    /// Which launch phase the wait was stuck in (see [`StuckPhase`]).
+    pub phase: StuckPhase,
 }
 
 impl StuckDiagnostic {
@@ -56,11 +85,18 @@ impl StuckDiagnostic {
 
 impl fmt::Display for StuckDiagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "block {} stuck at {} barrier round {} (spinning on {}) after {:?}; ",
-            self.waiting_block, self.barrier, self.round, self.flag, self.timeout
-        )?;
+        match self.phase {
+            StuckPhase::Barrier => write!(
+                f,
+                "block {} stuck at {} barrier round {} (spinning on {}) after {:?}; ",
+                self.waiting_block, self.barrier, self.round, self.flag, self.timeout
+            )?,
+            StuckPhase::Assembly => write!(
+                f,
+                "block {} stuck in {} pooled assembly (before round 0, on {}) after {:?}; ",
+                self.waiting_block, self.barrier, self.flag, self.timeout
+            )?,
+        }
         let stragglers = self.stragglers();
         if stragglers.is_empty() {
             write!(f, "all blocks arrived (release lost?)")?;
@@ -171,6 +207,7 @@ mod tests {
             arrivals: vec![4, 3, 4, 4],
             departures: vec![3, 3, 3, 3],
             recent_events: Vec::new(),
+            phase: StuckPhase::Barrier,
         }
     }
 
@@ -232,6 +269,17 @@ mod tests {
             s.contains("straggler trail: [round-start r3, arrive r3]"),
             "{s}"
         );
+    }
+
+    #[test]
+    fn assembly_phase_display_names_the_gate_not_a_round() {
+        let mut d = diag();
+        d.phase = StuckPhase::Assembly;
+        d.round = 0;
+        let s = d.to_string();
+        assert!(s.contains("pooled assembly"), "{s}");
+        assert!(s.contains("before round 0"), "{s}");
+        assert!(!s.contains("barrier round"), "{s}");
     }
 
     #[test]

@@ -254,6 +254,16 @@ pub trait RoundKernel: Sync {
     /// clone and poll it to honour fault-unwind deadlines; the default
     /// implementation ignores it.
     fn on_launch(&self, _abort: &AbortSignal) {}
+
+    /// The fault schedule this kernel carries, if any. The launch engine
+    /// reads it once per launch to arm injection sites *outside* the round
+    /// body — barrier-wait faults (via the barrier's
+    /// [`crate::barrier::WaitFaultHook`]) and pooled-assembly faults.
+    /// Real kernels return `None` (the default);
+    /// [`crate::FaultInjector`] overrides this with its schedule.
+    fn fault_schedule(&self) -> Option<crate::fault::FaultSchedule> {
+        None
+    }
 }
 
 /// Blanket impl so closures can be kernels in tests/benches:

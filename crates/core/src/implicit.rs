@@ -28,7 +28,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::barrier::SyncPolicy;
 use crate::barrier::{BarrierControl, BarrierShared, BarrierWaiter, PoisonCause, SyncFault};
-use crate::error::StuckDiagnostic;
+use crate::error::{StuckDiagnostic, StuckPhase};
 
 /// Rendezvous state guarded by the driver mutex.
 struct DriverState {
@@ -89,6 +89,7 @@ impl CpuImplicitSync {
             arrivals,
             departures,
             recent_events: self.control.straggler_trail(block, round),
+            phase: StuckPhase::Barrier,
         })
     }
 }
@@ -175,11 +176,13 @@ impl BarrierWaiter for ImplicitWaiter {
                             // and wake peers so they unwind too. The lock
                             // is already held, so notify directly instead
                             // of re-entering `BarrierShared::poison`.
+                            // Snapshot before poisoning: the poison frees
+                            // cooperative stragglers, whose late arrivals
+                            // would otherwise blank the stragglers() list.
+                            let diagnostic = s.stuck_diagnostic(bid, e);
                             ctl.poison(bid, e as usize, PoisonCause::Timeout);
                             s.cv.notify_all();
-                            return Err(SyncFault::TimedOut {
-                                diagnostic: s.stuck_diagnostic(bid, e),
-                            });
+                            return Err(SyncFault::TimedOut { diagnostic });
                         };
                         let _ = s.cv.wait_for(&mut g, remaining);
                     }

@@ -40,8 +40,9 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use crate::barrier::{BarrierShared, PoisonCause, SyncFault, SyncPolicy};
-use crate::error::{ExecError, StuckDiagnostic};
+use crate::error::{ExecError, StuckDiagnostic, StuckPhase};
 use crate::executor::{AbortSignal, BlockCtx, GridConfig, RoundKernel};
+use crate::fault::{FaultSchedule, WaitFaultInjector};
 use crate::method::SyncMethod;
 use crate::runtime::PoolLaunchStats;
 use crate::stats::{BlockTimes, KernelStats};
@@ -123,6 +124,7 @@ pub(crate) fn fault_to_error(fault: SyncFault, barrier: &dyn BarrierShared) -> E
                     arrivals,
                     departures,
                     recent_events: barrier.control().straggler_trail(block, round as u64),
+                    phase: StuckPhase::Barrier,
                 }),
             }
         }
@@ -197,6 +199,9 @@ impl RoundKernel for ErasedKernel {
     }
     fn on_launch(&self, abort: &AbortSignal) {
         unsafe { (*self.0).on_launch(abort) }
+    }
+    fn fault_schedule(&self) -> Option<FaultSchedule> {
+        unsafe { (*self.0).fault_schedule() }
     }
 }
 
@@ -277,6 +282,7 @@ impl LaunchPlan {
             barrier,
             abort: AbortSignal::new(),
             recorder,
+            faults: None,
         })
     }
 
@@ -304,7 +310,8 @@ impl LaunchPlan {
     /// Dispatch one launch to the strategy serving this plan's method.
     pub(crate) fn execute(&self, kernel: KernelArg<'_>) -> Result<KernelStats, ExecError> {
         let k = kernel.as_dyn();
-        let setup = self.setup(k.rounds())?;
+        let mut setup = self.setup(k.rounds())?;
+        setup.arm_faults(k);
         k.on_launch(&setup.abort);
         let start = Instant::now();
         let per_block = match self.method {
@@ -343,9 +350,28 @@ pub(crate) struct LaunchSetup {
     pub(crate) barrier: Option<Arc<dyn BarrierShared>>,
     pub(crate) abort: AbortSignal,
     pub(crate) recorder: Option<Arc<EventRecorder>>,
+    /// The kernel's [`FaultSchedule`], if it carries one — read by the
+    /// pooled runtime to fire assembly-phase faults. Wait-phase faults are
+    /// already armed on the barrier by [`LaunchSetup::arm_faults`].
+    pub(crate) faults: Option<Arc<FaultSchedule>>,
 }
 
 impl LaunchSetup {
+    /// Read the kernel's [`RoundKernel::fault_schedule`] once and arm the
+    /// injection sites that live outside the round body: wait-phase faults
+    /// get a [`WaitFaultInjector`] hook on this launch's fresh barrier;
+    /// the schedule itself is kept for the pooled runtime's assembly
+    /// phase. No-op (and zero-cost) for kernels without a schedule.
+    pub(crate) fn arm_faults(&mut self, kernel: &dyn RoundKernel) {
+        let Some(schedule) = kernel.fault_schedule() else {
+            return;
+        };
+        if let Some(sh) = self.barrier.as_ref() {
+            WaitFaultInjector::install(&schedule, sh, self.abort.clone(), self.policy);
+        }
+        self.faults = Some(Arc::new(schedule));
+    }
+
     pub(crate) fn ctx(&self, block_id: usize) -> BlockCtx {
         BlockCtx {
             block_id,
@@ -677,6 +703,7 @@ pub(crate) fn run_relaunch(
                                 .collect()
                         })
                         .unwrap_or_default(),
+                    phase: StuckPhase::Barrier,
                 }),
             });
         }

@@ -67,6 +67,7 @@
 
 pub mod autotune;
 pub mod barrier;
+pub mod chaos;
 pub mod dissemination;
 pub mod error;
 pub mod executor;
@@ -88,11 +89,16 @@ pub mod tree;
 pub use autotune::{AutoDecision, AutoTuner, MethodPrediction};
 pub use barrier::{
     BarrierControl, BarrierShared, BarrierWaiter, PoisonCause, SpinStrategy, SyncFault, SyncPolicy,
+    WaitFaultHook,
 };
+pub use chaos::{ChaosConfig, ChaosReport};
 pub use dissemination::DisseminationSync;
-pub use error::{ExecError, StuckDiagnostic};
+pub use error::{ExecError, StuckDiagnostic, StuckPhase};
 pub use executor::{AbortSignal, BlockCtx, GridConfig, GridExecutor, RoundKernel};
-pub use fault::{FaultInjector, FaultKind, FaultPlan};
+pub use fault::{
+    stall_duration, Fault, FaultInjector, FaultKind, FaultPhase, FaultPlan, FaultProfile,
+    FaultSchedule,
+};
 pub use gmem::{GlobalBuffer, GlobalBuffer2d};
 pub use implicit::CpuImplicitSync;
 pub use launch::LaunchPlan;

@@ -49,15 +49,16 @@
 //! the scoped executor's contract.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::barrier::PoisonCause;
-use crate::error::{ExecError, StuckDiagnostic};
+use crate::error::{ExecError, StuckDiagnostic, StuckPhase};
 use crate::executor::{GridConfig, RoundKernel};
+use crate::fault::{effective_backstop, FaultKind, FaultPhase};
 use crate::launch::{collect_block_results, drive_block, LaunchPlan, LaunchSetup};
 use crate::method::SyncMethod;
 use crate::stats::{BlockTimes, KernelStats};
@@ -200,9 +201,21 @@ struct Launch {
     activated: Mutex<Option<Instant>>,
     /// Assembly gate: workers check in and spin until all peers of *this
     /// launch* exist, pinning the warm-launch boundary exactly like the
-    /// scoped engine's start gate — with an extra abort escape, since a
-    /// pinned peer may never arrive once the launch has failed.
+    /// scoped engine's start gate — with an abort escape, since a pinned
+    /// peer may never arrive once the launch has failed, and (with a
+    /// policy timeout) a deadline of its own, so a worker stuck *before*
+    /// the gate surfaces as an assembly-phase failure instead of hanging
+    /// its peers (see [`StuckPhase::Assembly`]).
     gate: AtomicUsize,
+    /// How many workers have *entered* this launch's assembly phase
+    /// (picked it up off the log). The gate deadline only runs once this
+    /// reaches `n`: a worker still busy on an earlier pipelined launch is
+    /// late, not stuck, and abandoning *that* launch is what unblocks it.
+    entered: AtomicUsize,
+    /// Which blocks have checked in at the gate — the assembly-phase
+    /// progress table, feeding assembly diagnostics the way the barrier's
+    /// arrival counts feed round diagnostics.
+    checked_in: Vec<AtomicBool>,
     done: Mutex<LaunchDone>,
     done_cv: Condvar,
 }
@@ -212,12 +225,50 @@ impl Launch {
         self.done.lock().abandoned
     }
 
+    /// Assembly-phase progress snapshot: 1 for blocks that checked in at
+    /// the gate, 0 for those that never assembled — the round-0 analogue
+    /// of the barrier's arrival table.
+    fn assembly_arrivals(&self) -> Vec<u64> {
+        self.checked_in
+            .iter()
+            .map(|c| u64::from(c.load(Ordering::Acquire)))
+            .collect()
+    }
+
+    /// Diagnostic for a block stuck waiting at (or never reaching) the
+    /// assembly gate, reported in [`StuckPhase::Assembly`] so it cannot
+    /// masquerade as a round-0 body fault.
+    fn assembly_diagnostic(&self, waiting_block: usize, timeout: Duration) -> Box<StuckDiagnostic> {
+        let arrivals = self.assembly_arrivals();
+        Box::new(StuckDiagnostic {
+            barrier: self
+                .setup
+                .barrier
+                .as_deref()
+                .map_or("pooled:no-sync".to_string(), |sh| {
+                    format!("pooled:{}", sh.name())
+                }),
+            waiting_block,
+            round: 0,
+            flag: format!("launch {} assembly gate", self.seq),
+            timeout,
+            departures: vec![0; self.setup.n],
+            arrivals,
+            recent_events: Vec::new(),
+            phase: StuckPhase::Assembly,
+        })
+    }
+
     /// Store `res` for `block` unless the slot was already filled (e.g. by
-    /// host-side abandonment racing a late worker).
+    /// host-side abandonment racing a late worker), or the launch was
+    /// already settled entirely (`wait_launch` takes the results vector
+    /// once finished — a replaced worker waking from a stall may report
+    /// long after; its report is dropped, never an index panic).
     fn record_result(&self, block: usize, res: Result<BlockTimes, ExecError>) {
         let mut g = self.done.lock();
-        if g.results[block].is_some() {
-            return;
+        match g.results.get(block) {
+            None | Some(Some(_)) => return,
+            Some(None) => {}
         }
         if res.is_err() {
             g.first_failure.get_or_insert_with(Instant::now);
@@ -291,9 +342,10 @@ fn worker_loop(shared: &Arc<Shared>, block: usize, gen: u64, mut cursor: u64) {
     }
 }
 
-/// Execute one launch for `block`: stamp the activation, assemble at the
-/// gate, then hand off to the engine's shared [`drive_block`] round loop —
-/// the pooled strategy contributes only the warm-`t_O` accounting here.
+/// Execute one launch for `block`: stamp the activation, fire any
+/// scheduled assembly-phase fault, assemble at the gate, then hand off to
+/// the engine's shared [`drive_block`] round loop — the pooled strategy
+/// contributes only the warm-`t_O` accounting and the assembly phase here.
 fn run_launch(launch: &Arc<Launch>, block: usize) {
     // SAFETY: Owned refs are kept alive by the Arc in the launch log;
     // Borrowed refs are alive per the `GridRuntime::run` completion
@@ -303,14 +355,126 @@ fn run_launch(launch: &Arc<Launch>, block: usize) {
         let mut a = launch.activated.lock();
         a.get_or_insert_with(Instant::now);
     }
+    launch.entered.fetch_add(1, Ordering::AcqRel);
+    // Scheduled assembly-phase fault: misbehave *before* checking in at
+    // the gate, so peers observe this block as never-assembled.
+    if let Some(f) = launch
+        .setup
+        .faults
+        .as_deref()
+        .and_then(|s| s.fault_at(block, 0, FaultPhase::Assembly))
+    {
+        match f.kind {
+            FaultKind::Panic => {
+                // A worker thread must not unwind, so an assembly "panic"
+                // is reported directly: poison + abort so peers drain,
+                // and the origin error names the assembly site.
+                if let Some(sh) = launch.setup.barrier.as_deref() {
+                    sh.poison(block, 0, PoisonCause::Panic);
+                }
+                launch.setup.abort.abort();
+                launch.record_result(
+                    block,
+                    Err(ExecError::BlockPanicked {
+                        block,
+                        round: 0,
+                        message: format!("injected fault: block {block} during pooled assembly"),
+                    }),
+                );
+                return;
+            }
+            FaultKind::Delay(by) | FaultKind::Stall(by) => std::thread::sleep(by),
+            FaultKind::Straggler => {
+                // Cooperative: hold off checking in until a peer's gate
+                // deadline fails the launch (or the backstop trips), then
+                // report this block's own Assembly-phase origin error —
+                // never checking in, so peers see it as never-assembled.
+                let backstop = effective_backstop(&launch.setup.policy);
+                let start = Instant::now();
+                let poisoned = || {
+                    launch
+                        .setup
+                        .barrier
+                        .as_deref()
+                        .is_some_and(|sh| sh.control().poisoned().is_some())
+                };
+                while !launch.setup.abort.is_aborted() && !poisoned() {
+                    if start.elapsed() >= backstop {
+                        if let Some(sh) = launch.setup.barrier.as_deref() {
+                            sh.poison(block, 0, PoisonCause::Timeout);
+                        }
+                        launch.setup.abort.abort();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                let timeout = launch.setup.policy.timeout.unwrap_or_default();
+                launch.record_result(
+                    block,
+                    Err(ExecError::BarrierTimeout {
+                        diagnostic: launch.assembly_diagnostic(block, timeout),
+                    }),
+                );
+                return;
+            }
+        }
+    }
     // Assembly gate with an abort escape so peers of an already-failed
-    // launch don't spin forever waiting for a worker that will never come.
+    // launch don't spin forever waiting for a worker that will never
+    // come, and — with a policy timeout — a deadline that converts a
+    // peer stuck *before* the gate into an assembly-phase failure.
+    launch.checked_in[block].store(true, Ordering::Release);
     launch.gate.fetch_add(1, Ordering::AcqRel);
-    while launch.gate.load(Ordering::Acquire) < launch.setup.n {
+    let n = launch.setup.n;
+    let mut stuck_since: Option<Instant> = None;
+    let mut polls = 0u32;
+    while launch.gate.load(Ordering::Acquire) < n {
         if launch.setup.abort.is_aborted() {
             break;
         }
-        std::thread::yield_now();
+        polls += 1;
+        match launch.setup.policy.timeout {
+            // The deadline only runs while every worker has entered this
+            // launch's assembly phase: a peer still draining an earlier
+            // pipelined launch is late, not stuck, and replacing *that*
+            // launch's straggler (via its handle's abandonment) is what
+            // frees it — failing this launch would be a false positive.
+            Some(timeout) if launch.entered.load(Ordering::Acquire) >= n => {
+                let since = *stuck_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= timeout {
+                    let stuck = (0..n).find(|&b| !launch.checked_in[b].load(Ordering::Acquire));
+                    let Some(stuck) = stuck else {
+                        continue; // everyone checked in; the gate is about to open
+                    };
+                    // Poison + abort only: this observer (and every peer)
+                    // falls through to drive_block and fails fast with a
+                    // derived error, setting `first_failure`; the stuck
+                    // block's slot stays empty so the handle's abandonment
+                    // synthesizes the Assembly-phase origin error and
+                    // replaces its worker — one self-heal path for stuck
+                    // assembly and stuck rounds alike.
+                    if let Some(sh) = launch.setup.barrier.as_deref() {
+                        sh.poison(stuck, 0, PoisonCause::Timeout);
+                    }
+                    launch.setup.abort.abort();
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            _ => {
+                stuck_since = None;
+                // Yield while assembly is fresh (the clean-launch fast
+                // path: peers arrive within microseconds, and sleeping
+                // here would inflate the warm t_O); after a long burst,
+                // back off to sleeps rather than burn a core while an
+                // earlier pipelined launch settles.
+                if polls < 4096 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
     }
     let base = (*launch.activated.lock()).expect("activation is stamped before the gate");
     let mut t = BlockTimes {
@@ -364,13 +528,6 @@ impl LaunchHandle {
     }
 }
 
-/// Grace past the first observed failure before an owned launch is
-/// abandoned: long enough for every cooperatively-aborting peer to drain,
-/// short enough that a 50 ms timeout still fails in well under a second.
-fn abandon_grace(timeout: Duration) -> Duration {
-    timeout.clamp(Duration::from_millis(10), Duration::from_secs(1)) + Duration::from_millis(100)
-}
-
 fn wait_launch(
     shared: &Arc<Shared>,
     launch: &Arc<Launch>,
@@ -384,7 +541,10 @@ fn wait_launch(
             match launch.setup.policy.timeout.filter(|_| allow_abandon) {
                 None => launch.done_cv.wait(&mut g),
                 Some(timeout) => {
-                    let grace = abandon_grace(timeout);
+                    // Grace past the first observed failure before the
+                    // launch is abandoned; the policy can override the
+                    // default derivation (see `SyncPolicy::abandon_grace`).
+                    let grace = launch.setup.policy.effective_abandon_grace();
                     let tick = grace.min(Duration::from_millis(20));
                     let _ = launch.done_cv.wait_for(&mut g, tick);
                     if g.finished >= n {
@@ -442,27 +602,42 @@ fn abandon(launch: &Launch, g: &mut LaunchDone, timeout: Duration, replaced: &mu
         if let Some(sh) = launch.setup.barrier.as_deref() {
             sh.poison(b, round, PoisonCause::Timeout);
         }
-        let diagnostic = Box::new(StuckDiagnostic {
-            barrier: launch
-                .setup
-                .barrier
-                .as_deref()
-                .map_or("pooled:no-sync".to_string(), |sh| {
-                    format!("pooled:{}", sh.name())
-                }),
-            waiting_block: b,
-            round,
-            flag: format!("launch {} abandoned; worker replaced", launch.seq),
-            timeout,
-            arrivals: arrivals.clone(),
-            departures: departures.clone(),
-            recent_events: launch
-                .setup
-                .recorder
-                .as_deref()
-                .map(|rec| rec.tail(b, 8).iter().map(|e| e.to_string()).collect())
-                .unwrap_or_default(),
-        });
+        // A worker that never even checked in at the assembly gate was
+        // stuck *before* round 0 — report the assembly phase (with the
+        // gate's check-in bits as its progress table) so the diagnostic
+        // does not masquerade as a round-0 body fault.
+        let assembled = launch.checked_in[b].load(Ordering::Acquire);
+        let diagnostic = if assembled {
+            Box::new(StuckDiagnostic {
+                barrier: launch
+                    .setup
+                    .barrier
+                    .as_deref()
+                    .map_or("pooled:no-sync".to_string(), |sh| {
+                        format!("pooled:{}", sh.name())
+                    }),
+                waiting_block: b,
+                round,
+                flag: format!("launch {} abandoned; worker replaced", launch.seq),
+                timeout,
+                arrivals: arrivals.clone(),
+                departures: departures.clone(),
+                recent_events: launch
+                    .setup
+                    .recorder
+                    .as_deref()
+                    .map(|rec| rec.tail(b, 8).iter().map(|e| e.to_string()).collect())
+                    .unwrap_or_default(),
+                phase: StuckPhase::Barrier,
+            })
+        } else {
+            let mut d = launch.assembly_diagnostic(b, timeout);
+            d.flag = format!(
+                "launch {} abandoned in assembly; worker replaced",
+                launch.seq
+            );
+            d
+        };
         g.results[b] = Some(Err(ExecError::BarrierTimeout { diagnostic }));
         g.finished += 1;
         replaced.push(b);
@@ -571,6 +746,14 @@ impl GridRuntime {
         self.shared.state.lock().next_seq
     }
 
+    /// Per-block worker generation counters. A block's counter advances
+    /// every time its stuck worker is abandoned and replaced, so a soak
+    /// harness can assert the pool self-healed (strictly increasing after
+    /// every abandoned launch) without reaching into pool internals.
+    pub fn generations(&self) -> Vec<u64> {
+        self.shared.state.lock().gens.clone()
+    }
+
     /// Append a launch to the log and return its handle. Back-to-back
     /// submissions pipeline; call [`LaunchHandle::wait`] (in order) to
     /// collect each launch's stats.
@@ -627,7 +810,10 @@ impl GridRuntime {
     }
 
     fn enqueue(&self, kernel: KernelRef, rounds: usize) -> Result<Arc<Launch>, ExecError> {
-        let setup = self.plan.setup(rounds)?;
+        let mut setup = self.plan.setup(rounds)?;
+        // SAFETY: the kernel is alive at enqueue time for both variants
+        // (Owned by definition; Borrowed per the `run()` protocol).
+        setup.arm_faults(unsafe { kernel.get() });
         let mut st = self.shared.state.lock();
         let min = st.cursors.iter().copied().min().unwrap_or(st.next_seq);
         let launch = Arc::new(Launch {
@@ -637,6 +823,8 @@ impl GridRuntime {
             submitted: Instant::now(),
             activated: Mutex::new(None),
             gate: AtomicUsize::new(0),
+            entered: AtomicUsize::new(0),
+            checked_in: (0..setup.n).map(|_| AtomicBool::new(false)).collect(),
             done: Mutex::new(LaunchDone {
                 results: vec![None; setup.n],
                 finished: 0,

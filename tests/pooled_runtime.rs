@@ -7,8 +7,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use blocksync::core::{
-    BlockCtx, ExecError, FaultInjector, FaultPlan, GlobalBuffer, GridConfig, GridExecutor,
-    GridRuntime, RoundKernel, RuntimeKind, SyncMethod, SyncPolicy, TreeLevels,
+    stall_duration, BlockCtx, ExecError, Fault, FaultInjector, FaultKind, FaultPlan, FaultSchedule,
+    GlobalBuffer, GridConfig, GridExecutor, GridRuntime, RoundKernel, RuntimeKind, StuckPhase,
+    SyncMethod, SyncPolicy, TreeLevels,
 };
 use proptest::prelude::*;
 
@@ -247,5 +248,161 @@ fn cpu_explicit_falls_back_loudly_and_cpu_implicit_pools() {
     assert!(
         matches!(err, ExecError::RuntimeUnsupported { .. }),
         "got {err:?}"
+    );
+}
+
+/// The same block stalling (non-cooperatively) on N consecutive owned
+/// submits must be abandoned and *replaced* each time: the per-block
+/// generation counter increases strictly per incident, and the pool stays
+/// serviceable throughout — the self-healing loop the chaos harness soaks.
+#[test]
+fn repeated_straggler_is_replaced_every_time_with_rising_generation() {
+    let timeout = Duration::from_millis(80);
+    let cfg = GridConfig::new(3, 8).with_policy(SyncPolicy::with_timeout(timeout));
+    let rt = GridRuntime::new(cfg, SyncMethod::GpuLockFree).unwrap();
+    assert_eq!(rt.generations(), vec![0, 0, 0]);
+    for incident in 1..=3u64 {
+        let sick = Arc::new(FaultInjector::with_schedule(
+            Increment::new(3, 4),
+            FaultSchedule::new(vec![Fault::in_round(
+                1,
+                1,
+                FaultKind::Stall(stall_duration(timeout)),
+            )]),
+        ));
+        let err = rt.submit(sick).unwrap().wait().unwrap_err();
+        assert!(
+            matches!(err, ExecError::BarrierTimeout { .. }),
+            "incident {incident}: got {err:?}"
+        );
+        let gens = rt.generations();
+        assert_eq!(
+            gens[1], incident,
+            "incident {incident}: stalled worker not replaced (gens {gens:?})"
+        );
+        assert_eq!(
+            (gens[0], gens[2]),
+            (0, 0),
+            "incident {incident}: healthy workers were churned (gens {gens:?})"
+        );
+        // The replacement worker serves the very next launch correctly.
+        let clean = Arc::new(Increment::new(3, 2));
+        let stats = rt.submit(Arc::clone(&clean)).unwrap().wait().unwrap();
+        assert_eq!(stats.rounds, 2, "incident {incident}");
+        assert!(
+            clean.slots.to_vec().iter().all(|&v| v == 2),
+            "incident {incident}: lost work after replacement"
+        );
+    }
+}
+
+/// Regression: a fault that strikes during pooled *assembly* (before round
+/// 0 of the kernel body) must be diagnosed in the assembly phase — naming
+/// the launch's gate, not a fictitious round-0 barrier wait.
+#[test]
+fn assembly_phase_fault_is_reported_as_assembly_not_round_zero() {
+    let timeout = Duration::from_millis(80);
+    let cfg = GridConfig::new(3, 8).with_policy(SyncPolicy::with_timeout(timeout));
+    let rt = GridRuntime::new(cfg, SyncMethod::GpuLockFree).unwrap();
+
+    // Cooperative assembly straggler: diagnosed by a peer's gate deadline.
+    let sick = Arc::new(FaultInjector::with_schedule(
+        Increment::new(3, 4),
+        FaultSchedule::new(vec![Fault::in_assembly(2, FaultKind::Straggler)]),
+    ));
+    let err = rt.submit(sick).unwrap().wait().unwrap_err();
+    match err {
+        ExecError::BarrierTimeout { diagnostic } => {
+            assert_eq!(diagnostic.phase, StuckPhase::Assembly, "{diagnostic}");
+            assert_eq!(diagnostic.waiting_block, 2, "{diagnostic}");
+            let msg = diagnostic.to_string();
+            assert!(msg.contains("assembly"), "{msg}");
+            assert!(
+                !msg.contains("barrier round"),
+                "looks like a round wait: {msg}"
+            );
+        }
+        other => panic!("expected BarrierTimeout, got {other:?}"),
+    }
+
+    // Non-cooperative assembly stall: diagnosed via host abandonment, and
+    // the stuck worker is replaced.
+    let sick = Arc::new(FaultInjector::with_schedule(
+        Increment::new(3, 4),
+        FaultSchedule::new(vec![Fault::in_assembly(
+            0,
+            FaultKind::Stall(stall_duration(timeout)),
+        )]),
+    ));
+    let err = rt.submit(sick).unwrap().wait().unwrap_err();
+    match err {
+        ExecError::BarrierTimeout { diagnostic } => {
+            assert_eq!(diagnostic.phase, StuckPhase::Assembly, "{diagnostic}");
+            assert_eq!(diagnostic.waiting_block, 0, "{diagnostic}");
+        }
+        other => panic!("expected BarrierTimeout, got {other:?}"),
+    }
+    assert_eq!(
+        rt.generations()[0],
+        1,
+        "stalled assembly worker not replaced"
+    );
+
+    // Either way the pool keeps serving.
+    let clean = Arc::new(Increment::new(3, 3));
+    let stats = rt.submit(Arc::clone(&clean)).unwrap().wait().unwrap();
+    assert_eq!(stats.rounds, 3);
+    assert!(clean.slots.to_vec().iter().all(|&v| v == 3));
+}
+
+/// Multiple faults in one schedule: the merged error is deterministic —
+/// the earliest-round origin wins, and on a same-round tie the lowest
+/// block id wins (see DESIGN.md §6).
+#[test]
+fn multi_fault_schedule_reports_the_earliest_then_lowest_origin() {
+    let cfg = GridConfig::new(4, 8).with_policy(SyncPolicy::with_timeout(Duration::from_secs(10)));
+    // Earlier round wins regardless of block order.
+    let k = FaultInjector::with_schedule(
+        Increment::new(4, 6),
+        FaultSchedule::new(vec![
+            Fault::in_round(1, 3, FaultKind::Panic),
+            Fault::in_round(2, 1, FaultKind::Panic),
+        ]),
+    );
+    let err = GridExecutor::new(cfg.clone(), SyncMethod::GpuLockFree)
+        .run(&k)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ExecError::BlockPanicked {
+                block: 2,
+                round: 1,
+                ..
+            }
+        ),
+        "earliest round should win: {err:?}"
+    );
+    // Same round: the lowest block id is the reported origin.
+    let k = FaultInjector::with_schedule(
+        Increment::new(4, 6),
+        FaultSchedule::new(vec![
+            Fault::in_round(3, 2, FaultKind::Panic),
+            Fault::in_round(1, 2, FaultKind::Panic),
+        ]),
+    );
+    let err = GridExecutor::new(cfg, SyncMethod::GpuLockFree)
+        .run(&k)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ExecError::BlockPanicked {
+                block: 1,
+                round: 2,
+                ..
+            }
+        ),
+        "lowest block should win the tie: {err:?}"
     );
 }

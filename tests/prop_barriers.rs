@@ -19,8 +19,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use blocksync::core::{
-    BarrierShared, BlockCtx, ExecError, FaultInjector, FaultPlan, GlobalBuffer, GridConfig,
-    GridExecutor, RoundKernel, SpinStrategy, SyncMethod, SyncPolicy, TreeLevels,
+    stall_duration, BarrierShared, BlockCtx, ExecError, Fault, FaultInjector, FaultKind,
+    FaultPhase, FaultPlan, FaultSchedule, GlobalBuffer, GridConfig, GridExecutor, RoundKernel,
+    SpinStrategy, SyncMethod, SyncPolicy, TreeLevels,
 };
 use proptest::prelude::*;
 
@@ -251,5 +252,73 @@ proptest! {
         let baseline = run(SyncPolicy::default());
         let guarded = run(SyncPolicy::with_timeout(Duration::from_secs(30)).with_spin(spin));
         prop_assert_eq!(baseline, guarded);
+    }
+
+    /// Poison-cause coverage, one property: every sync method × every
+    /// [`FaultKind`] at a random (block, round, phase) site must surface
+    /// as the *expected* `ExecError` variant carrying the correct block
+    /// and round — panics as `BlockPanicked`, stragglers and stalls as
+    /// `BarrierTimeout` naming the site, and sub-timeout delays absorbed
+    /// with bit-identical results.
+    #[test]
+    fn every_fault_kind_surfaces_as_the_expected_error(
+        method in exec_method_strategy(),
+        kind_sel in 0usize..4,
+        in_wait in any::<bool>(),
+        block in 0usize..4,
+        round in 0usize..5,
+    ) {
+        let timeout = Duration::from_millis(100);
+        let kind = match kind_sel {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Straggler,
+            2 => FaultKind::Delay(Duration::from_millis(15)),
+            _ => FaultKind::Stall(stall_duration(timeout)),
+        };
+        // CPU-explicit relaunches per round and has no poisonable barrier
+        // object, so barrier-wait injection sites do not exist for it.
+        let phase = if in_wait && method != SyncMethod::CpuExplicit {
+            FaultPhase::BarrierWait
+        } else {
+            FaultPhase::RoundBody
+        };
+        let fault = Fault { block, round, phase, kind };
+        let k = FaultInjector::with_schedule(
+            MixKernel::new(4, 5),
+            FaultSchedule::new(vec![fault]),
+        );
+        let cfg = GridConfig::new(4, 8).with_policy(SyncPolicy::with_timeout(timeout));
+        let started = Instant::now();
+        let res = GridExecutor::new(cfg, method).run(&k);
+        prop_assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "{method}/{kind:?}/{phase:?}: detection too slow"
+        );
+        match (kind, res) {
+            (FaultKind::Panic, Err(ExecError::BlockPanicked { block: eb, round: er, .. })) => {
+                prop_assert_eq!((eb, er), (block, round), "{}/{:?}", method, phase);
+            }
+            (FaultKind::Straggler | FaultKind::Stall(_), Err(ExecError::BarrierTimeout { diagnostic })) => {
+                prop_assert_eq!(diagnostic.round, round, "{}/{:?}: {}", method, phase, diagnostic);
+                prop_assert!(
+                    diagnostic.stragglers().contains(&block) || diagnostic.waiting_block == block,
+                    "{}/{:?}: straggler unnamed: {}", method, phase, diagnostic
+                );
+            }
+            (FaultKind::Delay(_), Ok(_)) => {
+                let clean = MixKernel::new(4, 5);
+                GridExecutor::new(GridConfig::new(4, 8), method)
+                    .run(&clean)
+                    .expect("clean reference run");
+                prop_assert_eq!(
+                    k.inner().slots.to_vec(),
+                    clean.slots.to_vec(),
+                    "{}/{:?}: delayed run diverged", method, phase
+                );
+            }
+            (kind, other) => {
+                panic!("{method}/{kind:?}/{phase:?}: unexpected outcome {other:?}");
+            }
+        }
     }
 }
