@@ -7,11 +7,13 @@ use blocksync_algos::seqgen::{complex_signal, random_keys, related_dna, SplitMix
 use blocksync_algos::swat::{
     needleman_wunsch, smith_waterman, GapPenalties, GridNw, GridSwat, GridSwatBanded, Scoring,
 };
+use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
 use blocksync_core::{
-    AutoTuner, ChaosConfig, ChromeTraceBuilder, GridConfig, GridExecutor, KernelStats, RoundKernel,
-    RuntimeKind, SyncMethod, SyncPolicy, TraceConfig,
+    AutoTuner, ChaosConfig, ChromeTraceBuilder, GridConfig, GridExecutor, GridRuntime, KernelStats,
+    MetricsSnapshot, RoundKernel, RuntimeKind, SyncMethod, SyncPolicy, TraceConfig,
 };
 use blocksync_device::{CalibrationProfile, GpuSpec};
 use blocksync_microbench::{run_host_traced, MeanKernel};
@@ -134,6 +136,46 @@ fn report_telemetry(stats: &KernelStats, a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Write the observability-plane snapshot to `--metrics-out FILE`
+/// (`.json` gets the lossless JSON form, anything else the Prometheus
+/// text exposition). No-op when the flag is absent.
+fn write_metrics_out(snapshot: &MetricsSnapshot, a: &Args) -> Result<(), String> {
+    let path = a.get("metrics-out", "");
+    if path.is_empty() {
+        if a.has("metrics-out") {
+            return Err(
+                "--metrics-out expects a file path (e.g. --metrics-out metrics.prom)".into(),
+            );
+        }
+        return Ok(());
+    }
+    let body = if path.ends_with(".json") {
+        snapshot.to_json()
+    } else {
+        snapshot.render_prometheus()
+    };
+    std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote metrics snapshot to {path}");
+    Ok(())
+}
+
+/// After a multi-launch run, summarize how many launches fell back from
+/// pooled to scoped and why, from the `launch_fallbacks_total` labeled
+/// counter. Silent when nothing fell back.
+fn report_fallback_summary(snapshot: &MetricsSnapshot) {
+    let Some(reasons) = snapshot.labeled.get("launch_fallbacks_total") else {
+        return;
+    };
+    let total: u64 = reasons.values().sum();
+    if total == 0 {
+        return;
+    }
+    eprintln!("fallback summary: {total} pooled launch(es) ran scoped:");
+    for (reason, n) in reasons {
+        eprintln!("  {n}x {reason}");
+    }
+}
+
 fn run_kernel<K: RoundKernel>(
     kernel: &K,
     blocks: usize,
@@ -146,11 +188,11 @@ fn run_kernel<K: RoundKernel>(
     if let Some(tc) = trace_config(a)? {
         cfg = cfg.with_trace(tc);
     }
-    let stats = GridExecutor::new(cfg, method)
-        .run(kernel)
-        .map_err(|e| e.to_string())?;
+    let exec = GridExecutor::new(cfg, method);
+    let stats = exec.run(kernel).map_err(|e| e.to_string())?;
     report_pool_fallback(&stats);
     report_telemetry(&stats, a)?;
+    write_metrics_out(&exec.observer().snapshot(), a)?;
     Ok(stats)
 }
 
@@ -425,9 +467,8 @@ pub fn micro(a: &Args) -> Result<(), String> {
     if let Some(tc) = trace_config(a)? {
         cfg = cfg.with_trace(tc);
     }
-    let stats = GridExecutor::new(cfg, method)
-        .run(&kernel)
-        .map_err(|e| e.to_string())?;
+    let exec = GridExecutor::new(cfg, method);
+    let stats = exec.run(&kernel).map_err(|e| e.to_string())?;
     if !kernel.verify() {
         return Err("micro-benchmark produced wrong means".into());
     }
@@ -435,6 +476,55 @@ pub fn micro(a: &Args) -> Result<(), String> {
     println!("mean-of-two-floats micro-benchmark — verified");
     println!("{stats}");
     report_telemetry(&stats, a)?;
+    write_metrics_out(&exec.observer().snapshot(), a)?;
+    Ok(())
+}
+
+/// `blocksync metrics` — exercise the observability plane end to end:
+/// push a window of pipelined pooled launches through one [`GridRuntime`],
+/// verify every kernel, then print the cross-launch metrics registry in
+/// Prometheus text exposition format (submit→stats latency histograms per
+/// method, warm/cold and failure counters, live queue-depth gauge).
+pub fn metrics(a: &Args) -> Result<(), String> {
+    let blocks = a.get_usize("blocks", 4);
+    let rounds = a.get_usize("rounds", 200);
+    let tpb = a.get_usize("tpb", 64);
+    let launches = a.get_usize("launches", 16);
+    let window = a.get_usize("window", 4).max(1);
+    let method = parse_method(a.get("method", "gpu-lock-free"))?;
+    if launches == 0 {
+        return Err("--launches expects an integer >= 1".into());
+    }
+    let cfg = GridConfig::new(blocks, tpb)
+        .with_policy(sync_policy(a)?)
+        .with_runtime(RuntimeKind::Pooled);
+    let rt = GridRuntime::new(cfg, method).map_err(|e| e.to_string())?;
+    let mut kernels = Vec::with_capacity(launches);
+    let mut inflight = VecDeque::new();
+    for _ in 0..launches {
+        let kernel = Arc::new(MeanKernel::for_grid(blocks, tpb, rounds));
+        let handle = rt.submit(Arc::clone(&kernel)).map_err(|e| e.to_string())?;
+        kernels.push(kernel);
+        inflight.push_back(handle);
+        if inflight.len() >= window {
+            let h = inflight.pop_front().expect("nonempty");
+            h.wait().map_err(|e| e.to_string())?;
+        }
+    }
+    while let Some(h) = inflight.pop_front() {
+        h.wait().map_err(|e| e.to_string())?;
+    }
+    if !kernels.iter().all(|k| k.verify()) {
+        return Err("micro-benchmark produced wrong means".into());
+    }
+    let snapshot = rt.observer().snapshot();
+    println!(
+        "# {launches} pooled {method} launches, {blocks} blocks x {rounds} rounds, \
+         window {window} — verified"
+    );
+    print!("{}", snapshot.render_prometheus());
+    report_fallback_summary(&snapshot);
+    write_metrics_out(&snapshot, a)?;
     Ok(())
 }
 
@@ -591,6 +681,13 @@ pub fn chaos(a: &Args) -> Result<(), String> {
     if timeout_secs <= 0.0 || !timeout_secs.is_finite() {
         return Err("chaos needs a positive --sync-timeout (faults must be detected)".into());
     }
+    let postmortem_dir = match a.get("postmortem-dir", "") {
+        "" if a.has("postmortem-dir") => {
+            return Err("--postmortem-dir expects a directory path".into())
+        }
+        "" => None,
+        dir => Some(std::path::PathBuf::from(dir)),
+    };
     let cfg = ChaosConfig {
         launches: a.get_usize("launches", defaults.launches),
         fault_rate: a.get_f64("fault-rate", defaults.fault_rate),
@@ -602,6 +699,7 @@ pub fn chaos(a: &Args) -> Result<(), String> {
         rounds: a.get_usize("rounds", defaults.rounds),
         timeout: Duration::from_secs_f64(timeout_secs),
         window: a.get_usize("window", defaults.window),
+        postmortem_dir,
     };
     println!(
         "chaos soak: {} launches, fault rate {:.2}, {} runtime, method {}, \
@@ -632,6 +730,23 @@ pub fn chaos(a: &Args) -> Result<(), String> {
     let _ = std::panic::take_hook(); // restore default panic reporting
     let report = report?;
     println!("{report}");
+    if let Some(dir) = &cfg.postmortem_dir {
+        let dumped = report.outcomes.iter().filter(|o| o.error.is_some()).count();
+        println!("wrote {dumped} postmortem(s) to {}", dir.display());
+    }
+    let json_path = a.get("json", "");
+    if json_path.is_empty() && a.has("json") {
+        return Err("--json expects a file path (e.g. --json chaos.json)".into());
+    }
+    if !json_path.is_empty() {
+        std::fs::write(json_path, report.to_json())
+            .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+        println!("wrote chaos report to {json_path}");
+    }
+    if let Some(metrics) = &report.metrics {
+        report_fallback_summary(metrics);
+        write_metrics_out(metrics, a)?;
+    }
     if report.passed() {
         Ok(())
     } else {
@@ -886,6 +1001,102 @@ mod tests {
         let stats = run_kernel(&k, 2, SyncMethod::CpuExplicit, &args(&[])).unwrap();
         assert!(stats.pool.is_none());
         report_pool_fallback(&stats);
+    }
+
+    #[test]
+    fn metrics_command_renders_prometheus_and_exports() {
+        metrics(&args(&[
+            "metrics",
+            "--launches",
+            "6",
+            "--blocks",
+            "2",
+            "--rounds",
+            "50",
+        ]))
+        .unwrap();
+        assert!(metrics(&args(&["metrics", "--launches", "0"])).is_err());
+        // `--metrics-out` writes Prometheus text or lossless JSON by extension.
+        let dir = std::env::temp_dir();
+        let prom = dir.join("blocksync-cli-metrics.prom");
+        let json = dir.join("blocksync-cli-metrics.json");
+        metrics(&args(&[
+            "metrics",
+            "--launches",
+            "4",
+            "--blocks",
+            "2",
+            "--rounds",
+            "20",
+            "--metrics-out",
+            prom.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("blocksync_launches_total 4"), "{text}");
+        assert!(
+            text.contains("# TYPE blocksync_queue_depth gauge"),
+            "{text}"
+        );
+        micro(&args(&[
+            "micro",
+            "--blocks",
+            "2",
+            "--rounds",
+            "20",
+            "--metrics-out",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let snap = MetricsSnapshot::from_json(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(snap.counters["launches_total"], 1);
+        // Bare flag is a usage error, not a silent no-op.
+        let e = micro(&args(&[
+            "micro",
+            "--blocks",
+            "2",
+            "--rounds",
+            "10",
+            "--metrics-out",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--metrics-out"), "{e}");
+        for p in [&prom, &json] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn chaos_command_writes_report_json_and_postmortems() {
+        let dir = std::env::temp_dir().join("blocksync-cli-chaos-pm");
+        let _ = std::fs::remove_dir_all(&dir);
+        let json = std::env::temp_dir().join("blocksync-cli-chaos.json");
+        chaos(&args(&[
+            "chaos",
+            "--launches",
+            "20",
+            "--fault-rate",
+            "0.3",
+            "--seed",
+            "42",
+            "--rounds",
+            "6",
+            "--sync-timeout",
+            "0.08",
+            "--json",
+            json.to_str().unwrap(),
+            "--postmortem-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report = std::fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"outcomes\""), "{report}");
+        assert!(report.contains("\"generation_delta\""), "{report}");
+        assert!(report.contains("\"metrics\""), "{report}");
+        let dumps: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(!dumps.is_empty(), "seed 42 at 30% must fail some launches");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&json);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! blocksync micro    --blocks 4 --rounds 2000 [--trace out.json] [--metrics]
 //! blocksync trace    --blocks 4 --rounds 200 --method lock-free
 //! blocksync chaos    --launches 200 --fault-rate 0.25 --seed 42
+//! blocksync metrics  --launches 16 --blocks 4 --rounds 200
 //! ```
 //!
 //! Every subcommand prints what it verified, what it measured, and (for
@@ -38,6 +39,7 @@ fn main() -> ExitCode {
         "trace" => commands::trace(&parsed),
         "tune" => commands::tune(&parsed),
         "chaos" => commands::chaos(&parsed),
+        "metrics" => commands::metrics(&parsed),
         other => Err(format!("unknown command {other:?}; run `blocksync help`")),
     };
     match result {
@@ -84,7 +86,14 @@ COMMANDS:
              launches stay bit-identical. Prints the seed for repro.
              --launches N --fault-rate F --seed S --method M --blocks B
              --rounds R [--runtime pooled|scoped] [--window W]
-             [--sync-timeout SECS]
+             [--sync-timeout SECS] [--json FILE] [--postmortem-dir DIR]
+  metrics    exercise the observability plane: a window of pipelined
+             pooled launches through one runtime, then the cross-launch
+             metrics registry in Prometheus text format (per-method
+             submit-to-stats latency, warm/cold/failure counters, queue
+             depth) plus a fallback summary
+             --launches N --blocks B --rounds R --method M [--window W]
+             [--metrics-out FILE]
 
 COMMON FLAGS:
   --runtime R        scoped (default) spawns workers per run; pooled keeps
@@ -103,6 +112,16 @@ COMMON FLAGS:
   --metrics          print aggregate telemetry after the run: spin polls
                      per wait, sync time per block per round, and arrival
                      skew per round (mean/p50/p99/max).
+  --metrics-out F    write the cross-launch observability snapshot to F
+                     after the run: `.json` gets the lossless JSON form,
+                     anything else Prometheus text exposition (run/micro/
+                     chaos/metrics commands).
+  --postmortem-dir D (chaos) write a JSON postmortem per failed launch —
+                     the flight-recorder record with the fault schedule,
+                     stuck diagnostic, and recent trace events — into D.
+  --json FILE        (chaos) serialize the full chaos report: per-launch
+                     outcomes, fault schedules, generation deltas, and
+                     the end-of-soak metrics snapshot.
   --trace-stride N   sample the timeline every Nth round (default 1).
 
 METHODS:

@@ -25,6 +25,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,10 +34,12 @@ use crate::executor::{BlockCtx, GridConfig, GridExecutor, RoundKernel};
 use crate::fault::{FaultInjector, FaultKind, FaultProfile, FaultSchedule, SplitMix64};
 use crate::gmem::GlobalBuffer;
 use crate::method::SyncMethod;
+use crate::obs::{json_escape, LaunchRecord, MetricsSnapshot};
 use crate::runtime::{GridRuntime, LaunchHandle, RuntimeKind};
+use crate::trace::TraceConfig;
 
 /// Configuration of one chaos soak run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChaosConfig {
     /// Total launches to push through the runtime.
     pub launches: usize,
@@ -66,6 +69,13 @@ pub struct ChaosConfig {
     /// Pipelining window: how many launches are in flight before the
     /// oldest is waited on (pooled only; scoped runs sequentially).
     pub window: usize,
+    /// When set, every failed launch dumps a self-contained JSON
+    /// postmortem (`postmortem-seed<seed>-launch<i>.json`) into this
+    /// directory, taken from the runtime's flight recorder — fault
+    /// schedule, `StuckDiagnostic`, timing split, and recent trace events
+    /// (the trace plane is enabled automatically for the soak so the
+    /// events are populated). The artifact replays from the logged seed.
+    pub postmortem_dir: Option<PathBuf>,
 }
 
 impl Default for ChaosConfig {
@@ -81,8 +91,29 @@ impl Default for ChaosConfig {
             rounds: 6,
             timeout: Duration::from_millis(80),
             window: 4,
+            postmortem_dir: None,
         }
     }
+}
+
+/// One launch's outcome line in a [`ChaosReport`] — the per-launch detail
+/// `blocksync chaos --json` serializes so soak runs are diffable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosLaunch {
+    /// Zero-based launch index (= submission order).
+    pub index: usize,
+    /// `"clean"`, `"benign"` (delay-only schedule), or `"faulty"`.
+    pub class: String,
+    /// The launch's error, when it failed.
+    pub error: Option<String>,
+    /// The scheduled faults, Debug-rendered (empty for clean launches).
+    pub faults: Vec<String>,
+    /// Per-block worker generation counters after this launch settled
+    /// (empty under the scoped runtime).
+    pub generations: Vec<u64>,
+    /// Worker replacements this launch's settling caused (sum of
+    /// generation advances since the previous settled launch).
+    pub generation_delta: u64,
 }
 
 /// Outcome of a chaos soak. `failures` holds one human-readable line per
@@ -105,12 +136,72 @@ pub struct ChaosReport {
     pub replacements: u64,
     /// Invariant violations, one line each. Empty = passed.
     pub failures: Vec<String>,
+    /// Per-launch outcome lines, in settle order.
+    pub outcomes: Vec<ChaosLaunch>,
+    /// Snapshot of the runtime's metrics registry at the end of the soak.
+    pub metrics: Option<Box<MetricsSnapshot>>,
 }
 
 impl ChaosReport {
     /// Whether every invariant held on every launch.
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// Serialize the full report — aggregate counts, invariant
+    /// violations, per-launch outcomes (fault schedules and generation
+    /// deltas), and the end-of-soak metrics snapshot — as JSON, for
+    /// `blocksync chaos --json FILE`.
+    pub fn to_json(&self) -> String {
+        let strings = |items: &[String]| {
+            let quoted: Vec<String> = items
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect();
+            format!("[{}]", quoted.join(", "))
+        };
+        let outcomes: Vec<String> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                let error = match &o.error {
+                    Some(e) => format!("\"{}\"", json_escape(e)),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "    {{\"index\": {}, \"class\": \"{}\", \"error\": {}, \"faults\": {}, \
+                     \"generations\": {:?}, \"generation_delta\": {}}}",
+                    o.index,
+                    json_escape(&o.class),
+                    error,
+                    strings(&o.faults),
+                    o.generations,
+                    o.generation_delta
+                )
+            })
+            .collect();
+        let metrics = match &self.metrics {
+            Some(m) => {
+                // Indent the nested snapshot so the report stays readable.
+                m.to_json().replace('\n', "\n  ")
+            }
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\n  \"seed\": {},\n  \"launches\": {},\n  \"faulty\": {},\n  \"benign\": {},\n  \
+             \"clean\": {},\n  \"replacements\": {},\n  \"passed\": {},\n  \"failures\": {},\n  \
+             \"outcomes\": [\n{}\n  ],\n  \"metrics\": {}\n}}",
+            self.seed,
+            self.launches,
+            self.faulty,
+            self.benign,
+            self.clean,
+            self.replacements,
+            self.passed(),
+            strings(&self.failures),
+            outcomes.join(",\n"),
+            metrics
+        )
     }
 }
 
@@ -279,9 +370,16 @@ impl ChaosConfig {
         let pooled = self.runtime == RuntimeKind::Pooled;
         let policy = SyncPolicy::with_timeout(self.timeout)
             .with_straggler_backstop(self.timeout * 20 + Duration::from_secs(1));
-        let cfg = GridConfig::new(self.n_blocks, self.threads_per_block)
+        let mut cfg = GridConfig::new(self.n_blocks, self.threads_per_block)
             .with_policy(policy)
             .with_runtime(self.runtime);
+        if let Some(dir) = &self.postmortem_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create postmortem dir {}: {e}", dir.display()))?;
+            // Postmortems embed recent trace events; turn tracing on so a
+            // failure dump is never empty-handed.
+            cfg = cfg.with_trace(TraceConfig::default());
+        }
         let profile = FaultProfile {
             n_blocks: self.n_blocks,
             rounds: self.rounds,
@@ -331,13 +429,24 @@ impl ChaosConfig {
                 }
                 if inflight.len() >= self.window.max(1) {
                     let (i, h, plan) = inflight.pop_front().expect("nonempty");
-                    settle(&mut report, &expected, i, plan, Some(&rt), h.wait());
+                    let seq = h.seq();
+                    let res = h.wait();
+                    if res.is_err() {
+                        self.dump_postmortem(&mut report, i, flight_record(&rt, seq));
+                    }
+                    settle(&mut report, &expected, i, plan, Some(&rt), res);
                 }
             }
             while let Some((i, h, plan)) = inflight.pop_front() {
-                settle(&mut report, &expected, i, plan, Some(&rt), h.wait());
+                let seq = h.seq();
+                let res = h.wait();
+                if res.is_err() {
+                    self.dump_postmortem(&mut report, i, flight_record(&rt, seq));
+                }
+                settle(&mut report, &expected, i, plan, Some(&rt), res);
             }
             report.replacements = rt.generations().iter().sum();
+            report.metrics = Some(Box::new(rt.observer().snapshot()));
         } else {
             let exec = GridExecutor::new(cfg, self.method);
             for (i, plan) in plans.iter().enumerate() {
@@ -345,12 +454,50 @@ impl ChaosConfig {
                     Planned::Clean(k) => exec.run(&**k).map(|_| ()),
                     Planned::Faulty { kernel, .. } => exec.run(&**kernel).map(|_| ()),
                 };
+                if res.is_err() {
+                    self.dump_postmortem(&mut report, i, exec.observer().last_failure());
+                }
                 settle(&mut report, &expected, i, plan, None, res);
             }
+            report.metrics = Some(Box::new(exec.observer().snapshot()));
         }
         report.launches = self.launches;
         Ok(report)
     }
+
+    /// Write one failed launch's flight record to the postmortem
+    /// directory. A write failure is folded into the report rather than
+    /// aborting the soak.
+    fn dump_postmortem(&self, report: &mut ChaosReport, i: usize, rec: Option<LaunchRecord>) {
+        let Some(dir) = &self.postmortem_dir else {
+            return;
+        };
+        let Some(rec) = rec else {
+            report.failures.push(format!(
+                "launch {i}: failed but the flight recorder has no record of it"
+            ));
+            return;
+        };
+        let path = dir.join(format!("postmortem-seed{}-launch{i:04}.json", self.seed));
+        if let Err(e) = std::fs::write(&path, rec.to_json()) {
+            report.failures.push(format!(
+                "launch {i}: postmortem write to {} failed: {e}",
+                path.display()
+            ));
+        }
+    }
+}
+
+/// Find the flight record for pooled launch `seq`, preferring an exact
+/// seq match in the ring over the most recent failure (other launches in
+/// the pipeline window may have failed since).
+fn flight_record(rt: &GridRuntime, seq: u64) -> Option<LaunchRecord> {
+    let obs = rt.observer();
+    obs.recent()
+        .into_iter()
+        .rev()
+        .find(|r| r.seq == seq && r.outcome.is_failure())
+        .or_else(|| obs.last_failure())
 }
 
 /// Check one completed launch against the three soak invariants, folding
@@ -401,11 +548,20 @@ fn settle<T>(
             ));
         }
     }
-    match plan {
-        Planned::Clean(_) => report.clean += 1,
-        Planned::Faulty { .. } if expects_failure => report.faulty += 1,
-        Planned::Faulty { .. } => report.benign += 1,
-    }
+    let class = match plan {
+        Planned::Clean(_) => {
+            report.clean += 1;
+            "clean"
+        }
+        Planned::Faulty { .. } if expects_failure => {
+            report.faulty += 1;
+            "faulty"
+        }
+        Planned::Faulty { .. } => {
+            report.benign += 1;
+            "benign"
+        }
+    };
     // Invariant 2: a launch whose fatal faults are all non-cooperative
     // stalls must have forced abandon-and-replace — its wait strictly
     // advances some generation counter. (Mixed schedules may fail before
@@ -425,6 +581,23 @@ fn settle<T>(
             report.replacements = gens.max(report.replacements);
         }
     }
+    let generations = pool.map(GridRuntime::generations).unwrap_or_default();
+    let gens_sum: u64 = generations.iter().sum();
+    let prev: u64 = report
+        .outcomes
+        .last()
+        .map(|o| o.generations.iter().sum())
+        .unwrap_or(0);
+    report.outcomes.push(ChaosLaunch {
+        index: i,
+        class: class.to_string(),
+        error: outcome.as_ref().err().map(ToString::to_string),
+        faults: schedule
+            .map(|s| s.faults().iter().map(|f| format!("{f:?}")).collect())
+            .unwrap_or_default(),
+        generations,
+        generation_delta: gens_sum.saturating_sub(prev),
+    });
 }
 
 #[cfg(test)]
@@ -474,6 +647,50 @@ mod tests {
         assert!(report.passed(), "{report}");
         assert_eq!(report.clean, 8);
         assert_eq!(report.faulty + report.benign, 0);
+    }
+
+    #[test]
+    fn soak_records_per_launch_outcomes_and_metrics() {
+        let report = ChaosConfig {
+            launches: 6,
+            fault_rate: 0.5,
+            rounds: 4,
+            ..ChaosConfig::default()
+        }
+        .run()
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 6);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.index, i);
+            assert!(matches!(o.class.as_str(), "clean" | "benign" | "faulty"));
+            // Faulty launches must carry both a schedule and the error that
+            // named it; clean ones neither.
+            match o.class.as_str() {
+                "clean" => assert!(o.faults.is_empty() && o.error.is_none()),
+                "benign" => assert!(!o.faults.is_empty() && o.error.is_none()),
+                _ => assert!(!o.faults.is_empty() && o.error.is_some()),
+            }
+        }
+        let metrics = report.metrics.as_ref().expect("soak snapshots metrics");
+        assert_eq!(metrics.counters["launches_total"], 6);
+        // The report JSON must parse and round-trip its aggregate counts.
+        let json = report.to_json();
+        let parsed = crate::obs::json::parse(&json).expect("report JSON parses");
+        let obj = parsed.as_obj("report").unwrap();
+        let field = |k: &str| {
+            obj.iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.as_u64(k).unwrap())
+                .unwrap()
+        };
+        assert_eq!(field("seed"), report.seed);
+        assert_eq!(field("launches"), 6);
+        let outcomes = obj
+            .iter()
+            .find(|(n, _)| n == "outcomes")
+            .map(|(_, v)| v.as_arr("outcomes").unwrap())
+            .unwrap();
+        assert_eq!(outcomes.len(), 6);
     }
 
     #[test]

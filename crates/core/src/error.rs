@@ -149,6 +149,22 @@ pub enum ExecError {
     },
 }
 
+impl ExecError {
+    /// Stable one-word failure class, used as the `kind` label on the
+    /// observability plane's `launch_failures_total` counter (and in
+    /// postmortem JSON). Unlike `Display`, these never embed per-failure
+    /// details, so counts aggregate across launches.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            ExecError::Device(_) => "device",
+            ExecError::BarrierUnavailable { .. } => "barrier-unavailable",
+            ExecError::BlockPanicked { .. } => "panic",
+            ExecError::BarrierTimeout { .. } => "timeout",
+            ExecError::RuntimeUnsupported { .. } => "runtime-unsupported",
+        }
+    }
+}
+
 impl From<DeviceError> for ExecError {
     fn from(e: DeviceError) -> Self {
         ExecError::Device(e)

@@ -285,6 +285,12 @@ pub struct GridExecutor {
     /// Lazily-built persistent pool for [`RuntimeKind::Pooled`]; shared by
     /// clones of this executor so they reuse the same warm workers.
     pool: Arc<std::sync::OnceLock<GridRuntime>>,
+    /// Cross-launch observability plane, shared with the pool (when one is
+    /// built) so pooled launches and scoped fallbacks land in one
+    /// registry. Scoped runs are observed here, after the fallback reason
+    /// is attached; pooled runs are observed by the pool's own completion
+    /// path — never both.
+    obs: Arc<crate::obs::Observer>,
 }
 
 impl GridExecutor {
@@ -294,7 +300,15 @@ impl GridExecutor {
             cfg,
             method,
             pool: Arc::new(std::sync::OnceLock::new()),
+            obs: crate::obs::Observer::new(),
         }
+    }
+
+    /// This executor's observability handle: every `run`/`run_owned`
+    /// outcome (pooled or scoped, success or failure) is folded into its
+    /// metrics registry and flight recorder.
+    pub fn observer(&self) -> Arc<crate::obs::Observer> {
+        Arc::clone(&self.obs)
     }
 
     /// The persistent pool behind the [`RuntimeKind::Pooled`] fast path,
@@ -304,7 +318,8 @@ impl GridExecutor {
         if let Some(rt) = self.pool.get() {
             return Ok(rt);
         }
-        let rt = GridRuntime::new(self.cfg.clone(), self.method)?;
+        let rt =
+            GridRuntime::new_with_observer(self.cfg.clone(), self.method, Arc::clone(&self.obs))?;
         Ok(self.pool.get_or_init(|| rt))
     }
 
@@ -365,15 +380,20 @@ impl GridExecutor {
     /// here — everything else either pools or is `Auto`), the stats record
     /// the scoped fallback and its reason instead of staying silent.
     fn run_planned(&self, kernel: KernelArg<'_>) -> Result<KernelStats, ExecError> {
+        let start = std::time::Instant::now();
         let plan = LaunchPlan::compile(self.cfg.clone(), self.method)?;
-        let mut stats = plan.execute(kernel)?;
+        let mut result = plan.execute(kernel);
         if self.cfg.runtime == RuntimeKind::Pooled {
-            stats.pool = Some(Box::new(PoolLaunchStats::scoped_fallback(format!(
-                "{} relaunches from the host every round; a persistent worker pool cannot serve it",
-                self.method
-            ))));
+            if let Ok(stats) = &mut result {
+                stats.pool = Some(Box::new(PoolLaunchStats::scoped_fallback(format!(
+                    "{} relaunches from the host every round; a persistent worker pool cannot serve it",
+                    self.method
+                ))));
+            }
         }
-        Ok(stats)
+        self.obs
+            .observe_outcome(&self.method.to_string(), &result, start.elapsed());
+        result
     }
 
     /// `SyncMethod::Auto`: resolve the method through the host-calibrated
@@ -388,23 +408,29 @@ impl GridExecutor {
     /// [`RuntimeKind::Pooled`] the stats record the scoped fallback.
     fn run_auto(&self, kernel: KernelArg<'_>) -> Result<KernelStats, ExecError> {
         self.cfg.validate(SyncMethod::Auto)?;
+        let start = std::time::Instant::now();
         let tuner = crate::autotune::AutoTuner::host();
         let mut decision = tuner.decide(
             self.cfg.n_blocks,
             self.cfg.spec.max_persistent_blocks() as usize,
         );
         let plan = LaunchPlan::compile(self.cfg.clone(), decision.chosen)?;
-        let mut stats = plan.execute(kernel)?;
-        decision.measured_sync_ns = Some(stats.sync_per_round().as_secs_f64() * 1e9);
-        stats.method = format!("auto:{}", decision.chosen);
-        stats.auto = Some(Box::new(decision));
-        if self.cfg.runtime == RuntimeKind::Pooled {
-            stats.pool = Some(Box::new(PoolLaunchStats::scoped_fallback(
-                "auto re-resolves its method per launch; a per-launch pool would never get warm"
-                    .to_string(),
-            )));
+        let resolved = format!("auto:{}", decision.chosen);
+        let mut result = plan.execute(kernel);
+        if let Ok(stats) = &mut result {
+            decision.measured_sync_ns = Some(stats.sync_per_round().as_secs_f64() * 1e9);
+            stats.method = resolved.clone();
+            stats.auto = Some(Box::new(decision));
+            if self.cfg.runtime == RuntimeKind::Pooled {
+                stats.pool = Some(Box::new(PoolLaunchStats::scoped_fallback(
+                    "auto re-resolves its method per launch; a per-launch pool would never get warm"
+                        .to_string(),
+                )));
+            }
         }
-        Ok(stats)
+        self.obs
+            .observe_outcome(&resolved, &result, start.elapsed());
+        result
     }
 }
 

@@ -44,6 +44,7 @@ use crate::error::{ExecError, StuckDiagnostic, StuckPhase};
 use crate::executor::{AbortSignal, BlockCtx, GridConfig, RoundKernel};
 use crate::fault::{FaultSchedule, WaitFaultInjector};
 use crate::method::SyncMethod;
+use crate::obs::Observer;
 use crate::runtime::PoolLaunchStats;
 use crate::stats::{BlockTimes, KernelStats};
 use crate::trace::{EventRecorder, TraceEventKind};
@@ -217,6 +218,10 @@ impl RoundKernel for ErasedKernel {
 pub struct LaunchPlan {
     cfg: GridConfig,
     method: SyncMethod,
+    /// Optional cross-launch observer fed once per [`LaunchPlan::execute`]
+    /// (success and failure alike). The pooled runtime and the executor
+    /// observe at their own layers instead, so they leave this unset.
+    observer: Option<Arc<Observer>>,
 }
 
 impl LaunchPlan {
@@ -234,7 +239,22 @@ impl LaunchPlan {
             });
         }
         cfg.validate(method)?;
-        Ok(LaunchPlan { cfg, method })
+        Ok(LaunchPlan {
+            cfg,
+            method,
+            observer: None,
+        })
+    }
+
+    /// Attach a cross-launch [`Observer`]: every subsequent
+    /// [`LaunchPlan::run`] / [`LaunchPlan::run_owned`] folds its outcome
+    /// (stats or error) into the observer's registry and flight recorder.
+    /// For pooled execution use [`crate::GridRuntime::observer`] instead —
+    /// the pool observes at its own completion point.
+    #[must_use]
+    pub fn with_observer(mut self, obs: Arc<Observer>) -> Self {
+        self.observer = Some(obs);
+        self
     }
 
     /// The grid configuration this plan was compiled for.
@@ -316,7 +336,7 @@ impl LaunchPlan {
         let start = Instant::now();
         let per_block = match self.method {
             SyncMethod::CpuExplicit => match &kernel {
-                KernelArg::Owned(owned) => run_relaunch(&setup, Arc::clone(owned), true)?,
+                KernelArg::Owned(owned) => run_relaunch(&setup, Arc::clone(owned), true),
                 KernelArg::Borrowed(k) => {
                     // SAFETY: `detach_stragglers = false` means every
                     // thread holding this pointer is joined before
@@ -328,12 +348,16 @@ impl LaunchPlan {
                                 *const (dyn RoundKernel + 'static),
                             >(*k as *const dyn RoundKernel)
                         }));
-                    run_relaunch(&setup, erased, false)?
+                    run_relaunch(&setup, erased, false)
                 }
             },
-            _ => run_scoped(&setup, k, start)?,
+            _ => run_scoped(&setup, k, start),
         };
-        Ok(setup.stats(per_block, start.elapsed(), None))
+        let result = per_block.map(|pb| setup.stats(pb, start.elapsed(), None));
+        if let Some(obs) = &self.observer {
+            obs.observe_outcome(&self.method.to_string(), &result, start.elapsed());
+        }
+        result
     }
 }
 

@@ -78,6 +78,7 @@ pub mod launch;
 pub mod lockfree;
 pub mod method;
 pub mod metrics;
+pub mod obs;
 pub mod runtime;
 pub mod scalar;
 pub mod sense;
@@ -91,7 +92,7 @@ pub use barrier::{
     BarrierControl, BarrierShared, BarrierWaiter, PoisonCause, SpinStrategy, SyncFault, SyncPolicy,
     WaitFaultHook,
 };
-pub use chaos::{ChaosConfig, ChaosReport};
+pub use chaos::{ChaosConfig, ChaosLaunch, ChaosReport};
 pub use dissemination::DisseminationSync;
 pub use error::{ExecError, StuckDiagnostic, StuckPhase};
 pub use executor::{AbortSignal, BlockCtx, GridConfig, GridExecutor, RoundKernel};
@@ -105,6 +106,9 @@ pub use launch::LaunchPlan;
 pub use lockfree::{FuzzyLockFreeWaiter, GpuLockFreeSync};
 pub use method::{ResetStrategy, SyncMethod, TreeLevels};
 pub use metrics::{BlockHistogram, Histogram};
+pub use obs::{
+    FaultLine, LaunchOutcome, LaunchRecord, MetricsSnapshot, Observer, FLIGHT_RECORDER_CAPACITY,
+};
 pub use runtime::{GridRuntime, LaunchHandle, PoolLaunchStats, RuntimeKind};
 pub use scalar::DeviceScalar;
 pub use sense::SenseReversingSync;

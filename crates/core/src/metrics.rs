@@ -80,6 +80,42 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Rebuild a histogram from previously exported raw parts (see
+    /// [`Histogram::buckets`] and the accessors) — the deserialization
+    /// path for JSON metric snapshots. The caller is responsible for the
+    /// parts being mutually consistent (`count == Σ buckets`, `min`/`max`
+    /// bracketing the samples); this constructor does not re-derive them.
+    /// Note `min` here is the *raw* field: `u64::MAX` for an empty
+    /// histogram, as produced by serializing [`Histogram::new`].
+    pub fn from_parts(
+        buckets: [u64; NUM_BUCKETS],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// The raw bucket counts (`buckets[i]` holds samples of bit length
+    /// `i`; bucket 0 holds only zero).
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The raw `min` field: `u64::MAX` when empty (unlike
+    /// [`Histogram::min`], which reports 0 for an empty histogram). Used
+    /// for lossless export/import via [`Histogram::from_parts`].
+    pub fn raw_min(&self) -> u64 {
+        self.min
+    }
+
     /// Fold another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -125,8 +161,19 @@ impl Histogram {
     }
 
     /// Approximate `p`-th percentile (`0.0..=1.0`): the upper bound of the
-    /// bucket containing that rank. Exact for the distributions we track
-    /// up to the 2× bucket width.
+    /// bucket containing that rank, clamped to the observed max.
+    ///
+    /// # Error bound
+    ///
+    /// Buckets are log₂-sized, so the reported value can overshoot the
+    /// true rank-`p` sample by at most one bucket width: a sample `v > 1`
+    /// lands in the bucket covering `(2^(k-1), 2^k - 1]`, and the reported
+    /// upper bound `2^k - 1` is strictly less than `2v` — i.e. the
+    /// estimate is within **±1 bucket, a factor of < 2×**, and never
+    /// undershoots. At exact powers of two the rounding bites hardest:
+    /// `v = 2^k` starts a fresh bucket, so its reported percentile is
+    /// `2^(k+1) - 1` unless clamped by the observed max (see the
+    /// `power_of_two_boundaries` test).
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -253,6 +300,58 @@ mod tests {
         assert_eq!(h.percentile(0.5), 3);
         // p100 is clamped to the observed max.
         assert_eq!(h.percentile(1.0), 100);
+    }
+
+    /// The documented percentile error bound at its worst case: an exact
+    /// power of two starts a fresh bucket, so the estimate lands at the
+    /// *next* bucket's upper bound — still strictly under 2× the true
+    /// value, and exact once clamped by the observed max.
+    #[test]
+    fn power_of_two_boundaries() {
+        for k in 1..63usize {
+            let v = 1u64 << k;
+            // 2^k - 1 is the last value of bucket k; 2^k opens bucket k+1.
+            assert_eq!(bucket_of(v - 1), k, "below boundary at k={k}");
+            assert_eq!(bucket_of(v), k + 1, "at boundary at k={k}");
+
+            // A lone power-of-two sample: the bucket upper bound would be
+            // 2^(k+1) - 1, but clamping to the observed max makes it exact.
+            let mut lone = Histogram::new();
+            lone.record(v);
+            assert_eq!(lone.percentile(0.5), v, "lone sample at k={k}");
+
+            // With a larger sample present the clamp no longer rescues the
+            // median: it reports bucket (k+1)'s upper bound, 2^(k+1) - 1 —
+            // an overshoot of the true median 2^k, but < 2× it.
+            let mut pair = Histogram::new();
+            pair.record(v);
+            pair.record(v * 2);
+            let p50 = pair.percentile(0.5);
+            assert_eq!(p50, (v << 1) - 1, "pair median at k={k}");
+            assert!(p50 < 2 * v, "bound violated at k={k}: {p50} >= {}", 2 * v);
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_raw_fields() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_parts(*h.buckets(), h.count(), h.sum(), h.raw_min(), h.max());
+        assert_eq!(rebuilt, h);
+        // Empty histograms round-trip too (raw min is u64::MAX there).
+        let empty = Histogram::new();
+        assert_eq!(empty.raw_min(), u64::MAX);
+        let rebuilt = Histogram::from_parts(
+            *empty.buckets(),
+            empty.count(),
+            empty.sum(),
+            empty.raw_min(),
+            empty.max(),
+        );
+        assert_eq!(rebuilt, empty);
+        assert_eq!(rebuilt.min(), 0);
     }
 
     #[test]

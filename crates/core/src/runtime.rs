@@ -61,6 +61,7 @@ use crate::executor::{GridConfig, RoundKernel};
 use crate::fault::{effective_backstop, FaultKind, FaultPhase};
 use crate::launch::{collect_block_results, drive_block, LaunchPlan, LaunchSetup};
 use crate::method::SyncMethod;
+use crate::obs::{LaunchRecord, Observer};
 use crate::stats::{BlockTimes, KernelStats};
 use crate::trace::TraceEventKind;
 
@@ -284,6 +285,10 @@ impl Launch {
 struct Shared {
     state: Mutex<PoolState>,
     cv: Condvar,
+    /// Cross-launch observability plane, fed once per completed launch by
+    /// the *host* thread resolving it (never by workers — spin loops stay
+    /// free of registry traffic).
+    obs: Arc<Observer>,
 }
 
 struct PoolState {
@@ -567,19 +572,65 @@ fn wait_launch(
     if !replaced.is_empty() {
         replace_workers(shared, &replaced, launch.seq);
     }
-    let per_block = collect_block_results(results)?;
+    let wall = launch.submitted.elapsed();
     let activated = (*launch.activated.lock()).unwrap_or(launch.submitted);
-    Ok(launch.setup.stats(
-        per_block,
-        launch.submitted.elapsed(),
-        Some(Box::new(PoolLaunchStats {
-            launch_seq: launch.seq,
-            queue_depth: launch.queue_depth,
-            queued: activated.saturating_duration_since(launch.submitted),
-            cold: launch.seq == 0,
-            fallback: None,
-        })),
-    ))
+    let queued = activated.saturating_duration_since(launch.submitted);
+    match collect_block_results(results) {
+        Ok(per_block) => {
+            let stats = launch.setup.stats(
+                per_block,
+                wall,
+                Some(Box::new(PoolLaunchStats {
+                    launch_seq: launch.seq,
+                    queue_depth: launch.queue_depth,
+                    queued,
+                    cold: launch.seq == 0,
+                    fallback: None,
+                })),
+            );
+            if shared.obs.is_enabled() {
+                let mut rec = LaunchRecord::from_stats(&stats);
+                rec.replacements = replaced.len();
+                if let Some(f) = launch.setup.faults.as_deref() {
+                    rec = rec.with_faults(f);
+                }
+                shared.obs.observe(rec);
+            }
+            Ok(stats)
+        }
+        Err(e) => {
+            if shared.obs.is_enabled() {
+                let mut rec = LaunchRecord::from_error(launch.setup.method.to_string(), &e, wall);
+                rec.seq = launch.seq;
+                rec.pooled = true;
+                rec.queue_depth = launch.queue_depth;
+                rec.queued = queued;
+                rec.cold = launch.seq == 0;
+                rec.replacements = replaced.len();
+                rec.recent_events = recent_events(launch);
+                if let Some(f) = launch.setup.faults.as_deref() {
+                    rec = rec.with_faults(f);
+                }
+                shared.obs.observe(rec);
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Per-block trailing trace events of a failed launch, for the flight
+/// recorder (empty when the trace plane is compiled out or not enabled).
+fn recent_events(launch: &Launch) -> Vec<String> {
+    let Some(rec) = launch.setup.recorder.as_deref() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for b in 0..launch.setup.n {
+        for e in rec.tail(b, 8) {
+            out.push(format!("b{b}: {e}"));
+        }
+    }
+    out
 }
 
 /// Give up on the blocks that never reported: synthesize their timeout
@@ -695,6 +746,21 @@ impl GridRuntime {
     /// [`ExecError::Device`] for an invalid grid shape;
     /// [`ExecError::RuntimeUnsupported`] for `CpuExplicit` or `Auto`.
     pub fn new(cfg: GridConfig, method: SyncMethod) -> Result<GridRuntime, ExecError> {
+        Self::new_with_observer(cfg, method, Observer::new())
+    }
+
+    /// [`GridRuntime::new`] sharing an existing [`Observer`] — used by
+    /// [`crate::GridExecutor`] so pooled launches and scoped fallbacks
+    /// land in one registry, and by the `obs_overhead` bench to pass a
+    /// [`Observer::disabled`] control arm.
+    ///
+    /// # Errors
+    /// See [`GridRuntime::new`].
+    pub fn new_with_observer(
+        cfg: GridConfig,
+        method: SyncMethod,
+        obs: Arc<Observer>,
+    ) -> Result<GridRuntime, ExecError> {
         if !Self::supports(method) {
             return Err(ExecError::RuntimeUnsupported {
                 method: method.to_string(),
@@ -712,11 +778,18 @@ impl GridRuntime {
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            obs,
         });
         for b in 0..n {
             spawn_worker(Arc::clone(&shared), b, 0, 0);
         }
         Ok(GridRuntime { shared, plan })
+    }
+
+    /// The pool's observability handle: cross-launch metrics registry
+    /// plus flight recorder, fed on every launch completion.
+    pub fn observer(&self) -> Arc<Observer> {
+        Arc::clone(&self.shared.obs)
     }
 
     /// The pool's grid configuration.

@@ -88,6 +88,18 @@ impl KernelStats {
         mean(self.per_block.iter().map(|b| b.sync))
     }
 
+    /// Total computation time summed across blocks — the timing-split
+    /// numerator the flight recorder stores per [`crate::obs::LaunchRecord`].
+    pub fn total_compute(&self) -> Duration {
+        self.per_block.iter().map(|b| b.compute).sum()
+    }
+
+    /// Total synchronization time summed across blocks (see
+    /// [`KernelStats::total_compute`]).
+    pub fn total_sync(&self) -> Duration {
+        self.per_block.iter().map(|b| b.sync).sum()
+    }
+
     /// Maximum per-block synchronization time (the straggler view).
     pub fn max_sync(&self) -> Duration {
         self.per_block

@@ -1,0 +1,291 @@
+//! Integration tests of the observability plane (`blocksync_core::obs`):
+//! the cross-launch metrics registry fed by the pooled runtime and the
+//! launch engine, and the crash-dump flight recorder wired through the
+//! chaos harness.
+//!
+//! The load-bearing property is **ground truth**: the registry is fed the
+//! exact same `wall` measurement that lands in each launch's
+//! [`KernelStats`], so a histogram rebuilt from the per-launch stats must
+//! equal the registry's histogram bit-for-bit — same buckets, same
+//! percentiles, same min/max.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use blocksync::core::{
+    BlockCtx, ChaosConfig, EventRecorder, GlobalBuffer, GridConfig, GridExecutor, GridRuntime,
+    Histogram, LaunchOutcome, LaunchRecord, MetricsSnapshot, Observer, RoundKernel, RuntimeKind,
+    SyncMethod,
+};
+use blocksync::microbench::MeanKernel;
+use proptest::prelude::*;
+
+/// Pipelined pooled launches; returns the per-launch stats (ground truth)
+/// and the pool's end-of-run snapshot.
+fn pooled_soak(
+    launches: usize,
+    window: usize,
+    method: SyncMethod,
+) -> (Vec<blocksync::core::KernelStats>, MetricsSnapshot) {
+    let (blocks, tpb, rounds) = (4, 16, 60);
+    let cfg = GridConfig::new(blocks, tpb).with_runtime(RuntimeKind::Pooled);
+    let rt = GridRuntime::new(cfg, method).expect("pool-capable method");
+    let mut inflight = VecDeque::new();
+    let mut stats = Vec::with_capacity(launches);
+    for _ in 0..launches {
+        let kernel = Arc::new(MeanKernel::for_grid(blocks, tpb, rounds));
+        inflight.push_back(rt.submit(kernel).expect("submit"));
+        if inflight.len() >= window {
+            let h = inflight.pop_front().expect("nonempty");
+            stats.push(h.wait().expect("clean launch"));
+        }
+    }
+    while let Some(h) = inflight.pop_front() {
+        stats.push(h.wait().expect("clean launch"));
+    }
+    let snapshot = rt.observer().snapshot();
+    (stats, snapshot)
+}
+
+/// The acceptance bar of the plane: after a pooled pipelined run, the
+/// registry's latency histogram and counters must match what the
+/// per-launch `KernelStats` say happened — exactly, not approximately.
+#[test]
+fn pooled_registry_matches_per_launch_stats_ground_truth() {
+    let launches = 12;
+    let (stats, snap) = pooled_soak(launches, 3, SyncMethod::GpuLockFree);
+    assert_eq!(stats.len(), launches);
+
+    // Counters against ground truth: every launch succeeded, exactly one
+    // (the first) was cold.
+    assert_eq!(snap.counters["launches_total"], launches as u64);
+    assert_eq!(snap.counters["launches_failed_total"], 0);
+    assert_eq!(snap.counters["launches_cold_total"], 1);
+    assert_eq!(snap.counters["launches_warm_total"], launches as u64 - 1);
+    assert!(!snap.labeled.contains_key("launch_failures_total"));
+    assert!(!snap.labeled.contains_key("launch_fallbacks_total"));
+    assert!(snap.gauges.contains_key("queue_depth"));
+
+    // The submit→stats histogram is fed the same `wall` value the stats
+    // carry, so a reference histogram rebuilt from the stats is identical:
+    // same p50/p99, same count/sum/min/max, same buckets.
+    let mut reference = Histogram::new();
+    for s in &stats {
+        assert!(s.pool.as_deref().is_some_and(|p| p.ran_pooled()));
+        reference.record(u64::try_from(s.wall.as_nanos()).unwrap());
+    }
+    let got = &snap.histograms["submit_to_stats_ns/gpu-lock-free"];
+    assert_eq!(got.percentile(0.50), reference.percentile(0.50));
+    assert_eq!(got.percentile(0.99), reference.percentile(0.99));
+    assert_eq!(got, &reference);
+
+    // Queueing and launch-overhead histograms sampled once per launch.
+    assert_eq!(snap.histograms["queued_ns"].count(), launches as u64);
+    assert_eq!(snap.histograms["launch_ns"].count(), launches as u64);
+
+    // Prometheus rendering of the same snapshot carries the ground-truth
+    // quantiles verbatim.
+    let prom = snap.render_prometheus();
+    assert!(
+        prom.contains(&format!(
+            "blocksync_submit_to_stats_ns{{method=\"gpu-lock-free\",quantile=\"0.99\"}} {}",
+            reference.percentile(0.99)
+        )),
+        "{prom}"
+    );
+    assert!(
+        prom.contains(&format!("blocksync_launches_total {launches}")),
+        "{prom}"
+    );
+}
+
+struct Bump(GlobalBuffer<u64>);
+impl RoundKernel for Bump {
+    fn rounds(&self) -> usize {
+        3
+    }
+    fn round(&self, ctx: &BlockCtx, _round: usize) {
+        self.0.set(ctx.block_id, self.0.get(ctx.block_id) + 1);
+    }
+}
+
+/// Scoped fallbacks land in the shared registry as a labeled counter so a
+/// fleet of "pooled" launches that silently ran scoped is visible.
+#[test]
+fn scoped_fallbacks_are_counted_by_reason() {
+    let cfg = GridConfig::new(2, 8).with_runtime(RuntimeKind::Pooled);
+    // cpu-explicit cannot be pooled: every run falls back, with a reason.
+    let exec = GridExecutor::new(cfg, SyncMethod::CpuExplicit);
+    for _ in 0..3 {
+        exec.run(&Bump(GlobalBuffer::new(2))).unwrap();
+    }
+    let snap = exec.observer().snapshot();
+    assert_eq!(snap.counters["launches_total"], 3);
+    assert_eq!(snap.counters["launches_failed_total"], 0);
+    let reasons = &snap.labeled["launch_fallbacks_total"];
+    assert_eq!(reasons.values().sum::<u64>(), 3);
+    assert!(
+        reasons.keys().all(|r| r.contains("cpu-explicit")),
+        "{reasons:?}"
+    );
+}
+
+struct PanicKernel;
+impl RoundKernel for PanicKernel {
+    fn rounds(&self) -> usize {
+        3
+    }
+    fn round(&self, ctx: &BlockCtx, round: usize) {
+        if ctx.block_id == 1 && round == 1 {
+            panic!("injected fault: obs test");
+        }
+    }
+}
+
+/// Failures increment both the plain failure counter and the by-kind
+/// labeled counter with the error's stable class label.
+#[test]
+fn failures_are_counted_by_kind() {
+    let exec = GridExecutor::new(GridConfig::new(2, 8), SyncMethod::GpuLockFree);
+    exec.run(&PanicKernel).unwrap_err();
+    exec.run(&Bump(GlobalBuffer::new(2))).unwrap();
+    let snap = exec.observer().snapshot();
+    assert_eq!(snap.counters["launches_total"], 2);
+    assert_eq!(snap.counters["launches_failed_total"], 1);
+    assert_eq!(snap.labeled["launch_failures_total"]["panic"], 1);
+    // The flight recorder kept the failure.
+    let failure = exec.observer().last_failure().expect("recorded");
+    assert!(failure.outcome.is_failure());
+    assert_eq!(failure.method, "gpu-lock-free");
+}
+
+/// An injected chaos failure yields a postmortem JSON artifact carrying
+/// the fault schedule, the failure class, and (when the trace plane is
+/// compiled in) recent trace events; timeouts also embed the full stuck
+/// diagnostic.
+#[test]
+fn chaos_failures_dump_replayable_postmortems() {
+    let dir = std::env::temp_dir().join("blocksync-obs-postmortems");
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = ChaosConfig {
+        launches: 24,
+        fault_rate: 0.4,
+        rounds: 6,
+        timeout: Duration::from_millis(80),
+        postmortem_dir: Some(dir.clone()),
+        ..ChaosConfig::default()
+    }
+    .run()
+    .unwrap();
+    assert!(report.passed(), "{report}");
+    let failed: Vec<_> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.error.is_some())
+        .collect();
+    assert!(!failed.is_empty(), "seed 42 at 40% must fail some launches");
+    let mut saw_diagnostic = false;
+    let mut saw_events = false;
+    for o in &failed {
+        let path = dir.join(format!(
+            "postmortem-seed{}-launch{:04}.json",
+            report.seed, o.index
+        ));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        assert!(text.contains("\"outcome\": \"failure\""), "{text}");
+        assert!(text.contains("\"fault_schedule\": ["), "{text}");
+        assert!(text.contains("\"error_kind\""), "{text}");
+        // Each scheduled fault shows up as a structured line.
+        assert!(!o.faults.is_empty());
+        saw_diagnostic |= text.contains("\"diagnostic\": {");
+        saw_events |= text.contains("\"recent_events\": [\"");
+    }
+    assert!(
+        saw_diagnostic,
+        "at least one timeout failure must embed a StuckDiagnostic"
+    );
+    if EventRecorder::ENABLED {
+        assert!(
+            saw_events,
+            "postmortem-dir enables tracing, so failures must carry events"
+        );
+    }
+    // The report-level metrics snapshot agrees with the outcome lines.
+    let metrics = report.metrics.as_ref().expect("pooled soak snapshots");
+    assert_eq!(
+        metrics.counters["launches_failed_total"],
+        failed.len() as u64
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Build a synthetic registry load through the public observe path.
+fn observe_all(records: &[(usize, u64, bool, bool)]) -> MetricsSnapshot {
+    const METHODS: [&str; 3] = ["gpu-lock-free", "gpu-simple", "auto:dissemination"];
+    const KINDS: [&str; 3] = ["timeout", "panic", "device"];
+    let obs = Observer::new();
+    for (i, &(sel, wall_ns, failed, fallback)) in records.iter().enumerate() {
+        let mut r = LaunchRecord::new(METHODS[sel % METHODS.len()]);
+        r.seq = i as u64;
+        r.pooled = true;
+        r.cold = i == 0;
+        r.wall = Duration::from_nanos(wall_ns);
+        r.queued = Duration::from_nanos(wall_ns / 3);
+        r.queue_depth = sel;
+        if failed {
+            r.outcome = LaunchOutcome::Failure {
+                error: format!("synthetic failure {i}"),
+                kind: KINDS[sel % KINDS.len()].to_string(),
+                diagnostic: None,
+            };
+        }
+        if fallback {
+            r.fallback = Some("relaunches from the host".to_string());
+            r.pooled = false;
+        }
+        obs.observe(r);
+    }
+    obs.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `Histogram::merge` must be indistinguishable from having recorded
+    /// the concatenated sample stream into one histogram — including the
+    /// raw min/max/sum the snapshot JSON preserves.
+    #[test]
+    fn histogram_merge_equals_concatenated_stream(
+        xs in proptest::collection::vec(any::<u64>(), 0..64),
+        ys in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let mut a = Histogram::new();
+        for &v in &xs { a.record(v); }
+        let mut b = Histogram::new();
+        for &v in &ys { b.record(v); }
+        a.merge(&b);
+        let mut concat = Histogram::new();
+        for &v in xs.iter().chain(ys.iter()) { concat.record(v); }
+        prop_assert_eq!(&a, &concat);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(a.percentile(q), concat.percentile(q));
+        }
+    }
+
+    /// The snapshot's hand-rolled JSON form is lossless: parsing what
+    /// `to_json` wrote reproduces the snapshot exactly, for any mix of
+    /// methods, outcomes, fallbacks, and latencies.
+    #[test]
+    fn metrics_snapshot_json_round_trips(
+        records in proptest::collection::vec(
+            (0usize..5, any::<u64>(), any::<bool>(), any::<bool>()),
+            0..24,
+        ),
+    ) {
+        let snap = observe_all(&records);
+        let parsed = MetricsSnapshot::from_json(&snap.to_json());
+        prop_assert!(parsed.is_ok(), "parse error: {:?}", parsed.err());
+        prop_assert_eq!(parsed.unwrap(), snap);
+    }
+}
