@@ -76,6 +76,7 @@ fn series_count(snap: &blocksync_core::MetricsSnapshot) -> usize {
     snap.counters.len()
         + snap.gauges.len()
         + snap.labeled.values().map(|m| m.len()).sum::<usize>()
+        + snap.labeled_gauges.values().map(|m| m.len()).sum::<usize>()
         + snap.histograms.len()
 }
 

@@ -1,0 +1,194 @@
+//! Service-plane soak benchmark: many client threads hammer one
+//! [`GridService`] with pipelined submissions across mixed grid shapes,
+//! measuring the full submit→stats path through the admission plane
+//! (routing, bounded queues, per-tenant quotas) down to the pooled
+//! runtime and back.
+//!
+//! Reports p50/p99 submit-to-stats latency and aggregate throughput, and
+//! emits records for the shared CI baseline guard:
+//!
+//! - `model:service/shards`, `model:service/launches` — deterministic
+//!   structural rows (guarded): every configured shard shape must spin up
+//!   exactly once and every client launch must complete and verify.
+//! - `host:service/p50-ns`, `host:service/p99-ns`,
+//!   `host:service/throughput-lps` — measured, machine-dependent
+//!   (informational, unguarded).
+//!
+//! Flags: `--clients 8` `--launches 32` `--rounds 100` `--window 4`
+//!        `--seed 42` `--deadline-secs 5` `--json FILE`
+//!        `--baseline FILE` `--max-regress-pct 25`
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use blocksync_algos::seqgen::SplitMix64;
+use blocksync_bench::baseline::{self, flag_value, BenchRecord};
+use blocksync_core::{
+    GridConfig, GridService, RoundKernel, ServiceConfig, ShardKey, SyncMethod, SyncPolicy,
+};
+use blocksync_microbench::MeanKernel;
+
+/// The mixed shard shapes under load: three barrier families at three
+/// grid sizes, so routing, spin-up, and per-shard accounting all engage.
+fn shard_mix() -> Vec<ShardKey> {
+    vec![
+        ShardKey::new(4, 16, SyncMethod::GpuLockFree),
+        ShardKey::new(3, 16, SyncMethod::GpuSimple),
+        ShardKey::new(2, 16, SyncMethod::SenseReversing),
+    ]
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |key: &str, default: &str| flag_value(&args, key).unwrap_or_else(|| default.into());
+    let clients: usize = get("clients", "8").parse().expect("--clients integer");
+    let per_client: usize = get("launches", "32").parse().expect("--launches integer");
+    let rounds: usize = get("rounds", "100").parse().expect("--rounds integer");
+    let window: usize = get("window", "4")
+        .parse::<usize>()
+        .expect("--window integer")
+        .max(1);
+    let seed: u64 = get("seed", "42").parse().expect("--seed integer");
+    let deadline = Duration::from_secs_f64(
+        get("deadline-secs", "5")
+            .parse()
+            .expect("--deadline-secs number"),
+    );
+    assert!(clients >= 1 && per_client >= 1, "need clients and launches");
+
+    let shards = shard_mix();
+    // Capacity sized to the offered load (each client pipelines at most
+    // `window` launches) so admission engages without rejecting anything:
+    // the soak measures the plane's latency cost, not its refusal rate.
+    let svc = GridService::new(
+        ServiceConfig::default()
+            .with_max_shards(shards.len())
+            .with_queue_capacity(clients * window)
+            .with_tenant_quota(window)
+            .with_idle_ttl(Duration::from_secs(3600))
+            .with_template(GridConfig::new(1, 1).with_policy(SyncPolicy::with_timeout(deadline))),
+    );
+
+    let verified = AtomicUsize::new(0);
+    let start = Instant::now();
+    // Each client thread returns its per-launch submit→stats latencies.
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let svc = &svc;
+                let shards = &shards;
+                let verified = &verified;
+                scope.spawn(move || {
+                    let tenant = format!("client-{c}");
+                    let mut rng = SplitMix64::new(seed ^ (c as u64).wrapping_mul(0x9e37));
+                    let mut lat = Vec::with_capacity(per_client);
+                    let mut inflight: VecDeque<(Instant, Arc<MeanKernel>, _)> = VecDeque::new();
+                    let settle = |(t0, kernel, handle): (Instant, Arc<MeanKernel>, _)| {
+                        let handle: blocksync_core::ServiceHandle = handle;
+                        handle.wait().expect("clean launch");
+                        assert!(kernel.verify(), "served launch produced wrong means");
+                        verified.fetch_add(1, Ordering::Relaxed);
+                        t0.elapsed().as_nanos() as u64
+                    };
+                    for _ in 0..per_client {
+                        let key = shards[rng.next_below(shards.len() as u64) as usize];
+                        let kernel = Arc::new(MeanKernel::for_grid(
+                            key.blocks,
+                            key.threads_per_block,
+                            rounds,
+                        ));
+                        let t0 = Instant::now();
+                        let h = svc
+                            .submit_within(
+                                &tenant,
+                                key,
+                                Arc::clone(&kernel) as Arc<dyn RoundKernel + Send + Sync>,
+                                deadline,
+                            )
+                            .expect("admission within deadline");
+                        inflight.push_back((t0, kernel, h));
+                        if inflight.len() >= window {
+                            let item = inflight.pop_front().expect("nonempty");
+                            lat.push(settle(item));
+                        }
+                    }
+                    while let Some(item) = inflight.pop_front() {
+                        lat.push(settle(item));
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    latencies.sort_unstable();
+
+    let total = clients * per_client;
+    assert_eq!(
+        verified.load(Ordering::Relaxed),
+        total,
+        "every submitted launch must complete and verify"
+    );
+    assert_eq!(
+        svc.shards_live(),
+        shards.len(),
+        "every shard shape must have spun up (and none retired mid-soak)"
+    );
+
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let throughput = total as f64 / wall.as_secs_f64();
+    println!(
+        "service soak: {clients} clients x {per_client} launches ({rounds} rounds, \
+         window {window}) over {} shard(s) in {:.1} ms",
+        shards.len(),
+        wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "submit->stats latency: p50 {:.1} us, p99 {:.1} us; throughput {throughput:.0} launches/s",
+        p50 as f64 / 1e3,
+        p99 as f64 / 1e3
+    );
+    let snap = svc.observer().snapshot();
+    if let Some(by_shard) = snap.labeled.get("shard_launches_total") {
+        for (shard, n) in by_shard {
+            println!("  {shard:<24} {n:>6} launches");
+        }
+    }
+
+    let records = vec![
+        BenchRecord::new("model:service/shards", 4, shards.len() as f64),
+        BenchRecord::new("model:service/launches", 4, total as f64),
+        BenchRecord::new("host:service/p50-ns", 4, p50 as f64),
+        BenchRecord::new("host:service/p99-ns", 4, p99 as f64),
+        BenchRecord::new("host:service/throughput-lps", 4, throughput),
+    ];
+    if let Some(path) = flag_value(&args, "json") {
+        std::fs::write(&path, baseline::to_json(&records)).expect("write --json");
+        println!("wrote {} record(s) to {path}", records.len());
+    }
+    if let Some(baseline_path) = flag_value(&args, "baseline") {
+        let max_regress: f64 = get("max-regress-pct", "25")
+            .parse()
+            .expect("--max-regress-pct number");
+        if let Err(e) = baseline::guard_against_baseline(&records, &baseline_path, max_regress) {
+            eprintln!("FAIL: {e}");
+            std::process::exit(1);
+        }
+        println!("OK: guarded rows within {max_regress}% of the baseline");
+    }
+}

@@ -12,8 +12,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use blocksync_core::{
-    AutoTuner, ChaosConfig, ChromeTraceBuilder, GridConfig, GridExecutor, GridRuntime, KernelStats,
-    MetricsSnapshot, RoundKernel, RuntimeKind, SyncMethod, SyncPolicy, TraceConfig,
+    AutoTuner, ChaosConfig, ChromeTraceBuilder, GridConfig, GridExecutor, GridRuntime, GridService,
+    KernelStats, MetricsSnapshot, RoundKernel, RuntimeKind, ServiceChaosConfig, ServiceConfig,
+    ServiceError, ShardKey, SyncMethod, SyncPolicy, TraceConfig,
 };
 use blocksync_device::{CalibrationProfile, GpuSpec};
 use blocksync_microbench::{run_host_traced, MeanKernel};
@@ -676,6 +677,9 @@ pub fn trace(a: &Args) -> Result<(), String> {
 /// launches stay bit-identical. The seed is always printed so any red run
 /// replays with one command.
 pub fn chaos(a: &Args) -> Result<(), String> {
+    if a.has("service") {
+        return chaos_service(a);
+    }
     let defaults = ChaosConfig::default();
     let timeout_secs = a.get_f64("sync-timeout", defaults.timeout.as_secs_f64());
     if timeout_secs <= 0.0 || !timeout_secs.is_finite() {
@@ -713,22 +717,7 @@ pub fn chaos(a: &Args) -> Result<(), String> {
         cfg.timeout,
         cfg.seed
     );
-    // Injected round-body panics are caught by the engine and surfaced as
-    // `BlockPanicked`; silence their default panic-hook spew so the soak
-    // output stays readable, while real (un-injected) panics still print.
-    let previous = std::panic::take_hook();
-    std::panic::set_hook(Box::new(move |info| {
-        let injected = info
-            .payload()
-            .downcast_ref::<String>()
-            .is_some_and(|m| m.starts_with("injected fault:"));
-        if !injected {
-            previous(info);
-        }
-    }));
-    let report = cfg.run();
-    let _ = std::panic::take_hook(); // restore default panic reporting
-    let report = report?;
+    let report = with_injected_panics_silenced(|| cfg.run())?;
     println!("{report}");
     if let Some(dir) = &cfg.postmortem_dir {
         let dumped = report.outcomes.iter().filter(|o| o.error.is_some()).count();
@@ -756,6 +745,262 @@ pub fn chaos(a: &Args) -> Result<(), String> {
             report.seed
         ))
     }
+}
+
+/// Injected round-body panics are caught by the engine and surfaced as
+/// `BlockPanicked`; silence their default panic-hook spew for the duration
+/// of `f` so soak output stays readable, while real (un-injected) panics
+/// still print.
+fn with_injected_panics_silenced<T>(f: impl FnOnce() -> T) -> T {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("injected fault:"));
+        if !injected {
+            previous(info);
+        }
+    }));
+    let out = f();
+    let _ = std::panic::take_hook(); // restore default panic reporting
+    out
+}
+
+/// Parse a comma-separated shard list: `BLOCKSxTPB/METHOD,...`
+/// (e.g. `4x8/gpu-lock-free,3x8/gpu-simple`) — the `Display` form of
+/// [`ShardKey`]. Empty spec keeps `default`.
+fn parse_shards(spec: &str, default: Vec<ShardKey>) -> Result<Vec<ShardKey>, String> {
+    if spec.is_empty() {
+        return Ok(default);
+    }
+    spec.split(',')
+        .map(|part| {
+            let err = || {
+                format!(
+                    "bad shard spec {part:?}; expected BLOCKSxTPB/METHOD \
+                     (e.g. 4x8/gpu-lock-free)"
+                )
+            };
+            let (shape, method) = part.split_once('/').ok_or_else(err)?;
+            let (blocks, tpb) = shape.split_once('x').ok_or_else(err)?;
+            let blocks: usize = blocks.trim().parse().map_err(|_| err())?;
+            let tpb: usize = tpb.trim().parse().map_err(|_| err())?;
+            Ok(ShardKey::new(blocks, tpb, parse_method(method.trim())?))
+        })
+        .collect()
+}
+
+/// `blocksync chaos --service` — the chaos soak retargeted at **live
+/// service shards**: seeded fault schedules ride a fraction of real
+/// traffic routed through a [`GridService`], and the report asserts each
+/// faulted shard heals in place while its siblings keep serving clean
+/// bit-identical launches.
+fn chaos_service(a: &Args) -> Result<(), String> {
+    let defaults = ServiceChaosConfig::default();
+    let timeout_secs = a.get_f64("sync-timeout", defaults.timeout.as_secs_f64());
+    if timeout_secs <= 0.0 || !timeout_secs.is_finite() {
+        return Err("chaos needs a positive --sync-timeout (faults must be detected)".into());
+    }
+    let postmortem_dir = match a.get("postmortem-dir", "") {
+        "" if a.has("postmortem-dir") => {
+            return Err("--postmortem-dir expects a directory path".into())
+        }
+        "" => None,
+        dir => Some(std::path::PathBuf::from(dir)),
+    };
+    let cfg = ServiceChaosConfig {
+        launches: a.get_usize("launches", defaults.launches),
+        fault_rate: a.get_f64("fault-rate", defaults.fault_rate),
+        seed: a.get_usize("seed", defaults.seed as usize) as u64,
+        shards: parse_shards(a.get("shards", ""), defaults.shards)?,
+        rounds: a.get_usize("rounds", defaults.rounds),
+        timeout: Duration::from_secs_f64(timeout_secs),
+        window: a.get_usize("window", defaults.window),
+        postmortem_dir,
+    };
+    println!(
+        "service chaos soak: {} launches across {} shard(s) [{}], fault rate {:.2}, \
+         window {}, timeout {:?}, seed {}",
+        cfg.launches,
+        cfg.shards.len(),
+        cfg.shards
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        cfg.fault_rate,
+        cfg.window,
+        cfg.timeout,
+        cfg.seed
+    );
+    let report = with_injected_panics_silenced(|| cfg.run())?;
+    println!("{report}");
+    if let Some(dir) = &cfg.postmortem_dir {
+        let dumped = report.outcomes.iter().filter(|o| o.error.is_some()).count();
+        println!("wrote {dumped} postmortem(s) to {}", dir.display());
+    }
+    let json_path = a.get("json", "");
+    if json_path.is_empty() && a.has("json") {
+        return Err("--json expects a file path (e.g. --json chaos.json)".into());
+    }
+    if !json_path.is_empty() {
+        std::fs::write(json_path, report.to_json())
+            .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+        println!("wrote chaos report to {json_path}");
+    }
+    if let Some(metrics) = &report.metrics {
+        report_shard_summary(metrics);
+        report_fallback_summary(metrics);
+        write_metrics_out(metrics, a)?;
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} invariant violation(s); reproduce with --seed {} --service",
+            report.failures.len(),
+            report.seed
+        ))
+    }
+}
+
+/// Per-shard traffic table from a service metrics snapshot.
+fn report_shard_summary(snapshot: &MetricsSnapshot) {
+    let Some(by_shard) = snapshot.labeled.get("shard_launches_total") else {
+        return;
+    };
+    println!("per-shard traffic:");
+    for (shard, launches) in by_shard {
+        let depth = snapshot
+            .labeled_gauges
+            .get("queue_depth")
+            .and_then(|g| g.get(shard))
+            .copied()
+            .unwrap_or(0);
+        println!("  {shard:<24} {launches:>6} launches   queue depth {depth}");
+    }
+    if let Some(rejections) = snapshot.labeled.get("service_rejections_total") {
+        for (reason, n) in rejections {
+            println!("  rejected ({reason}): {n}");
+        }
+    }
+}
+
+/// `blocksync serve` — barrier-as-a-service demo: one [`GridService`]
+/// fronting several shard shapes, hammered by many client threads that
+/// pipeline mixed-shape submissions through the bounded admission plane.
+/// Prints the per-shard traffic table and admission outcomes.
+pub fn serve(a: &Args) -> Result<(), String> {
+    let clients = a.get_usize("clients", 8);
+    let per_client = a.get_usize("launches", 32);
+    let rounds = a.get_usize("rounds", 50);
+    let seed = a.get_usize("seed", 42) as u64;
+    let deadline = Duration::from_secs_f64(a.get_f64("deadline", 2.0));
+    let shards = parse_shards(
+        a.get("shards", ""),
+        vec![
+            ShardKey::new(4, 8, SyncMethod::GpuLockFree),
+            ShardKey::new(3, 8, SyncMethod::GpuSimple),
+            ShardKey::new(2, 8, SyncMethod::SenseReversing),
+        ],
+    )?;
+    if clients == 0 || per_client == 0 {
+        return Err("--clients and --launches must be >= 1".into());
+    }
+    let mut template = GridConfig::new(1, 1);
+    template = template.with_policy(sync_policy(a)?);
+    let svc = GridService::new(
+        ServiceConfig::default()
+            .with_max_shards(a.get_usize("max-shards", shards.len()))
+            .with_queue_capacity(a.get_usize("queue-capacity", 16))
+            .with_tenant_quota(a.get_usize("quota", 8))
+            .with_idle_ttl(Duration::from_millis(a.get_usize("idle-ttl-ms", 500) as u64))
+            .with_template(template),
+    );
+    println!(
+        "serving {} shard shape(s) to {clients} client(s) x {per_client} launches \
+         ({rounds} rounds each, admission deadline {deadline:?})",
+        shards.len()
+    );
+    let total_ok = std::sync::atomic::AtomicUsize::new(0);
+    let total_deadline = std::sync::atomic::AtomicUsize::new(0);
+    let start = std::time::Instant::now();
+    let errors: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let svc = &svc;
+                let shards = &shards;
+                let total_ok = &total_ok;
+                let total_deadline = &total_deadline;
+                scope.spawn(move || -> Result<(), String> {
+                    let tenant = format!("client-{c}");
+                    let mut rng = SplitMix64::new(seed ^ (c as u64).wrapping_mul(0x9e37));
+                    let mut inflight: VecDeque<(Arc<MeanKernel>, blocksync_core::ServiceHandle)> =
+                        VecDeque::new();
+                    let settle = |(kernel, handle): (
+                        Arc<MeanKernel>,
+                        blocksync_core::ServiceHandle,
+                    )|
+                     -> Result<(), String> {
+                        handle.wait().map_err(|e| e.to_string())?;
+                        if !kernel.verify() {
+                            return Err("a served launch produced wrong means".into());
+                        }
+                        total_ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        Ok(())
+                    };
+                    for _ in 0..per_client {
+                        let key = shards[rng.next_below(shards.len() as u64) as usize];
+                        let kernel = Arc::new(MeanKernel::for_grid(
+                            key.blocks,
+                            key.threads_per_block,
+                            rounds,
+                        ));
+                        match svc.submit_within(
+                            &tenant,
+                            key,
+                            Arc::clone(&kernel) as Arc<dyn RoundKernel + Send + Sync>,
+                            deadline,
+                        ) {
+                            Ok(h) => inflight.push_back((kernel, h)),
+                            Err(ServiceError::Deadline { .. }) => {
+                                total_deadline.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            Err(e) => return Err(e.to_string()),
+                        }
+                        if inflight.len() >= 4 {
+                            settle(inflight.pop_front().expect("nonempty"))?;
+                        }
+                    }
+                    while let Some(pair) = inflight.pop_front() {
+                        settle(pair)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("client thread panicked").err())
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    if let Some(e) = errors.first() {
+        return Err(format!("{} client(s) failed; first: {e}", errors.len()));
+    }
+    let ok = total_ok.load(std::sync::atomic::Ordering::Relaxed);
+    let missed = total_deadline.load(std::sync::atomic::Ordering::Relaxed);
+    println!(
+        "served {ok} launches in {elapsed:?} ({:.0} launches/s), {missed} missed the \
+         admission deadline, {} shard(s) live at shutdown",
+        ok as f64 / elapsed.as_secs_f64(),
+        svc.shards_live()
+    );
+    let snapshot = svc.observer().snapshot();
+    report_shard_summary(&snapshot);
+    write_metrics_out(&snapshot, a)?;
+    Ok(())
 }
 
 /// Like [`runtime_kind`] but defaulting to pooled — chaos exists mainly to

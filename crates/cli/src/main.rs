@@ -9,7 +9,8 @@
 //! blocksync scan     --n 100000 --blocks 4
 //! blocksync micro    --blocks 4 --rounds 2000 [--trace out.json] [--metrics]
 //! blocksync trace    --blocks 4 --rounds 200 --method lock-free
-//! blocksync chaos    --launches 200 --fault-rate 0.25 --seed 42
+//! blocksync chaos    --launches 200 --fault-rate 0.25 --seed 42 [--service]
+//! blocksync serve    --clients 8 --launches 32 --rounds 50
 //! blocksync metrics  --launches 16 --blocks 4 --rounds 200
 //! ```
 //!
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
         "trace" => commands::trace(&parsed),
         "tune" => commands::tune(&parsed),
         "chaos" => commands::chaos(&parsed),
+        "serve" => commands::serve(&parsed),
         "metrics" => commands::metrics(&parsed),
         other => Err(format!("unknown command {other:?}; run `blocksync help`")),
     };
@@ -87,6 +89,19 @@ COMMANDS:
              --launches N --fault-rate F --seed S --method M --blocks B
              --rounds R [--runtime pooled|scoped] [--window W]
              [--sync-timeout SECS] [--json FILE] [--postmortem-dir DIR]
+             With --service the soak retargets live GridService shards:
+             seeded faults ride a fraction of traffic routed across
+             --shards BxT/METHOD,... (default 3 mixed shapes) and the
+             report additionally asserts every shard still serves clean
+             bit-identical launches afterwards.
+  serve      barrier-as-a-service demo: one GridService fronting several
+             shard shapes, hammered by concurrent client threads through
+             the bounded admission plane (per-shard queues, per-tenant
+             quotas, blocking submit with deadline); prints the per-shard
+             traffic table
+             --clients N --launches PER_CLIENT --rounds R
+             [--shards BxT/METHOD,...] [--queue-capacity Q] [--quota K]
+             [--deadline SECS] [--idle-ttl-ms MS] [--metrics-out FILE]
   metrics    exercise the observability plane: a window of pipelined
              pooled launches through one runtime, then the cross-launch
              metrics registry in Prometheus text format (per-method

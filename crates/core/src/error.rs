@@ -209,6 +209,107 @@ impl std::error::Error for ExecError {
     }
 }
 
+/// Why a [`crate::GridService`] refused or failed a submission.
+///
+/// Admission failures ([`ServiceError::QueueFull`],
+/// [`ServiceError::QuotaExceeded`], [`ServiceError::Deadline`],
+/// [`ServiceError::ShardLimit`]) are *backpressure*: the work was never
+/// enqueued, and the caller may retry. [`ServiceError::Exec`] wraps a
+/// launch that was admitted but failed to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The target shard's bounded submission queue is at capacity.
+    QueueFull {
+        /// Display name of the shard that refused the submission.
+        shard: String,
+        /// The configured per-shard queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The tenant already has its full quota of launches in flight.
+    QuotaExceeded {
+        /// The tenant whose quota was hit.
+        tenant: String,
+        /// The configured per-tenant in-flight quota.
+        quota: usize,
+    },
+    /// A blocking submit waited out its deadline without admission.
+    Deadline {
+        /// Display name of the shard that stayed saturated.
+        shard: String,
+        /// How long the submitter waited before giving up.
+        waited: Duration,
+    },
+    /// A new shard was needed but the service is at its shard limit.
+    ShardLimit {
+        /// The configured maximum number of live shards.
+        limit: usize,
+    },
+    /// The submission was admitted but the underlying runtime refused or
+    /// failed it.
+    Exec(ExecError),
+}
+
+impl ServiceError {
+    /// Stable one-word rejection class, the `reason` label on the
+    /// service's `service_rejections_total` counter.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            ServiceError::QueueFull { .. } => "queue-full",
+            ServiceError::QuotaExceeded { .. } => "quota",
+            ServiceError::Deadline { .. } => "deadline",
+            ServiceError::ShardLimit { .. } => "shard-limit",
+            ServiceError::Exec(_) => "exec",
+        }
+    }
+
+    /// Whether this is an admission rejection (retryable backpressure)
+    /// rather than an execution failure.
+    pub fn is_backpressure(&self) -> bool {
+        !matches!(self, ServiceError::Exec(_))
+    }
+}
+
+impl From<ExecError> for ServiceError {
+    fn from(e: ExecError) -> Self {
+        ServiceError::Exec(e)
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { shard, capacity } => {
+                write!(
+                    f,
+                    "shard {shard}: submission queue at capacity ({capacity})"
+                )
+            }
+            ServiceError::QuotaExceeded { tenant, quota } => {
+                write!(f, "tenant {tenant:?}: in-flight quota ({quota}) exhausted")
+            }
+            ServiceError::Deadline { shard, waited } => {
+                write!(
+                    f,
+                    "shard {shard}: no admission within deadline (waited {waited:?})"
+                )
+            }
+            ServiceError::ShardLimit { limit } => {
+                write!(f, "service at its shard limit ({limit})")
+            }
+            ServiceError::Exec(e) => write!(f, "admitted launch failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

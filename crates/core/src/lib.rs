@@ -82,6 +82,7 @@ pub mod obs;
 pub mod runtime;
 pub mod scalar;
 pub mod sense;
+pub mod service;
 pub mod simple;
 pub mod stats;
 pub mod trace;
@@ -92,9 +93,9 @@ pub use barrier::{
     BarrierControl, BarrierShared, BarrierWaiter, PoisonCause, SpinStrategy, SyncFault, SyncPolicy,
     WaitFaultHook,
 };
-pub use chaos::{ChaosConfig, ChaosLaunch, ChaosReport};
+pub use chaos::{ChaosConfig, ChaosLaunch, ChaosReport, ServiceChaosConfig};
 pub use dissemination::DisseminationSync;
-pub use error::{ExecError, StuckDiagnostic, StuckPhase};
+pub use error::{ExecError, ServiceError, StuckDiagnostic, StuckPhase};
 pub use executor::{AbortSignal, BlockCtx, GridConfig, GridExecutor, RoundKernel};
 pub use fault::{
     stall_duration, Fault, FaultInjector, FaultKind, FaultPhase, FaultPlan, FaultProfile,
@@ -107,11 +108,13 @@ pub use lockfree::{FuzzyLockFreeWaiter, GpuLockFreeSync};
 pub use method::{ResetStrategy, SyncMethod, TreeLevels};
 pub use metrics::{BlockHistogram, Histogram};
 pub use obs::{
-    FaultLine, LaunchOutcome, LaunchRecord, MetricsSnapshot, Observer, FLIGHT_RECORDER_CAPACITY,
+    FaultLine, LaunchOutcome, LaunchRecord, MetricsSnapshot, Observer, DEFAULT_SHARD,
+    FLIGHT_RECORDER_CAPACITY,
 };
 pub use runtime::{GridRuntime, LaunchHandle, PoolLaunchStats, RuntimeKind};
 pub use scalar::DeviceScalar;
 pub use sense::SenseReversingSync;
+pub use service::{GridService, ServiceConfig, ServiceHandle, ShardKey};
 pub use simple::GpuSimpleSync;
 pub use stats::{BlockTimes, KernelStats};
 pub use trace::{

@@ -46,6 +46,10 @@ use crate::stats::KernelStats;
 /// How many [`LaunchRecord`]s the flight recorder retains.
 pub const FLIGHT_RECORDER_CAPACITY: usize = 64;
 
+/// Shard label standalone (non-service) runtimes report gauge samples
+/// under, so the per-shard `queue_depth` family always has a stable slot.
+pub const DEFAULT_SHARD: &str = "default";
+
 /// Saturating nanosecond cast for registry samples.
 fn dur_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
@@ -151,6 +155,11 @@ pub struct LaunchRecord {
     pub fallback: Option<String>,
     /// Workers replaced while settling this launch (abandon-and-replace).
     pub replacements: usize,
+    /// Shard label when the launch was served by a [`crate::GridService`]
+    /// shard (or any runtime given a label via
+    /// [`crate::GridRuntime::set_shard_label`]). `None` for standalone
+    /// runtimes, whose gauge samples land under the `"default"` shard.
+    pub shard: Option<String>,
     /// Trailing trace events per block (`"b<block>: <event>"`), captured
     /// for failures when the trace plane is compiled in and enabled.
     pub recent_events: Vec<String>,
@@ -175,6 +184,7 @@ impl LaunchRecord {
             cold: false,
             fallback: None,
             replacements: 0,
+            shard: None,
             recent_events: Vec::new(),
             fault_schedule: Vec::new(),
         }
@@ -258,6 +268,10 @@ impl LaunchRecord {
             None => push(&mut o, "\"fallback\": null".to_string()),
         }
         push(&mut o, format!("\"replacements\": {}", self.replacements));
+        match &self.shard {
+            Some(shard) => push(&mut o, format!("\"shard\": \"{}\"", json_escape(shard))),
+            None => push(&mut o, "\"shard\": null".to_string()),
+        }
         push(
             &mut o,
             format!(
@@ -336,6 +350,7 @@ struct Registry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
     labeled: BTreeMap<String, BTreeMap<String, u64>>,
+    labeled_gauges: BTreeMap<String, BTreeMap<String, u64>>,
     histograms: BTreeMap<String, Histogram>,
     /// Total registry mutations — the deterministic "updates per launch"
     /// count the `obs_overhead` bench pins (it must be a function of
@@ -357,7 +372,13 @@ impl Registry {
         ] {
             r.counters.insert(name.to_string(), 0);
         }
-        r.gauges.insert("queue_depth".to_string(), 0);
+        // Queue depth is a per-shard gauge family so multi-shard services
+        // never alias one global value; unlabeled runtimes write the
+        // "default" shard slot, pre-seeded so idle snapshots stay stable.
+        r.labeled_gauges
+            .entry("queue_depth".to_string())
+            .or_default()
+            .insert(DEFAULT_SHARD.to_string(), 0);
         r
     }
 
@@ -378,6 +399,14 @@ impl Registry {
             .or_default()
             .entry(label.to_string())
             .or_insert(0) += by;
+        self.ops += 1;
+    }
+
+    fn set_labeled_gauge(&mut self, family: &str, label: &str, v: u64) {
+        self.labeled_gauges
+            .entry(family.to_string())
+            .or_default()
+            .insert(label.to_string(), v);
         self.ops += 1;
     }
 
@@ -408,9 +437,19 @@ impl Registry {
                 },
                 1,
             );
-            self.set_gauge("queue_depth", r.queue_depth as u64);
+            self.set_labeled_gauge(
+                "queue_depth",
+                r.shard.as_deref().unwrap_or(DEFAULT_SHARD),
+                r.queue_depth as u64,
+            );
             self.record_hist("queued_ns".to_string(), dur_ns(r.queued));
             self.record_hist("launch_ns".to_string(), dur_ns(r.launch));
+        }
+        // Shard-labeled launches (service traffic) additionally count into
+        // a per-shard family; standalone runtimes skip this, keeping the
+        // obs_overhead bench's 6-updates-per-launch invariant intact.
+        if let Some(shard) = r.shard.as_deref() {
+            self.inc_labeled("shard_launches_total", shard, 1);
         }
         self.record_hist(format!("submit_to_stats_ns/{}", r.method), dur_ns(r.wall));
     }
@@ -420,6 +459,7 @@ impl Registry {
             counters: self.counters.clone(),
             gauges: self.gauges.clone(),
             labeled: self.labeled.clone(),
+            labeled_gauges: self.labeled_gauges.clone(),
             histograms: self.histograms.clone(),
             ops: self.ops,
         }
@@ -534,6 +574,31 @@ impl Observer {
         self.observe(record);
     }
 
+    /// Increment a plain counter — the service plane's hook for events
+    /// that are not launches (shard spin-up/retirement, admission
+    /// rejections). No-op when disabled.
+    pub fn inc_counter(&self, name: &str, by: u64) {
+        if self.enabled {
+            self.inner.lock().registry.inc(name, by);
+        }
+    }
+
+    /// Set a plain gauge (e.g. `service_shards_live`). No-op when
+    /// disabled.
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        if self.enabled {
+            self.inner.lock().registry.set_gauge(name, v);
+        }
+    }
+
+    /// Increment one label of a counter family (e.g.
+    /// `service_rejections_total` by reason). No-op when disabled.
+    pub fn inc_labeled(&self, family: &str, label: &str, by: u64) {
+        if self.enabled {
+            self.inner.lock().registry.inc_labeled(family, label, by);
+        }
+    }
+
     /// Point-in-time copy of the registry.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.inner.lock().registry.snapshot()
@@ -572,12 +637,15 @@ impl Observer {
 pub struct MetricsSnapshot {
     /// Monotonic counters (`launches_total`, …).
     pub counters: BTreeMap<String, u64>,
-    /// Point-in-time gauges (`queue_depth`, …).
+    /// Point-in-time gauges (`service_shards_live`, …).
     pub gauges: BTreeMap<String, u64>,
     /// Labeled counter families: family → label value → count
     /// (`launch_fallbacks_total` by reason, `launch_failures_total` by
-    /// kind).
+    /// kind, `shard_launches_total` by shard).
     pub labeled: BTreeMap<String, BTreeMap<String, u64>>,
+    /// Labeled gauge families: family → label value → value
+    /// (`queue_depth` by shard, so multi-shard snapshots never alias).
+    pub labeled_gauges: BTreeMap<String, BTreeMap<String, u64>>,
     /// Cumulative merged histograms, keyed `name` or `name/label` (the
     /// label is a method name, e.g. `submit_to_stats_ns/gpu-lock-free`).
     pub histograms: BTreeMap<String, Histogram>,
@@ -590,6 +658,8 @@ fn label_key(family: &str) -> &'static str {
     match family {
         "launch_fallbacks_total" => "reason",
         "launch_failures_total" => "kind",
+        "queue_depth" | "shard_launches_total" => "shard",
+        "service_rejections_total" => "reason",
         _ => "label",
     }
 }
@@ -616,6 +686,16 @@ impl MetricsSnapshot {
             out.push_str(&format!(
                 "# TYPE blocksync_{name} gauge\nblocksync_{name} {v}\n"
             ));
+        }
+        for (family, series) in &self.labeled_gauges {
+            out.push_str(&format!("# TYPE blocksync_{family} gauge\n"));
+            let key = label_key(family);
+            for (value, v) in series {
+                out.push_str(&format!(
+                    "blocksync_{family}{{{key}=\"{}\"}} {v}\n",
+                    escape_label(value)
+                ));
+            }
         }
         for (family, series) in &self.labeled {
             out.push_str(&format!("# TYPE blocksync_{family} counter\n"));
@@ -671,6 +751,11 @@ impl MetricsSnapshot {
             .iter()
             .map(|(fam, series)| format!("\"{}\": {}", json_escape(fam), map_json(series)))
             .collect();
+        let labeled_gauges: Vec<String> = self
+            .labeled_gauges
+            .iter()
+            .map(|(fam, series)| format!("\"{}\": {}", json_escape(fam), map_json(series)))
+            .collect();
         let hists: Vec<String> = self
             .histograms
             .iter()
@@ -688,11 +773,12 @@ impl MetricsSnapshot {
             })
             .collect();
         format!(
-            "{{\n  \"ops\": {},\n  \"counters\": {},\n  \"gauges\": {},\n  \"labeled\": {{{}}},\n  \"histograms\": {{\n    {}\n  }}\n}}",
+            "{{\n  \"ops\": {},\n  \"counters\": {},\n  \"gauges\": {},\n  \"labeled\": {{{}}},\n  \"labeled_gauges\": {{{}}},\n  \"histograms\": {{\n    {}\n  }}\n}}",
             self.ops,
             map_json(&self.counters),
             map_json(&self.gauges),
             labeled.join(", "),
+            labeled_gauges.join(", "),
             hists.join(",\n    ")
         )
     }
@@ -715,6 +801,12 @@ impl MetricsSnapshot {
                 "labeled" => {
                     for (fam, series) in val.as_obj("labeled")? {
                         snap.labeled
+                            .insert(fam.clone(), parse_u64_map(series, fam)?);
+                    }
+                }
+                "labeled_gauges" => {
+                    for (fam, series) in val.as_obj("labeled_gauges")? {
+                        snap.labeled_gauges
                             .insert(fam.clone(), parse_u64_map(series, fam)?);
                     }
                 }

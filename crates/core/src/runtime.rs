@@ -289,6 +289,11 @@ struct Shared {
     /// the *host* thread resolving it (never by workers — spin loops stay
     /// free of registry traffic).
     obs: Arc<Observer>,
+    /// Shard label stamped into every [`LaunchRecord`] this pool emits.
+    /// `None` for standalone pools (their gauge samples land under the
+    /// registry's `"default"` shard slot); set by [`crate::GridService`]
+    /// so per-shard registry families never alias across shards.
+    shard_label: Mutex<Option<String>>,
 }
 
 struct PoolState {
@@ -591,6 +596,7 @@ fn wait_launch(
             if shared.obs.is_enabled() {
                 let mut rec = LaunchRecord::from_stats(&stats);
                 rec.replacements = replaced.len();
+                rec.shard = shared.shard_label.lock().clone();
                 if let Some(f) = launch.setup.faults.as_deref() {
                     rec = rec.with_faults(f);
                 }
@@ -607,6 +613,7 @@ fn wait_launch(
                 rec.queued = queued;
                 rec.cold = launch.seq == 0;
                 rec.replacements = replaced.len();
+                rec.shard = shared.shard_label.lock().clone();
                 rec.recent_events = recent_events(launch);
                 if let Some(f) = launch.setup.faults.as_deref() {
                     rec = rec.with_faults(f);
@@ -779,6 +786,7 @@ impl GridRuntime {
             }),
             cv: Condvar::new(),
             obs,
+            shard_label: Mutex::new(None),
         });
         for b in 0..n {
             spawn_worker(Arc::clone(&shared), b, 0, 0);
@@ -790,6 +798,19 @@ impl GridRuntime {
     /// plus flight recorder, fed on every launch completion.
     pub fn observer(&self) -> Arc<Observer> {
         Arc::clone(&self.shared.obs)
+    }
+
+    /// Label every future [`LaunchRecord`] this pool emits with a shard
+    /// name, so a multi-pool [`crate::GridService`] sharing one registry
+    /// gets per-shard `queue_depth` gauges and `shard_launches_total`
+    /// counters instead of aliased globals.
+    pub fn set_shard_label(&self, label: impl Into<String>) {
+        *self.shared.shard_label.lock() = Some(label.into());
+    }
+
+    /// The shard label stamped into this pool's launch records, if any.
+    pub fn shard_label(&self) -> Option<String> {
+        self.shared.shard_label.lock().clone()
     }
 
     /// The pool's grid configuration.

@@ -65,7 +65,10 @@ fn pooled_registry_matches_per_launch_stats_ground_truth() {
     assert_eq!(snap.counters["launches_warm_total"], launches as u64 - 1);
     assert!(!snap.labeled.contains_key("launch_failures_total"));
     assert!(!snap.labeled.contains_key("launch_fallbacks_total"));
-    assert!(snap.gauges.contains_key("queue_depth"));
+    // queue_depth is a labeled gauge family keyed by shard; a standalone
+    // runtime reports under the reserved "default" shard label.
+    assert!(!snap.gauges.contains_key("queue_depth"));
+    assert!(snap.labeled_gauges["queue_depth"].contains_key(blocksync::core::DEFAULT_SHARD));
 
     // The submit→stats histogram is fed the same `wall` value the stats
     // carry, so a reference histogram rebuilt from the stats is identical:
@@ -218,6 +221,58 @@ fn chaos_failures_dump_replayable_postmortems() {
         failed.len() as u64
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: `queue_depth` was a single global gauge, so two shards
+/// feeding one shared observer clobbered each other's depth — the last
+/// writer won and per-shard backlog was invisible. It is now a labeled
+/// family keyed by shard, one live gauge per shard, with unlabeled
+/// (standalone-runtime) launches reporting under `DEFAULT_SHARD`.
+#[test]
+fn queue_depth_is_a_per_shard_gauge_family() {
+    let obs = Observer::new();
+    for (shard, depth) in [
+        (None, 1usize),
+        (Some("4x8/gpu-lock-free"), 5),
+        (Some("3x8/gpu-simple"), 2),
+        (Some("4x8/gpu-lock-free"), 3),
+    ] {
+        let mut r = LaunchRecord::new("gpu-lock-free");
+        r.pooled = true;
+        r.queue_depth = depth;
+        r.shard = shard.map(str::to_string);
+        obs.observe(r);
+    }
+    let snap = obs.snapshot();
+    let family = &snap.labeled_gauges["queue_depth"];
+    // Three distinct shards, each holding its *own* latest depth: the
+    // second lock-free record overwrote only its own label.
+    assert_eq!(family[blocksync::core::DEFAULT_SHARD], 1);
+    assert_eq!(family["4x8/gpu-lock-free"], 3);
+    assert_eq!(family["3x8/gpu-simple"], 2);
+    assert!(!snap.gauges.contains_key("queue_depth"));
+    // Shard-labeled launches also feed the per-shard traffic counter;
+    // unlabeled ones stay out of it.
+    assert_eq!(snap.labeled["shard_launches_total"]["4x8/gpu-lock-free"], 2);
+    assert_eq!(snap.labeled["shard_launches_total"]["3x8/gpu-simple"], 1);
+    assert!(!snap.labeled["shard_launches_total"].contains_key(blocksync::core::DEFAULT_SHARD));
+    // Prometheus renders the family with the shard label and a gauge TYPE.
+    let prom = snap.render_prometheus();
+    assert!(
+        prom.contains("# TYPE blocksync_queue_depth gauge"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("blocksync_queue_depth{shard=\"4x8/gpu-lock-free\"} 3"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("blocksync_queue_depth{shard=\"default\"} 1"),
+        "{prom}"
+    );
+    // And the labeled family survives the JSON round trip.
+    let parsed = MetricsSnapshot::from_json(&snap.to_json()).expect("parses");
+    assert_eq!(parsed, snap);
 }
 
 /// Build a synthetic registry load through the public observe path.

@@ -1,0 +1,278 @@
+//! Integration tests of the service plane (`blocksync_core::service`):
+//! the sharded barrier-as-a-service layer routing submissions to pooled
+//! runtimes behind bounded admission control.
+//!
+//! The load-bearing properties are the admission invariants:
+//! - a tenant's in-flight quota is never exceeded, even under concurrent
+//!   submitters racing on one tenant;
+//! - `QueueFull` surfaces exactly at queue capacity — the capacity-th
+//!   submission is admitted, the capacity+1-th is rejected, and one
+//!   release reopens exactly one slot;
+//! - shard spin-down never drops queued or in-flight launches: a shard is
+//!   only retired once fully drained *and* idle past the TTL
+//!   (drain-before-retire).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use blocksync::core::{
+    BlockCtx, GlobalBuffer, GridService, RoundKernel, ServiceConfig, ServiceError, ShardKey,
+    SyncMethod,
+};
+use proptest::prelude::*;
+
+/// Each round every block bumps its slot; after R rounds with a correct
+/// grid barrier every slot holds R — cheap, verifiable service traffic.
+struct Bump {
+    slots: GlobalBuffer<u64>,
+    rounds: usize,
+}
+
+impl Bump {
+    fn for_shard(key: ShardKey, rounds: usize) -> Arc<Bump> {
+        Arc::new(Bump {
+            slots: GlobalBuffer::new(key.blocks),
+            rounds,
+        })
+    }
+
+    fn verify(&self) -> bool {
+        self.slots.to_vec().iter().all(|&v| v == self.rounds as u64)
+    }
+}
+
+impl RoundKernel for Bump {
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+    fn round(&self, ctx: &BlockCtx, _round: usize) {
+        let b = ctx.block_id;
+        self.slots.set(b, self.slots.get(b) + 1);
+    }
+}
+
+fn shard_a() -> ShardKey {
+    ShardKey::new(3, 8, SyncMethod::GpuLockFree)
+}
+
+fn shard_b() -> ShardKey {
+    ShardKey::new(2, 8, SyncMethod::GpuSimple)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Concurrent submitters racing on one tenant: with no releases, the
+    /// service admits exactly `min(quota, attempts)` launches — never one
+    /// more (quota is atomic under the admission lock) and never one less
+    /// (no spurious rejection while slots are free). Every rejection is a
+    /// quota rejection, and every admitted launch completes and verifies.
+    #[test]
+    fn tenant_quota_is_exact_under_concurrent_submitters(
+        quota in 1usize..5,
+        threads in 2usize..5,
+        per_thread in 1usize..5,
+    ) {
+        let key = shard_a();
+        let svc = GridService::new(
+            ServiceConfig::default()
+                .with_max_shards(1)
+                // Capacity can't interfere: only quota may reject.
+                .with_queue_capacity(threads * per_thread + 1)
+                .with_tenant_quota(quota)
+                .with_idle_ttl(Duration::from_secs(3600)),
+        );
+        let attempts = threads * per_thread;
+        let (admitted, quota_rejections): (Vec<_>, usize) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let svc = &svc;
+                    scope.spawn(move || {
+                        let mut ok = Vec::new();
+                        let mut rejected = 0usize;
+                        for _ in 0..per_thread {
+                            let kernel = Bump::for_shard(key, 10);
+                            match svc.submit("tenant", key, Arc::clone(&kernel) as _) {
+                                Ok(h) => ok.push((kernel, h)),
+                                Err(ServiceError::QuotaExceeded { tenant, quota: q }) => {
+                                    assert_eq!(tenant, "tenant");
+                                    assert!(q > 0);
+                                    rejected += 1;
+                                }
+                                Err(e) => panic!("only quota may reject here: {e}"),
+                            }
+                        }
+                        (ok, rejected)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("submitter panicked"))
+                .fold((Vec::new(), 0), |(mut all, rej), (ok, r)| {
+                    all.extend(ok);
+                    (all, rej + r)
+                })
+        });
+        prop_assert_eq!(admitted.len(), attempts.min(quota));
+        prop_assert_eq!(quota_rejections, attempts - attempts.min(quota));
+        prop_assert_eq!(svc.tenant_inflight("tenant"), admitted.len());
+        for (kernel, h) in admitted {
+            h.wait().expect("clean launch");
+            prop_assert!(kernel.verify());
+        }
+        // Every ticket released: the tenant's ledger is empty again.
+        prop_assert_eq!(svc.tenant_inflight("tenant"), 0);
+    }
+
+    /// `QueueFull` surfaces exactly at capacity: with per-submission
+    /// tenants (so quota never interferes), the first `capacity` submits
+    /// are admitted, the next is rejected naming the shard and capacity,
+    /// and releasing one launch reopens exactly one slot.
+    #[test]
+    fn queue_full_surfaces_exactly_at_capacity(capacity in 1usize..6) {
+        let key = shard_a();
+        let svc = GridService::new(
+            ServiceConfig::default()
+                .with_max_shards(1)
+                .with_queue_capacity(capacity)
+                .with_tenant_quota(1)
+                .with_idle_ttl(Duration::from_secs(3600)),
+        );
+        let mut held = Vec::new();
+        for i in 0..capacity {
+            let kernel = Bump::for_shard(key, 10);
+            let h = svc
+                .submit(&format!("t{i}"), key, Arc::clone(&kernel) as _)
+                .unwrap_or_else(|e| panic!("submit {i} under capacity: {e}"));
+            held.push((kernel, h));
+        }
+        prop_assert_eq!(svc.shard_inflight(key), Some(capacity));
+        // The capacity+1-th submission is the first rejected one.
+        match svc.submit("overflow", key, Bump::for_shard(key, 10) as _) {
+            Err(ServiceError::QueueFull { shard, capacity: c }) => {
+                prop_assert_eq!(shard, key.to_string());
+                prop_assert_eq!(c, capacity);
+            }
+            other => {
+                panic!("expected QueueFull at capacity {capacity}, got {other:?}")
+            }
+        }
+        // Releasing one in-flight launch reopens exactly one slot.
+        let (kernel, h) = held.remove(0);
+        h.wait().expect("clean launch");
+        prop_assert!(kernel.verify());
+        let kernel = Bump::for_shard(key, 10);
+        let h = svc
+            .submit("reopened", key, Arc::clone(&kernel) as _)
+            .unwrap_or_else(|e| panic!("slot must have reopened: {e}"));
+        held.push((kernel, h));
+        for (kernel, h) in held {
+            h.wait().expect("clean launch");
+            prop_assert!(kernel.verify());
+        }
+    }
+
+    /// Drain-before-retire: with a zero idle TTL (every shard is
+    /// retirement-eligible the moment it is idle) and a one-shard limit,
+    /// a busy shard is never reaped out from under its in-flight launches
+    /// — the slot only frees once the shard fully drains, after which the
+    /// next shape can spin up and every held launch still verifies.
+    #[test]
+    fn spin_down_never_drops_inflight_launches(inflight in 1usize..5) {
+        let a = shard_a();
+        let b = shard_b();
+        let svc = GridService::new(
+            ServiceConfig::default()
+                .with_max_shards(1)
+                .with_queue_capacity(8)
+                .with_tenant_quota(8)
+                .with_idle_ttl(Duration::ZERO),
+        );
+        let mut held = Vec::new();
+        for _ in 0..inflight {
+            let kernel = Bump::for_shard(a, 10);
+            let h = svc
+                .submit("tenant", a, Arc::clone(&kernel) as _)
+                .expect("clean launch");
+            held.push((kernel, h));
+        }
+        // Shard A holds launches, so the reap that runs inside this
+        // submit must NOT retire it to make room: the request is refused.
+        match svc.submit("tenant", b, Bump::for_shard(b, 10) as _) {
+            Err(ServiceError::ShardLimit { limit }) => prop_assert_eq!(limit, 1),
+            other => {
+                panic!("busy shard must not be reaped for a new shape: {other:?}")
+            }
+        }
+        prop_assert_eq!(svc.shard_keys(), vec![a]);
+        // Drain shard A completely; nothing was dropped.
+        for (kernel, h) in held.drain(..) {
+            h.wait().expect("clean launch");
+            prop_assert!(kernel.verify());
+        }
+        // Now A is drained and idle past the (zero) TTL: the same request
+        // retires it and spins up B in its place.
+        let kernel = Bump::for_shard(b, 10);
+        let h = svc
+            .submit("tenant", b, Arc::clone(&kernel) as _)
+            .unwrap_or_else(|e| panic!("drained shard must retire: {e}"));
+        prop_assert_eq!(svc.shard_keys(), vec![b]);
+        h.wait().expect("clean launch");
+        prop_assert!(kernel.verify());
+        // The lifecycle counters saw one retirement and two spin-ups.
+        let snap = svc.observer().snapshot();
+        prop_assert_eq!(snap.counters["service_shards_spun_up_total"], 2);
+        prop_assert_eq!(snap.counters["service_shards_retired_total"], 1);
+        prop_assert_eq!(snap.gauges["service_shards_live"], 1);
+    }
+}
+
+/// Blocking admission: a full queue delays `submit_within` rather than
+/// rejecting it, and the slot handoff happens as soon as a wait releases
+/// a ticket — well before the deadline. A too-short deadline surfaces
+/// `Deadline` with the shard name.
+#[test]
+fn submit_within_blocks_until_a_slot_frees() {
+    let key = shard_a();
+    let svc = Arc::new(GridService::new(
+        ServiceConfig::default()
+            .with_max_shards(1)
+            .with_queue_capacity(1)
+            .with_tenant_quota(8)
+            .with_idle_ttl(Duration::from_secs(3600)),
+    ));
+    let holder = Bump::for_shard(key, 10);
+    let held = svc
+        .submit("tenant", key, Arc::clone(&holder) as _)
+        .expect("first submit fills the queue");
+    // An immediate-deadline submit cannot be admitted while the queue is
+    // full and must time out naming the shard.
+    match svc.submit_within("tenant", key, Bump::for_shard(key, 10) as _, Duration::ZERO) {
+        Err(ServiceError::Deadline { shard, .. }) => assert_eq!(shard, key.to_string()),
+        other => panic!("expected Deadline on a full queue, got {other:?}"),
+    }
+    // A generous deadline succeeds once the holder is waited from a
+    // second thread.
+    std::thread::scope(|scope| {
+        let svc2 = Arc::clone(&svc);
+        let blocked = scope.spawn(move || {
+            let kernel = Bump::for_shard(key, 10);
+            let h = svc2
+                .submit_within(
+                    "tenant",
+                    key,
+                    Arc::clone(&kernel) as _,
+                    Duration::from_secs(30),
+                )
+                .expect("slot frees well before the deadline");
+            h.wait().expect("clean launch");
+            assert!(kernel.verify());
+        });
+        // Give the blocked submitter time to park, then release the slot.
+        std::thread::sleep(Duration::from_millis(20));
+        held.wait().expect("clean launch");
+        assert!(holder.verify());
+        blocked.join().expect("blocked submitter panicked");
+    });
+}
