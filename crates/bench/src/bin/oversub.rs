@@ -1,17 +1,50 @@
-//! The oversubscription study (paper Sections 5 and 7.2):
+//! The oversubscription study (paper Sections 5 and 7.2, DESIGN.md §15):
 //!
 //! * CPU implicit synchronization handles any block count by running each
 //!   round in waves of at most 30 blocks — the paper swept 31..120 blocks
 //!   and found 30 best, which this reproduces.
-//! * A device-side grid barrier with 31 blocks **deadlocks**: 30 resident
-//!   non-preemptive blocks spin forever while the 31st can never be
-//!   scheduled. The simulator detects and reports the deadlock instead of
-//!   hanging.
+//! * A device-side grid barrier with 31 blocks **deadlocks** under the
+//!   default spinning policy: 30 resident non-preemptive blocks spin
+//!   forever while the 31st can never be scheduled. The simulator detects
+//!   and reports the deadlock instead of hanging.
+//! * The same barrier under a **parking** policy survives the whole
+//!   ladder: parked waiters free their slots, the grid drains in waves,
+//!   and the cost model prices the waves instead of excluding them.
+//!
+//! Emits `BENCH_oversub.json` baseline records:
+//!
+//! 1. `model:oversub/penalty_{2,4,16}x` — the GTX 280 calibration's
+//!    park/wake wave penalty (`oversubscription_penalty_ns`) at 2x/4x/16x
+//!    the SM count (deterministic; guarded by the CI baseline check).
+//! 2. `model:oversub/parked_round_{2,4,16}x` — simulated per-round total
+//!    for the parked lock-free barrier at the same ladder (deterministic;
+//!    guarded).
+//! 3. `host:oversub/{2,4,16}x` — wall-clock per-round time of the host
+//!    runtime running a parked lock-free grid at 2x/4x/16x the *core*
+//!    count. Noisy; unguarded.
+//!
+//! Flags: `--short` (fewer host repetitions, for CI smoke), `--json FILE`
+//! (default `BENCH_oversub.json`), `--baseline FILE` + `--max-regress-pct
+//! P` (fail nonzero on guarded regression).
 
-use blocksync_bench::experiments::oversubscription;
+use std::process::ExitCode;
+
+use blocksync_bench::baseline::{self, BenchRecord};
+use blocksync_bench::experiments::{oversubscription, MAX_SIM_ROUNDS};
 use blocksync_bench::harness::{format_table, ms};
+use blocksync_core::{GridConfig, GridExecutor, SpinStrategy, SyncMethod, SyncPolicy};
+use blocksync_device::CalibrationProfile;
+use blocksync_microbench::MeanKernel;
 
-fn main() {
+const LADDER: [usize; 3] = [2, 4, 16];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let short = baseline::has_flag(&args, "short");
+    let json_path = baseline::flag_value(&args, "json").unwrap_or("BENCH_oversub.json".into());
+    let mut records = Vec::new();
+
+    // -- Section 1: the paper's study — CPU waves and the spin deadlock ---
     let o = oversubscription();
     println!("Micro-benchmark under CPU implicit sync, past the SM count:\n");
     let rows: Vec<Vec<String>> = o
@@ -23,8 +56,97 @@ fn main() {
     println!("paper: \"performance with 30 blocks in the kernel is better than all of\n[31..120]\" — reproduced.\n");
 
     match &o.gpu_at_31 {
-        Err(e) => println!("GPU lock-free barrier with 31 blocks: {e}"),
+        Err(e) => println!("GPU lock-free barrier with 31 blocks (spinning): {e}"),
         Ok(t) => println!("GPU lock-free barrier with 31 blocks unexpectedly finished in {t}"),
     }
-    println!("\nThis is why the paper enforces a one-to-one block/SM mapping (Section 5).");
+    println!("\nThis is why the paper enforces a one-to-one block/SM mapping (Section 5).\n");
+
+    // -- Section 2: the parked ladder, simulated (guarded) ----------------
+    let cal = CalibrationProfile::gtx280();
+    let sms = 30usize;
+    println!("Same barrier with SyncPolicy::with_park(): waves instead of deadlock:\n");
+    let rows: Vec<Vec<String>> = o
+        .parked_gpu
+        .iter()
+        .map(|&(n, t)| {
+            vec![
+                n.to_string(),
+                ms(t),
+                cal.oversubscription_penalty_ns(n, sms).to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["blocks", "total (ms)", "model penalty (ns)"], &rows)
+    );
+
+    for m in LADDER {
+        let n = m * sms;
+        records.push(BenchRecord::new(
+            format!("model:oversub/penalty_{m}x"),
+            n,
+            cal.oversubscription_penalty_ns(n, sms) as f64,
+        ));
+        if let Some(&(_, total)) = o.parked_gpu.iter().find(|&&(b, _)| b == n) {
+            records.push(BenchRecord::new(
+                format!("model:oversub/parked_round_{m}x"),
+                n,
+                total.as_nanos() as f64 / MAX_SIM_ROUNDS as f64,
+            ));
+        }
+    }
+
+    // -- Section 3: the host runtime at blocks > cores (unguarded) --------
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4)
+        .min(8);
+    let rounds = if short { 40 } else { 200 };
+    let tpb = 16;
+    let policy = SyncPolicy::default().with_spin(SpinStrategy::park());
+    println!(
+        "\nHost runtime, parked lock-free barrier, {cores} cores ({} mode):\n",
+        if short { "short" } else { "full" }
+    );
+    let mut rows = Vec::new();
+    for m in LADDER {
+        let n = m * cores;
+        let kernel = MeanKernel::for_grid(n, tpb, rounds);
+        let cfg = GridConfig::new(n, tpb).with_policy(policy);
+        let stats = match GridExecutor::new(cfg, SyncMethod::GpuLockFree).run(&kernel) {
+            Ok(stats) => stats,
+            Err(e) => {
+                eprintln!("error: parked host run at {n} blocks failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let per_round = stats.wall.as_secs_f64() * 1e9 / rounds as f64;
+        records.push(BenchRecord::new(format!("host:oversub/{m}x"), n, per_round));
+        rows.push(vec![
+            format!("{m}x ({n} blocks)"),
+            format!("{per_round:.0}"),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(&["oversubscription", "wall ns/round"], &rows)
+    );
+
+    if let Err(e) = std::fs::write(&json_path, baseline::to_json(&records)) {
+        eprintln!("error: cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} records to {json_path}", records.len());
+
+    if let Some(bl) = baseline::flag_value(&args, "baseline") {
+        let pct = baseline::flag_value(&args, "max-regress-pct")
+            .map(|v| v.parse().expect("--max-regress-pct expects a number"))
+            .unwrap_or(25.0);
+        if let Err(e) = baseline::guard_against_baseline(&records, &bl, pct) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

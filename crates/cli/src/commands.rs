@@ -568,7 +568,8 @@ pub fn tune(a: &Args) -> Result<(), String> {
         cal.implicit_round_overhead_ns
     );
     println!(
-        "topology: {} cluster(s) {:?}; GPU-side methods eligible up to {max_gpu} blocks",
+        "topology: {} cluster(s) {:?}; GPU-side methods spin up to {max_gpu} blocks, \
+         park (priced) beyond",
         decision.topology.num_clusters(),
         decision.topology.cluster_sizes
     );
@@ -579,10 +580,12 @@ pub fn tune(a: &Args) -> Result<(), String> {
         } else {
             ' '
         };
-        let note = if row.eligible {
-            ""
-        } else {
+        let note = if !row.eligible {
             "  (ineligible: grid exceeds persistent-block capacity)"
+        } else if row.oversubscribed {
+            "  (oversubscribed: parks past capacity; includes park/wake wave penalty)"
+        } else {
+            ""
         };
         println!(
             " {mark} {:<16} {:>12.0} ns{note}",

@@ -28,7 +28,7 @@ use std::sync::OnceLock;
 
 use blocksync_device::{measure_host, CalibrationProfile, HostTopology, MeasureBudget};
 use blocksync_model::equations::t_gts_grouped;
-use blocksync_model::selector::{self, MethodKind};
+use blocksync_model::selector::{self, MethodKind, SelectorError};
 
 use crate::method::{SyncMethod, TreeLevels};
 
@@ -41,10 +41,15 @@ pub const SNAP_TOLERANCE: f64 = 0.05;
 pub struct MethodPrediction {
     /// The concrete method this row prices.
     pub method: SyncMethod,
-    /// Predicted per-round synchronization cost, ns.
+    /// Predicted per-round synchronization cost, ns. For oversubscribed
+    /// GPU-side rows this includes the park/wake wave penalty.
     pub predicted_sync_ns: f64,
     /// Whether the device can run it at the decided block count.
     pub eligible: bool,
+    /// True when running this row needs parking waiters
+    /// ([`crate::SpinStrategy::Park`]): more blocks than fit resident at
+    /// once, so the grid completes in waves.
+    pub oversubscribed: bool,
 }
 
 /// The auto-tuner's verdict for one grid configuration.
@@ -57,6 +62,9 @@ pub struct AutoDecision {
     /// Mean measured per-round sync cost, ns — filled in by the executor
     /// after the run; `None` on a decision that has not executed yet.
     pub measured_sync_ns: Option<f64>,
+    /// Whether the chosen method runs oversubscribed (more blocks than fit
+    /// resident), requiring a parking spin strategy.
+    pub oversubscribed: bool,
     /// The full table the choice was made from, in canonical order.
     pub table: Vec<MethodPrediction>,
     /// Calibrated cold kernel-launch overhead (`t_O`), ns — what a scoped
@@ -142,12 +150,28 @@ impl AutoTuner {
     /// most `max_gpu_blocks` persistent blocks: build the prediction table,
     /// snap the tuned tree's group size to the topology when justified, and
     /// take the cheapest eligible row (ties to the earlier, i.e. more
-    /// established, method).
+    /// established, method). Grids beyond `max_gpu_blocks` keep their GPU
+    /// candidates — priced with the park/wake wave penalty and flagged
+    /// `oversubscribed` so the executor arms a parking spin strategy.
     ///
     /// # Panics
-    /// Panics if `n_blocks == 0`.
+    /// Panics if `n_blocks == 0`; use [`AutoTuner::try_decide`] for the
+    /// structured-error form.
     pub fn decide(&self, n_blocks: usize, max_gpu_blocks: usize) -> AutoDecision {
-        assert!(n_blocks > 0, "cannot tune an empty grid");
+        self.try_decide(n_blocks, max_gpu_blocks)
+            .unwrap_or_else(|e| panic!("auto-tune failed: {e}"))
+    }
+
+    /// [`AutoTuner::decide`] with selection failures surfaced as
+    /// [`SelectorError`] instead of a panic.
+    pub fn try_decide(
+        &self,
+        n_blocks: usize,
+        max_gpu_blocks: usize,
+    ) -> Result<AutoDecision, SelectorError> {
+        if n_blocks == 0 {
+            return Err(SelectorError::EmptyGrid);
+        }
         let mut table: Vec<MethodPrediction> =
             selector::prediction_table(&self.cal, n_blocks, max_gpu_blocks)
                 .into_iter()
@@ -155,6 +179,7 @@ impl AutoTuner {
                     method: to_sync_method(p.kind),
                     predicted_sync_ns: p.sync_ns,
                     eligible: p.eligible,
+                    oversubscribed: p.oversubscribed,
                 })
                 .collect();
         self.snap_tuned_tree(&mut table, n_blocks);
@@ -165,18 +190,21 @@ impl AutoTuner {
                 Some(b) if b.predicted_sync_ns <= p.predicted_sync_ns => Some(b),
                 _ => Some(p),
             })
-            .expect("CPU methods are always eligible")
+            .ok_or(SelectorError::NoEligibleCandidate {
+                considered: table.len(),
+            })?
             .clone();
-        AutoDecision {
+        Ok(AutoDecision {
             chosen: chosen.method,
             predicted_sync_ns: chosen.predicted_sync_ns,
             measured_sync_ns: None,
+            oversubscribed: chosen.oversubscribed,
             table,
             launch_cold_ns: self.cal.kernel_launch_ns as f64,
             launch_warm_ns: self.cal.warm_launch_ns as f64,
             calibration: self.cal.clone(),
             topology: self.topo.clone(),
-        }
+        })
     }
 
     /// Replace the tuned tree row's group size with a cluster-aligned one
@@ -243,15 +271,50 @@ mod tests {
     }
 
     #[test]
-    fn oversubscription_forces_a_cpu_method() {
-        let d = AutoTuner::with_profile(CalibrationProfile::gtx280()).decide(64, 30);
+    fn oversubscription_prices_gpu_rows_instead_of_excluding_them() {
+        let cal = CalibrationProfile::gtx280();
+        let d = AutoTuner::with_profile(cal.clone()).decide(64, 30);
+        // On the GTX 280 profile the wave penalty still hands the win to
+        // CPU implicit...
         assert_eq!(d.chosen, SyncMethod::CpuImplicit);
-        // Every GPU row is priced but ineligible.
+        assert!(!d.oversubscribed);
+        // ...but every GPU row stays eligible, flagged and penalized.
+        let penalty = cal.oversubscription_penalty_ns(64, 30) as f64;
+        assert!(penalty > 0.0);
         for row in &d.table {
             if row.method.is_gpu_side() {
-                assert!(!row.eligible, "{} should be ineligible", row.method);
+                assert!(row.eligible, "{} should stay eligible", row.method);
+                assert!(row.oversubscribed, "{} should be flagged", row.method);
+                assert!(
+                    row.predicted_sync_ns >= penalty,
+                    "{} carries the park/wake penalty",
+                    row.method
+                );
+            } else {
+                assert!(!row.oversubscribed);
             }
         }
+    }
+
+    #[test]
+    fn cheap_parking_decides_an_oversubscribed_gpu_method() {
+        // When parking is nearly free and relaunches are ruinous, the tuner
+        // must be willing to run a GPU barrier in waves.
+        let mut cal = CalibrationProfile::gtx280();
+        cal.park_wake_ns = 1;
+        cal.implicit_round_overhead_ns = 1_000_000;
+        cal.explicit_round_overhead_ns = 2_000_000;
+        let d = AutoTuner::with_profile(cal).decide(64, 30);
+        assert!(d.chosen.is_gpu_side(), "chose {}", d.chosen);
+        assert!(d.oversubscribed);
+    }
+
+    #[test]
+    fn try_decide_surfaces_structured_errors() {
+        let tuner = AutoTuner::with_profile(CalibrationProfile::gtx280());
+        assert_eq!(tuner.try_decide(0, 30), Err(SelectorError::EmptyGrid));
+        let ok = tuner.try_decide(8, 30).unwrap();
+        assert_eq!(ok.chosen, tuner.decide(8, 30).chosen);
     }
 
     #[test]
@@ -324,7 +387,8 @@ mod tests {
         assert!(d.prefers_pooled());
         let speedup = d.pooled_launch_speedup().unwrap();
         assert!((speedup - 7.0 / 3.0).abs() < 1e-9);
-        // Oversubscribed grids resolve to a CPU-side method, which relaunches
+        // On this profile the oversubscribed grid resolves to a CPU-side
+        // method (the wave penalty outweighs relaunching), which relaunches
         // per round and can never pool.
         let cpu = AutoTuner::with_profile(CalibrationProfile::gtx280()).decide(64, 30);
         assert!(cpu.chosen.is_cpu_side());

@@ -42,6 +42,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::utils::CachePadded;
+use parking_lot::{Condvar, Mutex};
 
 use crate::error::{StuckDiagnostic, StuckPhase};
 use crate::trace::{EventRecorder, TraceEventKind};
@@ -62,6 +63,41 @@ pub enum SpinStrategy {
     /// Like `Yield`, but escalate to short sleeps when a wait drags on.
     /// Lowest CPU burn while stuck; highest single-poll latency.
     Backoff,
+    /// Spin/yield for `spin_budget` polls, then **park** on an OS condvar
+    /// (parking-lot style) until a peer's arrival, departure, or poison
+    /// wakes the lot. Parks are time-bounded ([`BarrierControl::MAX_PARK`]),
+    /// so a missed wakeup costs bounded latency, never liveness: every
+    /// waiter re-polls its flag infinitely often. Because a parked waiter
+    /// releases its core to the OS scheduler, this is the only strategy
+    /// that stays **deadlock-free when blocks outnumber cores** — the
+    /// not-yet-scheduled blocks get the freed cores, arrive, and wake the
+    /// parked lot (Stuart & Owens' spin/yield/sleep hybrid discipline).
+    Park {
+        /// Polls to burn spinning/yielding before the first park. Low
+        /// budgets park promptly (best under heavy oversubscription); high
+        /// budgets preserve spin-grade latency when cores are plentiful.
+        spin_budget: u32,
+    },
+}
+
+impl SpinStrategy {
+    /// Polls a [`SpinStrategy::park`] waiter burns before its first park:
+    /// one yield phase, enough for every same-core peer to run in between.
+    pub const DEFAULT_PARK_SPIN_BUDGET: u32 = 4096;
+
+    /// The parking strategy with the default spin budget.
+    pub fn park() -> Self {
+        SpinStrategy::Park {
+            spin_budget: Self::DEFAULT_PARK_SPIN_BUDGET,
+        }
+    }
+
+    /// Whether this strategy parks waiters on an OS primitive instead of
+    /// occupying a core — the capability that lifts the one-block-per-core
+    /// launch validation for GPU-side barriers.
+    pub fn parks(self) -> bool {
+        matches!(self, SpinStrategy::Park { .. })
+    }
 }
 
 /// Fault-handling policy for barrier waits, carried by
@@ -105,6 +141,18 @@ impl SyncPolicy {
     pub fn with_spin(mut self, spin: SpinStrategy) -> Self {
         self.spin = spin;
         self
+    }
+
+    /// Switch to the parking strategy ([`SpinStrategy::park`]) with the
+    /// default spin budget — the policy that survives blocks > cores.
+    pub fn with_park(self) -> Self {
+        self.with_spin(SpinStrategy::park())
+    }
+
+    /// Whether waits under this policy park instead of occupying a core
+    /// (see [`SpinStrategy::parks`]).
+    pub fn parks(&self) -> bool {
+        self.spin.parks()
     }
 
     /// Replace the pooled-runtime abandon grace (see
@@ -233,11 +281,44 @@ pub struct BarrierControl {
     /// launch engine when a kernel carries a [`crate::FaultSchedule`] with
     /// wait-phase faults, absent otherwise.
     wait_hook: OnceLock<Arc<dyn WaitFaultHook>>,
+    /// The parking lot [`SpinStrategy::Park`] waiters sleep in. Always
+    /// present (it is three words of state); only touched by non-`Park`
+    /// policies as one relaxed load per `record_*` call.
+    park: ParkLot,
+}
+
+/// Where exhausted-spin-budget waiters sleep: a parked-waiter count guarded
+/// by the lock-then-notify protocol. Wakers only take the mutex when
+/// `parked != 0`, so fully-spinning barriers pay a single relaxed load per
+/// arrival/departure and never contend on the lock.
+struct ParkLot {
+    /// Waiters currently inside (or entering) a timed condvar wait.
+    parked: AtomicU64,
+    mutex: Mutex<()>,
+    cv: Condvar,
+}
+
+impl ParkLot {
+    fn new() -> Self {
+        ParkLot {
+            parked: AtomicU64::new(0),
+            mutex: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
 }
 
 impl BarrierControl {
     /// Polls between deadline (`Instant::now`) checks.
     pub const DEADLINE_STRIDE: u32 = 1024;
+
+    /// Longest single park. The deadlock-freedom argument for
+    /// [`SpinStrategy::Park`] rests on this bound, not on wakeups: even if
+    /// every notify were lost, each parked waiter re-polls at least this
+    /// often, so progress (and timeout detection) is never suspended on a
+    /// signal that may never come. Wakeups make the common case fast;
+    /// the bound makes the worst case correct.
+    pub const MAX_PARK: Duration = Duration::from_millis(1);
 
     /// Control plane for `n_blocks` blocks under `policy`.
     pub fn new(n_blocks: usize, policy: SyncPolicy) -> Self {
@@ -252,6 +333,7 @@ impl BarrierControl {
                 .collect(),
             recorder: OnceLock::new(),
             wait_hook: OnceLock::new(),
+            park: ParkLot::new(),
         }
     }
 
@@ -292,6 +374,7 @@ impl BarrierControl {
         if let Some(rec) = self.recorder.get() {
             rec.record(block, round as usize, TraceEventKind::BarrierArrive);
         }
+        self.wake_parked();
     }
 
     /// Record that `block` has completed its round-`round` wait.
@@ -301,6 +384,32 @@ impl BarrierControl {
         if let Some(rec) = self.recorder.get() {
             rec.record(block, round as usize, TraceEventKind::BarrierDepart);
         }
+        self.wake_parked();
+    }
+
+    /// Wake every waiter parked under [`SpinStrategy::Park`] so it re-polls
+    /// its flag. Barrier implementations call this after any store that can
+    /// release a peer (arrival flags, broadcast stores, counter adds);
+    /// `record_arrival`/`record_departure`/`poison` call it implicitly.
+    ///
+    /// Purely a latency optimization: parks are time-bounded, so a missed
+    /// wake delays the re-poll by at most [`BarrierControl::MAX_PARK`].
+    /// With no one parked this is a single relaxed load.
+    #[inline]
+    pub fn wake_parked(&self) {
+        if self.park.parked.load(Ordering::SeqCst) != 0 {
+            // Lock-then-notify: a waiter that registered but has not yet
+            // entered `wait_for` holds the mutex, so this notify cannot
+            // slip into the gap between its final flag check and its park.
+            let _guard = self.park.mutex.lock();
+            self.park.cv.notify_all();
+        }
+    }
+
+    /// Waiters currently parked (diagnostic; used by tests to assert the
+    /// lot actually gets used under oversubscription).
+    pub fn parked_waiters(&self) -> u64 {
+        self.park.parked.load(Ordering::Relaxed)
     }
 
     /// Poison the barrier: every current and future wait returns
@@ -324,6 +433,9 @@ impl BarrierControl {
                 rec.record(block, round, TraceEventKind::Poison);
             }
         }
+        // Win or lose, wake the lot: parked waiters must observe the poison
+        // word now, not at their next timed-park expiry.
+        self.wake_parked();
     }
 
     /// Whether the barrier is poisoned, and by whom.
@@ -372,6 +484,14 @@ impl BarrierControl {
         const YIELD_PHASE: u32 = 4096;
 
         let deadline = self.policy.timeout.map(|t| (Instant::now() + t, t));
+        // Once a Park waiter exceeds its spin budget, every loop iteration
+        // is an up-to-MAX_PARK sleep; the poll-count deadline stride would
+        // then check the clock ~once a second. Check it on every wake
+        // instead.
+        let parking = match self.policy.spin {
+            SpinStrategy::Park { spin_budget } => Some(spin_budget),
+            _ => None,
+        };
         let mut polls = 0u32;
         loop {
             if cond() {
@@ -389,8 +509,9 @@ impl BarrierControl {
                     cause,
                 });
             }
+            let parked_phase = parking.is_some_and(|budget| polls >= budget);
             if let Some((when, timeout)) = deadline {
-                if polls % Self::DEADLINE_STRIDE == Self::DEADLINE_STRIDE - 1
+                if (parked_phase || polls % Self::DEADLINE_STRIDE == Self::DEADLINE_STRIDE - 1)
                     && Instant::now() >= when
                 {
                     // Snapshot progress *before* publishing the poison:
@@ -436,9 +557,45 @@ impl BarrierControl {
                         std::thread::sleep(Duration::from_micros(100));
                     }
                 }
+                SpinStrategy::Park { spin_budget } => {
+                    if polls < SPIN_BURST.min(spin_budget) {
+                        std::hint::spin_loop();
+                    } else if polls < spin_budget {
+                        std::thread::yield_now();
+                    } else {
+                        self.park(&mut cond, deadline.map(|(when, _)| when));
+                    }
+                }
             }
-            polls = polls.wrapping_add(1);
+            // Saturate rather than wrap once parked: wrapping would bounce
+            // the waiter back into the spin/yield phase (and off the
+            // every-wake deadline check) after 2^32 polls.
+            polls = if parking.is_some() {
+                polls.saturating_add(1)
+            } else {
+                polls.wrapping_add(1)
+            };
         }
+    }
+
+    /// One bounded park: register in the lot, re-check the release/poison
+    /// conditions under the lock (closing the check-then-park race against
+    /// [`BarrierControl::wake_parked`]'s lock-then-notify), then sleep
+    /// until a wake, the deadline, or [`Self::MAX_PARK`] — whichever is
+    /// first. The caller's loop re-polls on return.
+    fn park(&self, cond: &mut impl FnMut() -> bool, deadline: Option<Instant>) {
+        self.park.parked.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut guard = self.park.mutex.lock();
+            if !cond() && self.poison.load(Ordering::Relaxed) == 0 {
+                let bound = deadline
+                    .map(|when| when.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Self::MAX_PARK)
+                    .clamp(Duration::from_micros(1), Self::MAX_PARK);
+                let _ = self.park.cv.wait_for(&mut guard, bound);
+            }
+        }
+        self.park.parked.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Record one completed wait's poll count (no-op without a recorder).
@@ -658,6 +815,8 @@ mod tests {
             SpinStrategy::Spin,
             SpinStrategy::Yield,
             SpinStrategy::Backoff,
+            SpinStrategy::park(),
+            SpinStrategy::Park { spin_budget: 0 },
         ] {
             let policy = SyncPolicy::with_timeout(Duration::from_millis(10)).with_spin(spin);
             let ctl = BarrierControl::new(1, policy);
@@ -671,6 +830,121 @@ mod tests {
                 "{spin:?} overshot wildly"
             );
         }
+    }
+
+    #[test]
+    fn park_strategy_helpers() {
+        assert!(SpinStrategy::park().parks());
+        assert!(!SpinStrategy::Yield.parks());
+        assert!(SyncPolicy::default().with_park().parks());
+        assert!(!SyncPolicy::default().parks());
+        assert_eq!(
+            SpinStrategy::park(),
+            SpinStrategy::Park {
+                spin_budget: SpinStrategy::DEFAULT_PARK_SPIN_BUDGET
+            }
+        );
+    }
+
+    #[test]
+    fn parked_waiter_is_woken_by_arrival() {
+        // A waiter with a zero spin budget parks immediately; a peer's
+        // record_arrival must wake it well before the 5 s timeout (a lost
+        // wakeup would still pass via MAX_PARK, but slowly — assert the
+        // fast path by bounding total wall time).
+        let policy = SyncPolicy::with_timeout(Duration::from_secs(5))
+            .with_spin(SpinStrategy::Park { spin_budget: 0 });
+        let ctl = Arc::new(BarrierControl::new(2, policy));
+        let flag = Arc::new(AtomicU64::new(0));
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            let c = Arc::clone(&ctl);
+            let f = Arc::clone(&flag);
+            s.spawn(move || {
+                c.wait_until(
+                    0,
+                    0,
+                    "test",
+                    || "flag".into(),
+                    || f.load(Ordering::Acquire) != 0,
+                )
+                .unwrap();
+            });
+            // Give the waiter time to reach the parked phase.
+            while ctl.parked_waiters() == 0 && t0.elapsed() < Duration::from_secs(2) {
+                std::thread::yield_now();
+            }
+            assert_eq!(ctl.parked_waiters(), 1, "waiter never parked");
+            flag.store(1, Ordering::Release);
+            ctl.record_arrival(1, 0);
+        });
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn parked_wait_polls_stay_bounded() {
+        // The busy-wait assertion for the parking discipline, via the obs
+        // plane's spin counters: a 40 ms wait under Park must record a
+        // poll count near the spin budget (budget + one poll per ~1 ms
+        // park wake), not the hundreds of thousands of polls a yield loop
+        // burns over the same span.
+        use crate::trace::{EventRecorder, TraceConfig};
+        let budget = 64u32;
+        let policy =
+            SyncPolicy::with_timeout(Duration::from_secs(5)).with_spin(SpinStrategy::Park {
+                spin_budget: budget,
+            });
+        let ctl = Arc::new(BarrierControl::new(2, policy));
+        let rec = Arc::new(EventRecorder::new(2, 1, &TraceConfig::default()));
+        ctl.attach_recorder(Arc::clone(&rec));
+        let flag = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            let c = Arc::clone(&ctl);
+            let f = Arc::clone(&flag);
+            s.spawn(move || {
+                c.wait_until(
+                    0,
+                    0,
+                    "test",
+                    || "flag".into(),
+                    || f.load(Ordering::Acquire) != 0,
+                )
+                .unwrap();
+            });
+            std::thread::sleep(Duration::from_millis(40));
+            flag.store(1, Ordering::Release);
+            ctl.record_arrival(1, 0);
+        });
+        let polls = rec.spin_histogram().max();
+        assert!(polls >= u64::from(budget), "wait finished before parking");
+        assert!(
+            polls < u64::from(budget) + 2_000,
+            "parked wait busy-polled: {polls} polls for a 40 ms wait"
+        );
+    }
+
+    #[test]
+    fn parked_waiter_unwinds_on_poison() {
+        let policy = SyncPolicy::default().with_spin(SpinStrategy::Park { spin_budget: 0 });
+        let ctl = Arc::new(BarrierControl::new(2, policy));
+        let res = std::thread::scope(|s| {
+            let c = Arc::clone(&ctl);
+            let h = s.spawn(move || c.wait_until(0, 0, "test", || "flag".into(), || false));
+            while ctl.parked_waiters() == 0 {
+                std::thread::yield_now();
+            }
+            ctl.poison(1, 4, PoisonCause::Panic);
+            h.join().unwrap()
+        });
+        assert_eq!(
+            res.unwrap_err(),
+            SyncFault::Poisoned {
+                block: 1,
+                round: 4,
+                cause: PoisonCause::Panic
+            }
+        );
     }
 
     #[test]

@@ -113,6 +113,7 @@ impl BarrierWaiter for DisseminationWaiter {
             // `dist` behind. Flags are per-destination, so each has one
             // writer (us) and one reader (the destination).
             level[to].store(goal, Ordering::Release);
+            ctl.wake_parked();
             ctl.wait_until(
                 me,
                 self.round,

@@ -123,9 +123,12 @@ impl GridConfig {
 
     /// Validate this grid for `method`.
     ///
-    /// GPU-side barriers require the one-block-per-SM discipline, so
-    /// `n_blocks` must not exceed the SM count; CPU-side methods relaunch
-    /// kernels and may use any block count.
+    /// GPU-side barriers with a *spinning* wait require the
+    /// one-block-per-SM discipline, so `n_blocks` must not exceed the SM
+    /// count. A parking policy ([`crate::SpinStrategy::Park`]) lifts that
+    /// ceiling: every wait is bounded, so stalled waves yield their slots
+    /// and oversubscribed grids complete in waves instead of deadlocking.
+    /// CPU-side methods relaunch kernels and may use any block count.
     pub fn validate(&self, method: SyncMethod) -> Result<(), blocksync_device::DeviceError> {
         use blocksync_device::DeviceError;
         if self.n_blocks == 0 || self.threads_per_block == 0 {
@@ -137,7 +140,10 @@ impl GridConfig {
                 max: self.spec.max_threads_per_block,
             });
         }
-        if method.is_gpu_side() && self.n_blocks as u32 > self.spec.max_persistent_blocks() {
+        if method.is_gpu_side()
+            && !self.policy.parks()
+            && self.n_blocks as u32 > self.spec.max_persistent_blocks()
+        {
             return Err(DeviceError::TooManyBlocks {
                 requested: self.n_blocks as u32,
                 max: self.spec.max_persistent_blocks(),
@@ -414,7 +420,14 @@ impl GridExecutor {
             self.cfg.n_blocks,
             self.cfg.spec.max_persistent_blocks() as usize,
         );
-        let plan = LaunchPlan::compile(self.cfg.clone(), decision.chosen)?;
+        let mut cfg = self.cfg.clone();
+        if decision.oversubscribed && !cfg.policy.parks() {
+            // The winner needs more blocks than fit resident at once: arm
+            // the parking spin strategy so waves can yield their slots
+            // (and so validation admits the grid).
+            cfg.policy = cfg.policy.with_park();
+        }
+        let plan = LaunchPlan::compile(cfg, decision.chosen)?;
         let resolved = format!("auto:{}", decision.chosen);
         let mut result = plan.execute(kernel);
         if let Ok(stats) = &mut result {
@@ -563,14 +576,24 @@ mod tests {
 
     #[test]
     fn auto_tolerates_oversubscribed_grids() {
-        // 40 blocks exceed the 30-SM persistent ceiling: Auto must fall
-        // back to a CPU-side method instead of erroring like GPU methods.
+        // 40 blocks exceed the 30-SM resident ceiling: Auto must price the
+        // oversubscribed candidates and complete — either on a CPU-side
+        // method or on a GPU winner armed with parking waiters. Never an
+        // error, never a deadlock.
         let k = MinPlusOne::new(40, 3);
         let stats = GridExecutor::new(GridConfig::new(40, 32), SyncMethod::Auto)
             .run(&k)
             .unwrap();
         let auto = stats.auto.as_ref().unwrap();
-        assert!(auto.chosen.is_cpu_side(), "chose {}", auto.chosen);
+        assert!(
+            auto.chosen.is_cpu_side() || auto.oversubscribed,
+            "chose {}",
+            auto.chosen
+        );
+        // GPU rows must be priced, not excluded, in the decision table.
+        for row in &auto.table {
+            assert!(row.eligible, "{} should be eligible", row.method);
+        }
         assert_eq!(stats.n_blocks, 40);
     }
 
@@ -625,6 +648,20 @@ mod tests {
                 .run(&k)
                 .is_ok()
         );
+    }
+
+    #[test]
+    fn parking_policy_admits_oversubscribed_gpu_grids() {
+        // The same 31-block grid that a spinning policy rejects completes
+        // under a parking policy: bounded waits let waves yield their slots.
+        let k = MinPlusOne::new(31, 2);
+        let cfg = GridConfig::new(31, 32).with_policy(SyncPolicy::default().with_park());
+        let stats = GridExecutor::new(cfg, SyncMethod::GpuSimple)
+            .run(&k)
+            .unwrap();
+        assert_eq!(stats.n_blocks, 31);
+        let v = k.slots.to_vec();
+        assert!(v.iter().all(|&x| x == 2), "expected all 2, got {v:?}");
     }
 
     #[test]

@@ -133,17 +133,26 @@ pub(crate) fn fault_to_error(fault: SyncFault, barrier: &dyn BarrierShared) -> E
 }
 
 /// One-shot launch gate for persistent strategies: every block thread
-/// checks in and spins (yielding) until all peers exist. This pins down
-/// the "kernel launch" boundary — time before the gate opens is
-/// thread-spawn overhead (`t_O`), time after is round time — so round-0
-/// sync no longer absorbs the stagger of late-spawned threads. One
-/// `fetch_add` per thread per *launch*, well off the barrier hot path.
+/// checks in and waits until all peers exist. This pins down the "kernel
+/// launch" boundary — time before the gate opens is thread-spawn overhead
+/// (`t_O`), time after is round time — so round-0 sync no longer absorbs
+/// the stagger of late-spawned threads. One `fetch_add` per thread per
+/// *launch*, well off the barrier hot path.
+///
+/// The wait is spin-budgeted, not unbounded: on an oversubscribed host
+/// (more blocks than cores) the last peers cannot even be scheduled until
+/// earlier arrivals stop burning their timeslices, so after a yield burst
+/// the wait backs off to short sleeps — the same discipline as the
+/// assembly gate in `runtime.rs` and `SpinStrategy::Park`.
 pub(crate) struct StartGate {
     arrived: AtomicUsize,
     n: usize,
 }
 
 impl StartGate {
+    /// Yield-only polls before backing off to sleeps.
+    const SPIN_BUDGET: u32 = 4096;
+
     pub(crate) fn new(n: usize) -> Self {
         StartGate {
             arrived: AtomicUsize::new(0),
@@ -153,8 +162,14 @@ impl StartGate {
 
     pub(crate) fn wait(&self) {
         self.arrived.fetch_add(1, Ordering::AcqRel);
+        let mut polls = 0u32;
         while self.arrived.load(Ordering::Acquire) < self.n {
-            std::thread::yield_now();
+            polls = polls.saturating_add(1);
+            if polls < Self::SPIN_BUDGET {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
         }
     }
 }

@@ -160,6 +160,10 @@ impl LockFreeWaiter {
         let goal = self.round + 1;
         s.control.record_arrival(self.block_id, self.round);
         s.array_in.store(self.block_id, goal);
+        // record_arrival's wake precedes the Arrayin store, so a parked
+        // collector could re-poll just before the flag lands; wake again
+        // now that it is visible.
+        s.control.wake_parked();
     }
 
     /// Complete the split-phase barrier begun by `arrive_only`.
@@ -183,6 +187,8 @@ impl LockFreeWaiter {
             for i in 0..s.n_blocks {
                 s.array_out.store(i, goal);
             }
+            // The broadcast releases every peer parked on Arrayout.
+            ctl.wake_parked();
         }
         ctl.wait_until(
             bid,

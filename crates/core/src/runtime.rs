@@ -469,7 +469,15 @@ fn run_launch(launch: &Arc<Launch>, block: usize) {
                     launch.setup.abort.abort();
                     break;
                 }
-                std::thread::yield_now();
+                // Same spin budget as the no-timeout arm: bare yields are
+                // bounded, then back off to sleeps — a timeout may be
+                // seconds long, and burning a core for its whole span is
+                // exactly the busy-wait the parking discipline forbids.
+                if polls < 4096 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
             }
             _ => {
                 stuck_since = None;
@@ -1154,8 +1162,17 @@ mod tests {
         let release = Arc::clone(&gate);
         let slow: Arc<dyn RoundKernel + Send + Sync> =
             Arc::new((1usize, move |_: &BlockCtx, _: usize| {
+                let mut polls = 0u32;
                 while !release.load(Ordering::Acquire) {
-                    std::thread::yield_now();
+                    // Bounded spin-then-sleep, like the runtime's own
+                    // waits: this gate is held open across assertions, so
+                    // a bare yield loop would busy-burn a core.
+                    polls = polls.saturating_add(1);
+                    if polls < 4096 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
                 }
             }));
         let h1 = rt.submit_dyn(slow).unwrap();

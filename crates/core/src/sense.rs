@@ -88,6 +88,8 @@ impl BarrierWaiter for SenseWaiter {
         if arrived == s.n_blocks {
             s.count.store(0, Ordering::Relaxed);
             s.sense.fetch_add(1, Ordering::Release);
+            // The sense flip releases every peer; wake parked waiters.
+            ctl.wake_parked();
         } else {
             ctl.wait_until(
                 bid,

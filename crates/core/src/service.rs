@@ -355,23 +355,28 @@ impl GridService {
         kernel: Arc<dyn RoundKernel + Send + Sync>,
         deadline: Duration,
     ) -> Result<ServiceHandle, ServiceError> {
+        // One clock for the whole call: every deadline check and the
+        // reported `waited` derive from this entry instant, so spurious
+        // condvar wakeups (or the 5 ms wait slices) can neither restart
+        // nor inflate the accounting.
         let start = Instant::now();
         loop {
             self.reap_idle();
             match self.try_submit(tenant, key, &kernel) {
                 Err(e) if e.is_backpressure() => {
-                    let waited = start.elapsed();
-                    if waited >= deadline {
-                        return Err(ServiceError::Deadline {
-                            shard: key.to_string(),
-                            waited,
-                        });
-                    }
                     // Park until a release (or a slice of the remaining
                     // deadline) and retry; rejections never consume the
                     // kernel, so the same Arc is resubmitted.
                     let mut st = self.inner.state.lock();
                     let remaining = deadline.saturating_sub(start.elapsed());
+                    if remaining.is_zero() {
+                        // Sampled once, at the moment of giving up: the
+                        // total wall time spent in this call.
+                        return Err(ServiceError::Deadline {
+                            shard: key.to_string(),
+                            waited: start.elapsed(),
+                        });
+                    }
                     let _ = self
                         .inner
                         .cv
@@ -655,6 +660,30 @@ mod tests {
         match err {
             ServiceError::Deadline { waited, .. } => {
                 assert!(waited >= Duration::from_millis(20));
+            }
+            other => panic!("expected Deadline, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deadline_accounting_spans_every_wake() {
+        // A 27 ms deadline forces several 5 ms wait slices (each wake is a
+        // fresh pass through the loop). The reported wait must be the
+        // total time since entry — a clock restarted per condvar wake
+        // would report under 5 ms, an accumulation bug could report far
+        // more than the wall time actually spent.
+        let svc = GridService::new(ServiceConfig::default().with_tenant_quota(0));
+        let key = ShardKey::new(2, 8, SyncMethod::GpuLockFree);
+        let deadline = Duration::from_millis(27);
+        let entry = Instant::now();
+        let err = svc
+            .submit_within("t", key, count(2, 3), deadline)
+            .unwrap_err();
+        let wall = entry.elapsed();
+        match err {
+            ServiceError::Deadline { waited, .. } => {
+                assert!(waited >= deadline, "under-reported: {waited:?}");
+                assert!(waited <= wall, "over-reported: {waited:?} > wall {wall:?}");
             }
             other => panic!("expected Deadline, got {other}"),
         }

@@ -117,6 +117,9 @@ impl BarrierWaiter for SimpleWaiter {
                 // goalVal = N on the first call, then += N each call.
                 let goal = (self.round + 1) * n;
                 s.g_mutex.fetch_add(1, Ordering::AcqRel);
+                // The last add releases everyone; wake parked waiters so
+                // they re-poll now instead of at their park bound.
+                ctl.wake_parked();
                 // Monotone comparison (not equality) tolerates observing a
                 // later round's additions.
                 ctl.wait_until(
@@ -138,6 +141,7 @@ impl BarrierWaiter for SimpleWaiter {
                     // race with next-round additions.
                     s.g_mutex.store(0, Ordering::Relaxed);
                     s.epoch.fetch_add(1, Ordering::Release);
+                    ctl.wake_parked();
                 } else {
                     ctl.wait_until(
                         bid,

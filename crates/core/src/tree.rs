@@ -276,6 +276,8 @@ impl BarrierWaiter for TreeWaiter {
             let g = level.group_of[participant];
             let group_goal = goal_round * level.sizes[g] as u64;
             level.counters[g].fetch_add(1, Ordering::AcqRel);
+            // A parked group leader waits on this counter; wake it.
+            ctl.wake_parked();
             if level.leader[participant] {
                 ctl.wait_until(
                     bid,
@@ -290,9 +292,11 @@ impl BarrierWaiter for TreeWaiter {
             }
         }
 
-        // Root: ascending leaders add; everyone spins for release.
+        // Root: ascending leaders add; everyone spins for release. The last
+        // leader's add releases the whole grid, so wake the parked lot.
         if ascending {
             s.root.fetch_add(1, Ordering::AcqRel);
+            ctl.wake_parked();
         }
         let root_goal = goal_round * s.root_width as u64;
         ctl.wait_until(

@@ -86,6 +86,13 @@ pub struct CalibrationProfile {
     /// dispatch of the next (already-queued) launch; launch transfer is
     /// pipelined behind the previous round's execution (Eq. 4).
     pub implicit_round_overhead_ns: u64,
+    /// One park/wake handoff of a `SpinStrategy::Park` barrier waiter: the
+    /// cost of a waiter blocking on an OS condvar and being notified back
+    /// onto a core. Prices the oversubscription penalty of GPU-side
+    /// barriers run with more blocks than cores — each extra *wave* of
+    /// blocks adds roughly two such handoffs per round (descheduling the
+    /// spinners of one wave, scheduling the next).
+    pub park_wake_ns: u64,
 }
 
 impl CalibrationProfile {
@@ -104,6 +111,7 @@ impl CalibrationProfile {
             warm_launch_ns: 3_000,
             explicit_round_overhead_ns: 13_000,
             implicit_round_overhead_ns: 6_000,
+            park_wake_ns: 5_000,
         }
     }
 
@@ -127,6 +135,7 @@ impl CalibrationProfile {
             warm_launch_ns: 1_800,
             explicit_round_overhead_ns: 9_000,
             implicit_round_overhead_ns: 4_000,
+            park_wake_ns: 4_000,
         }
     }
 
@@ -147,6 +156,7 @@ impl CalibrationProfile {
             warm_launch_ns: 0,
             explicit_round_overhead_ns: 0,
             implicit_round_overhead_ns: 0,
+            park_wake_ns: 1,
         }
     }
 
@@ -214,6 +224,22 @@ impl CalibrationProfile {
     /// Per-round CPU implicit synchronization overhead as a [`SimDuration`].
     pub fn implicit_round_overhead(&self) -> SimDuration {
         SimDuration(self.implicit_round_overhead_ns)
+    }
+
+    /// One park/wake handoff of a parking barrier waiter as a
+    /// [`SimDuration`].
+    pub fn park_wake(&self) -> SimDuration {
+        SimDuration(self.park_wake_ns)
+    }
+
+    /// The extra per-round cost the cost model charges a GPU-side barrier
+    /// for running `n` blocks where only `max_resident` fit at once:
+    /// `2 * (waves - 1) * park_wake_ns`, i.e. two park/wake handoffs per
+    /// extra wave of blocks (one to deschedule a spinning wave, one to
+    /// schedule the next). Zero when the grid fits.
+    pub fn oversubscription_penalty_ns(&self, n: usize, max_resident: usize) -> u64 {
+        let waves = n.div_ceil(max_resident.max(1)) as u64;
+        2 * waves.saturating_sub(1) * self.park_wake_ns
     }
 }
 
@@ -290,6 +316,7 @@ pub fn measure_host(budget: MeasureBudget) -> CalibrationProfile {
     let warm_launch_ns = pooled_relaunch_ns(64);
     let explicit_round_overhead_ns = explicit_round_ns(12);
     let implicit_round_overhead_ns = implicit_round_ns(64);
+    let park_wake_ns = park_wake_one_way_ns(64);
     let poll_gap_ns = (observe / 8).max(1);
     let mem_read_service_ns = (observe / 8).max(1);
     let mem_read_latency_ns = (observe - poll_gap_ns - mem_read_service_ns).max(1);
@@ -306,6 +333,7 @@ pub fn measure_host(budget: MeasureBudget) -> CalibrationProfile {
         warm_launch_ns: warm_launch_ns.max(1),
         explicit_round_overhead_ns: explicit_round_overhead_ns.max(1),
         implicit_round_overhead_ns: implicit_round_overhead_ns.max(1),
+        park_wake_ns: park_wake_ns.max(1),
     }
 }
 
@@ -458,6 +486,52 @@ fn implicit_round_ns(rounds: u32) -> u64 {
     (wall.as_nanos() as u64) / rounds as u64
 }
 
+/// One park/wake handoff of a parking barrier waiter: two threads alternate
+/// on a condvar, each *timed*-waiting (the `SpinStrategy::Park` discipline —
+/// a parked waiter always re-arms a bounded wait) until the peer's notify
+/// lands. Half of a round trip is one park-to-wake latency, the unit the
+/// cost model charges per descheduled wave in an oversubscribed grid.
+fn park_wake_one_way_ns(rounds: u32) -> u64 {
+    #[derive(Default)]
+    struct Lot {
+        state: Mutex<u64>, // completed half-rounds
+        cv: Condvar,
+    }
+    let shared = Arc::new(Lot::default());
+    let bound = std::time::Duration::from_millis(1);
+    let worker = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let goal = 2 * rounds as u64;
+            let mut st = shared.state.lock().expect("probe lock");
+            while *st < goal {
+                if *st % 2 == 1 {
+                    *st += 1;
+                    shared.cv.notify_all();
+                } else {
+                    st = shared.cv.wait_timeout(st, bound).expect("probe wait").0;
+                }
+            }
+        })
+    };
+    let goal = 2 * rounds as u64;
+    let start = Instant::now();
+    {
+        let mut st = shared.state.lock().expect("probe lock");
+        while *st < goal {
+            if *st % 2 == 0 {
+                *st += 1;
+                shared.cv.notify_all();
+            } else {
+                st = shared.cv.wait_timeout(st, bound).expect("probe wait").0;
+            }
+        }
+    }
+    let wall = start.elapsed();
+    worker.join().expect("probe thread");
+    (wall.as_nanos() as u64) / (2 * rounds as u64)
+}
+
 /// One warm (pooled) kernel relaunch: dispatch a launch sequence number to a
 /// resident two-worker pool and wait until every worker has picked it up.
 /// Unlike `spawn_join_ns` (the cold launch probe) there is no thread
@@ -565,6 +639,24 @@ mod tests {
             c.implicit_round_overhead().as_nanos(),
             c.implicit_round_overhead_ns
         );
+        assert_eq!(c.park_wake().as_nanos(), c.park_wake_ns);
+    }
+
+    #[test]
+    fn oversubscription_penalty_scales_with_waves() {
+        let c = CalibrationProfile::gtx280();
+        // A grid that fits costs nothing extra.
+        assert_eq!(c.oversubscription_penalty_ns(30, 30), 0);
+        assert_eq!(c.oversubscription_penalty_ns(1, 30), 0);
+        // 31 blocks on 30 SMs is two waves: one extra park/wake pair.
+        assert_eq!(c.oversubscription_penalty_ns(31, 30), 2 * c.park_wake_ns);
+        // 16x oversubscription is 16 waves: 30 handoffs.
+        assert_eq!(
+            c.oversubscription_penalty_ns(480, 30),
+            2 * 15 * c.park_wake_ns
+        );
+        // Degenerate zero-resident denominator must not panic.
+        assert_eq!(c.oversubscription_penalty_ns(4, 0), 6 * c.park_wake_ns);
     }
 
     #[test]
@@ -609,6 +701,9 @@ mod tests {
         // ordering vs. the cold launch is timing-dependent on a loaded box,
         // so only the structural floor is asserted here.
         assert!(cal.warm_launch_ns >= 1);
+        // Park/wake must be measurable so oversubscribed candidates are
+        // priced, never free.
+        assert!(cal.park_wake_ns >= 1);
     }
 
     #[test]

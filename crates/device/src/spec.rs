@@ -7,9 +7,13 @@ use crate::error::DeviceError;
 ///
 /// The fields mirror Section 2 of the paper ("Overview of CUDA on the
 /// NVIDIA GTX 280"). The one-to-one block-to-SM mapping required by the
-/// GPU synchronization approaches means `num_sms` is also the maximum
-/// number of blocks a persistent kernel may use (see
-/// [`GpuSpec::max_persistent_blocks`]).
+/// GPU synchronization approaches means `num_sms` is the maximum number of
+/// blocks a *purely spinning* persistent kernel may use (see
+/// [`GpuSpec::max_persistent_blocks`]). Parking barriers
+/// (`SpinStrategy::Park`) lift that ceiling: a waiter that deschedules
+/// itself frees its execution slot for a not-yet-run block, so grids larger
+/// than the SM count still make progress (see
+/// [`GpuSpec::validate_persistent_launch_with_parking`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Marketing / model name, e.g. `"GeForce GTX 280"`.
@@ -85,13 +89,18 @@ impl GpuSpec {
     }
 
     /// Maximum number of blocks usable by a kernel that participates in a
-    /// GPU (device-side) barrier.
+    /// GPU (device-side) barrier **with a pure spin-wait**.
     ///
     /// Section 5 of the paper: because blocks are non-preemptive, a grid-wide
     /// spin barrier deadlocks unless every block is simultaneously resident,
     /// which the paper guarantees with a one-to-one block/SM mapping (at most
     /// one block per SM, enforced by allocating all shared memory to each
     /// block).
+    ///
+    /// This ceiling applies only to spinning waiters. A parking barrier
+    /// (`SpinStrategy::Park`) bounds every wait, so a stalled wave yields
+    /// its slots and larger grids complete in waves — use
+    /// [`GpuSpec::validate_persistent_launch_with_parking`] for those.
     pub fn max_persistent_blocks(&self) -> u32 {
         self.num_sms
     }
@@ -175,6 +184,39 @@ impl GpuSpec {
         }
         Ok(())
     }
+
+    /// Validate a persistent launch whose waiters may park.
+    ///
+    /// With `parking == false` this is exactly
+    /// [`GpuSpec::validate_persistent_launch`]. With `parking == true` the
+    /// resident-block ceiling is waived: a parked waiter relinquishes its
+    /// execution slot within a bounded spin budget, so blocks beyond the SM
+    /// count run as later waves instead of deadlocking the grid. The thread
+    /// and empty-launch checks still apply — parking changes scheduling,
+    /// not per-block architectural limits.
+    pub fn validate_persistent_launch_with_parking(
+        &self,
+        blocks: u32,
+        threads_per_block: u32,
+        parking: bool,
+    ) -> Result<(), DeviceError> {
+        if blocks == 0 || threads_per_block == 0 {
+            return Err(DeviceError::EmptyLaunch);
+        }
+        if !parking && blocks > self.max_persistent_blocks() {
+            return Err(DeviceError::TooManyBlocks {
+                requested: blocks,
+                max: self.max_persistent_blocks(),
+            });
+        }
+        if threads_per_block > self.max_threads_per_block {
+            return Err(DeviceError::TooManyThreads {
+                requested: threads_per_block,
+                max: self.max_threads_per_block,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Default for GpuSpec {
@@ -211,6 +253,32 @@ mod tests {
                 requested: 31,
                 max: 30
             })
+        ));
+    }
+
+    #[test]
+    fn parking_waives_the_block_ceiling_only() {
+        let g = GpuSpec::gtx280();
+        // Without parking: identical to the strict validator.
+        assert!(matches!(
+            g.validate_persistent_launch_with_parking(31, 512, false),
+            Err(DeviceError::TooManyBlocks {
+                requested: 31,
+                max: 30
+            })
+        ));
+        // With parking: 16x the SM count is admissible.
+        assert!(g
+            .validate_persistent_launch_with_parking(480, 512, true)
+            .is_ok());
+        // Parking does not waive architectural limits.
+        assert!(matches!(
+            g.validate_persistent_launch_with_parking(480, 513, true),
+            Err(DeviceError::TooManyThreads { .. })
+        ));
+        assert!(matches!(
+            g.validate_persistent_launch_with_parking(0, 128, true),
+            Err(DeviceError::EmptyLaunch)
         ));
     }
 

@@ -45,6 +45,7 @@ pub use equations::{
 pub use fit::{fit_line, LinearFit};
 pub use predict::{barrier_cost_ns, simple_vs_implicit_crossover, BarrierKind, PredictMethod};
 pub use selector::{
-    crossover, crossover_table, predicted_sync_ns, prediction_table, select, MethodKind, Prediction,
+    cheapest, crossover, crossover_table, predicted_sync_ns, prediction_table, select, MethodKind,
+    Prediction, SelectorError,
 };
 pub use speedup::{kernel_speedup, max_speedup, rho};

@@ -117,16 +117,52 @@ pub fn predicted_sync_ns(cal: &CalibrationProfile, kind: MethodKind, n: usize) -
 pub struct Prediction {
     /// The method this row prices.
     pub kind: MethodKind,
-    /// Predicted per-round sync cost, ns.
+    /// Predicted per-round sync cost, ns. For oversubscribed GPU-side rows
+    /// this includes the park/wake penalty
+    /// ([`CalibrationProfile::oversubscription_penalty_ns`]).
     pub sync_ns: f64,
-    /// Whether the device can run it at this block count (GPU-side methods
-    /// are limited to one block per SM).
+    /// Whether the device can run it at this block count. GPU-side methods
+    /// beyond the resident-block ceiling are still eligible — they run with
+    /// parking waiters (`SpinStrategy::Park`) — but priced accordingly.
     pub eligible: bool,
+    /// True when the row needs more blocks than fit simultaneously, so the
+    /// runtime must use a parking spin strategy to run it deadlock-free.
+    pub oversubscribed: bool,
 }
 
+/// Structured selection failure, replacing the former panic when the
+/// candidate table is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectorError {
+    /// `n == 0`: no grid to synchronize.
+    EmptyGrid,
+    /// No candidate row was eligible (e.g. a filtered table that dropped
+    /// the always-eligible CPU methods).
+    NoEligibleCandidate {
+        /// Rows considered before giving up.
+        considered: usize,
+    },
+}
+
+impl std::fmt::Display for SelectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectorError::EmptyGrid => write!(f, "cannot select a sync method for 0 blocks"),
+            SelectorError::NoEligibleCandidate { considered } => write!(
+                f,
+                "no eligible sync method among {considered} candidate row(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SelectorError {}
+
 /// The full prediction table for `n` blocks. `max_gpu_blocks` is the
-/// device's persistent-block ceiling (`GpuSpec::max_persistent_blocks`);
-/// GPU-side rows beyond it are kept in the table but marked ineligible.
+/// device's resident-block ceiling (`GpuSpec::max_persistent_blocks`);
+/// GPU-side rows beyond it stay eligible but are flagged `oversubscribed`
+/// and carry the park/wake penalty in their price: each extra wave of
+/// blocks costs two park/wake handoffs per round.
 pub fn prediction_table(
     cal: &CalibrationProfile,
     n: usize,
@@ -134,24 +170,28 @@ pub fn prediction_table(
 ) -> Vec<Prediction> {
     candidates(cal, n)
         .into_iter()
-        .map(|kind| Prediction {
-            kind,
-            sync_ns: predicted_sync_ns(cal, kind, n),
-            eligible: !kind.is_gpu_side() || n <= max_gpu_blocks,
+        .map(|kind| {
+            let oversubscribed = kind.is_gpu_side() && n > max_gpu_blocks;
+            let penalty = if oversubscribed {
+                cal.oversubscription_penalty_ns(n, max_gpu_blocks) as f64
+            } else {
+                0.0
+            };
+            Prediction {
+                kind,
+                sync_ns: predicted_sync_ns(cal, kind, n) + penalty,
+                eligible: true,
+                oversubscribed,
+            }
         })
         .collect()
 }
 
-/// Pick the cheapest eligible method for `n` blocks: the argmin of the
-/// prediction table, ties resolving to the earlier row (the paper's
-/// ordering, so established methods win ties against extensions).
-///
-/// # Panics
-/// Panics if `n == 0`. Never returns `None` in practice: the CPU methods
-/// are always eligible.
-pub fn select(cal: &CalibrationProfile, n: usize, max_gpu_blocks: usize) -> Prediction {
-    assert!(n > 0);
-    let table = prediction_table(cal, n, max_gpu_blocks);
+/// The cheapest eligible row of a prediction table, ties resolving to the
+/// earlier row (the paper's ordering, so established methods win ties
+/// against extensions). Returns [`SelectorError::NoEligibleCandidate`]
+/// instead of panicking when the table has no eligible rows.
+pub fn cheapest(table: &[Prediction]) -> Result<Prediction, SelectorError> {
     table
         .iter()
         .filter(|p| p.eligible)
@@ -159,7 +199,23 @@ pub fn select(cal: &CalibrationProfile, n: usize, max_gpu_blocks: usize) -> Pred
             Some(b) if b.sync_ns <= p.sync_ns => Some(b),
             _ => Some(*p),
         })
-        .expect("CPU methods are always eligible")
+        .ok_or(SelectorError::NoEligibleCandidate {
+            considered: table.len(),
+        })
+}
+
+/// Pick the cheapest eligible method for `n` blocks: the argmin of the
+/// prediction table. Oversubscribed GPU-side candidates compete on price
+/// (base cost plus park/wake penalty) rather than being excluded outright.
+pub fn select(
+    cal: &CalibrationProfile,
+    n: usize,
+    max_gpu_blocks: usize,
+) -> Result<Prediction, SelectorError> {
+    if n == 0 {
+        return Err(SelectorError::EmptyGrid);
+    }
+    cheapest(&prediction_table(cal, n, max_gpu_blocks))
 }
 
 /// First block count in `2..=max_n` at which `a` becomes strictly more
@@ -241,18 +297,78 @@ mod tests {
         // The paper's headline: at full occupancy the lock-free barrier is
         // the fastest method on the GTX 280.
         let cal = CalibrationProfile::gtx280();
-        let pick = select(&cal, 30, 30);
+        let pick = select(&cal, 30, 30).unwrap();
         assert_eq!(pick.kind, MethodKind::GpuLockFree);
+        assert!(!pick.oversubscribed);
     }
 
     #[test]
     fn oversubscribed_grid_falls_back_to_cpu_implicit() {
-        // Beyond the persistent-block ceiling only the CPU methods remain,
-        // and implicit beats explicit on every profile we ship.
+        // Beyond the resident-block ceiling the GPU rows stay in the race
+        // but pay the park/wake penalty; on the GTX 280 profile that makes
+        // CPU implicit the winner at 64 blocks.
         let cal = CalibrationProfile::gtx280();
-        let pick = select(&cal, 64, 30);
+        let pick = select(&cal, 64, 30).unwrap();
         assert_eq!(pick.kind, MethodKind::CpuImplicit);
         assert!(!pick.kind.is_gpu_side());
+    }
+
+    #[test]
+    fn oversubscribed_gpu_rows_are_priced_not_excluded() {
+        let cal = CalibrationProfile::gtx280();
+        let fit = prediction_table(&cal, 64, 64);
+        let over = prediction_table(&cal, 64, 30);
+        let penalty = cal.oversubscription_penalty_ns(64, 30) as f64;
+        assert!(penalty > 0.0);
+        for (f, o) in fit.iter().zip(&over) {
+            assert_eq!(f.kind, o.kind);
+            assert!(o.eligible, "{:?} must stay eligible", o.kind);
+            if o.kind.is_gpu_side() {
+                assert!(o.oversubscribed);
+                assert_eq!(o.sync_ns, f.sync_ns + penalty, "{:?}", o.kind);
+            } else {
+                assert!(!o.oversubscribed);
+                assert_eq!(o.sync_ns, f.sync_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn cheap_parking_lets_a_gpu_method_win_oversubscribed() {
+        // When the park/wake handoff is nearly free and relaunches are
+        // expensive, an oversubscribed GPU barrier should out-price the CPU
+        // paths — the selector must be willing to pick it.
+        let mut cal = CalibrationProfile::gtx280();
+        cal.park_wake_ns = 1;
+        cal.implicit_round_overhead_ns = 1_000_000;
+        cal.explicit_round_overhead_ns = 2_000_000;
+        let pick = select(&cal, 64, 30).unwrap();
+        assert!(pick.kind.is_gpu_side());
+        assert!(pick.oversubscribed);
+    }
+
+    #[test]
+    fn selection_failures_are_structured() {
+        let cal = CalibrationProfile::gtx280();
+        assert_eq!(select(&cal, 0, 30), Err(SelectorError::EmptyGrid));
+        // A table with every row filtered out must report, not panic —
+        // the former `.expect("CPU methods are always eligible")` path.
+        let mut table = prediction_table(&cal, 8, 30);
+        for row in &mut table {
+            row.eligible = false;
+        }
+        assert_eq!(
+            cheapest(&table),
+            Err(SelectorError::NoEligibleCandidate {
+                considered: table.len()
+            })
+        );
+        assert_eq!(
+            cheapest(&[]),
+            Err(SelectorError::NoEligibleCandidate { considered: 0 })
+        );
+        let msg = SelectorError::NoEligibleCandidate { considered: 9 }.to_string();
+        assert!(msg.contains("9 candidate"), "{msg}");
     }
 
     #[test]
@@ -262,7 +378,7 @@ mod tests {
         // the lock-free design's two store+check phases.
         let mut cal = CalibrationProfile::gtx280();
         cal.atomic_add_ns = 5;
-        let pick = select(&cal, 8, 30);
+        let pick = select(&cal, 8, 30).unwrap();
         assert_eq!(pick.kind, MethodKind::GpuSimple);
     }
 

@@ -48,6 +48,13 @@ pub struct SimConfig {
     /// rather than merged reads — the pessimistic end of the checking-cost
     /// spectrum. Off by default.
     pub cas_polling: bool,
+    /// Model parking waiters (`SpinStrategy::Park`): a spinning block whose
+    /// poll fails yields its SM to a not-yet-dispatched block, paying one
+    /// park/wake handoff ([`CalibrationProfile::park_wake`]) per re-poll.
+    /// Lifts the one-block-per-SM validation ceiling for GPU-side methods —
+    /// oversubscribed grids complete in waves instead of deadlocking. Off
+    /// by default (the paper's spin-only regime).
+    pub parking: bool,
     /// Device architecture.
     pub spec: GpuSpec,
     /// Timing calibration.
@@ -66,9 +73,16 @@ impl SimConfig {
             tree_fanout: None,
             trace: false,
             cas_polling: false,
+            parking: false,
             spec: GpuSpec::gtx280(),
             cal: CalibrationProfile::gtx280(),
         }
+    }
+
+    /// Enable parking waiters (see [`SimConfig::parking`]).
+    pub fn with_parking(mut self) -> Self {
+        self.parking = true;
+        self
     }
 
     /// Use a serial lock-free collector (ablation).
@@ -108,24 +122,19 @@ impl SimConfig {
     }
 
     /// Validate block/thread counts against the device, enforcing the
-    /// one-block-per-SM rule for GPU-side methods.
+    /// one-block-per-SM rule for GPU-side methods with spinning waiters.
+    /// With [`SimConfig::parking`] enabled the block ceiling is waived —
+    /// parked waiters free their SMs, so oversubscribed grids complete in
+    /// waves (see [`GpuSpec::validate_persistent_launch_with_parking`]).
     pub fn validate(&self) -> Result<(), DeviceError> {
-        if self.n_blocks == 0 || self.threads_per_block == 0 {
-            return Err(DeviceError::EmptyLaunch);
-        }
-        if self.threads_per_block as u32 > self.spec.max_threads_per_block {
-            return Err(DeviceError::TooManyThreads {
-                requested: self.threads_per_block as u32,
-                max: self.spec.max_threads_per_block,
-            });
-        }
-        if self.method.is_gpu_side() && self.n_blocks as u32 > self.spec.max_persistent_blocks() {
-            return Err(DeviceError::TooManyBlocks {
-                requested: self.n_blocks as u32,
-                max: self.spec.max_persistent_blocks(),
-            });
-        }
-        Ok(())
+        // CPU-side methods relaunch per round and never pin blocks to SMs,
+        // so they get the waived ceiling unconditionally.
+        let ceiling_waived = !self.method.is_gpu_side() || self.parking;
+        self.spec.validate_persistent_launch_with_parking(
+            self.n_blocks as u32,
+            self.threads_per_block as u32,
+            ceiling_waived,
+        )
     }
 }
 
@@ -239,8 +248,11 @@ pub fn simulate(cfg: &SimConfig, workload: &dyn Workload) -> SimReport {
 /// `spec.num_sms` blocks are resident; a waiting block is dispatched when a
 /// resident block **finishes the whole kernel** (blocks are non-preemptive).
 /// CPU-synchronized kernels execute oversubscribed grids in waves per
-/// round and succeed; GPU-barrier kernels deadlock, which is detected and
-/// reported as [`SimError::Deadlock`].
+/// round and succeed; spinning GPU-barrier kernels deadlock, which is
+/// detected and reported as [`SimError::Deadlock`]. With
+/// [`SimConfig::parking`], GPU-barrier waiters yield their SMs on failed
+/// polls, so oversubscribed grids complete (paying a park/wake handoff per
+/// re-poll) instead of deadlocking.
 pub fn try_simulate(cfg: &SimConfig, workload: &dyn Workload) -> Result<SimReport, SimError> {
     if cfg.n_blocks == 0 || cfg.threads_per_block == 0 {
         return Err(SimError::Invalid(DeviceError::EmptyLaunch));
@@ -265,6 +277,9 @@ pub fn try_simulate(cfg: &SimConfig, workload: &dyn Workload) -> Result<SimRepor
                 .decide(cfg.n_blocks, cfg.spec.max_persistent_blocks() as usize);
             let resolved = SimConfig {
                 method: decision.chosen,
+                // An oversubscribed GPU winner only runs deadlock-free with
+                // parking waiters — arm them, as the host executor does.
+                parking: cfg.parking || decision.oversubscribed,
                 ..cfg.clone()
             };
             try_simulate(&resolved, workload)
@@ -445,7 +460,18 @@ impl<'a> Engine<'a> {
                         };
                         self.push(ret, ev);
                     } else {
-                        let next = ret + self.cfg.cal.poll_gap();
+                        // A failed poll under a parking policy deschedules
+                        // the waiter: its SM slot goes to the next stalled
+                        // block (this is what breaks the oversubscription
+                        // deadlock), and it re-polls only after a park/wake
+                        // handoff rather than at the spin cadence.
+                        let gap = if self.cfg.parking && self.oversubscribed() {
+                            self.dispatch_next(ret);
+                            self.cfg.cal.park_wake()
+                        } else {
+                            self.cfg.cal.poll_gap()
+                        };
+                        let next = ret + gap;
                         self.push(
                             next,
                             Event::Poll {
@@ -477,6 +503,23 @@ impl<'a> Engine<'a> {
 
         let total = end.since(SimTime::ZERO);
         Ok(self.report(total, launch))
+    }
+
+    /// Whether the grid has more blocks than SM slots — the regime where a
+    /// parking waiter's yielded slot matters.
+    fn oversubscribed(&self) -> bool {
+        self.cfg.n_blocks > (self.cfg.spec.max_persistent_blocks() as usize).max(1)
+    }
+
+    /// Dispatch the next not-yet-run block onto the slot a parked waiter
+    /// just freed. No-op once every block has been dispatched.
+    fn dispatch_next(&mut self, now: SimTime) {
+        if let Some(bid) = self.launch_queue.pop_front() {
+            let c = self.workload.compute(bid, 0);
+            self.blocks[bid].compute += c;
+            self.record(now, bid, TraceKind::ComputeStart { round: 0 });
+            self.push(now + c, Event::Arrive { bid });
+        }
     }
 
     /// Watchdog snapshot: who is frozen where. Resident, unfinished blocks
@@ -872,6 +915,61 @@ mod tests {
                 other => panic!("{m}: expected deadlock, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn parking_survives_oversubscription() {
+        // The same 31-blocks-on-30-SMs grid that deadlocks a spinning
+        // barrier completes with parking waiters — including at 16x the
+        // SM count — and every block does its full complement of work.
+        let w = ConstWorkload::from_micros(0.5, 5);
+        for m in [SyncMethod::GpuSimple, SyncMethod::GpuLockFree] {
+            for n in [31usize, 480] {
+                let cfg = SimConfig::new(n, 64, m).with_parking();
+                let r = try_simulate(&cfg, &w).unwrap_or_else(|e| panic!("{m} at {n} blocks: {e}"));
+                assert_eq!(r.rounds, 5, "{m} at {n}");
+                assert_eq!(r.n_blocks, n, "{m} at {n}");
+                for c in &r.per_block_compute {
+                    assert_eq!(c.as_nanos(), 5 * 500, "{m} at {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parking_is_priced_not_free() {
+        // An oversubscribed parked grid must cost more wall time than the
+        // same work at full residency: waves serialize and every failed
+        // poll pays a park/wake handoff.
+        let w = ConstWorkload::from_micros(0.5, 10);
+        let fit = try_simulate(&SimConfig::new(30, 64, SyncMethod::GpuLockFree), &w)
+            .unwrap()
+            .total;
+        let parked = try_simulate(
+            &SimConfig::new(60, 64, SyncMethod::GpuLockFree).with_parking(),
+            &w,
+        )
+        .unwrap()
+        .total;
+        assert!(
+            parked > fit,
+            "oversubscription must not be free: {parked:?} vs {fit:?}"
+        );
+    }
+
+    #[test]
+    fn parking_at_full_residency_changes_nothing() {
+        // Parking only matters past the SM count: a grid that fits runs
+        // bit-identically with and without it.
+        let w = ConstWorkload::from_micros(0.5, 20);
+        let plain = try_simulate(&SimConfig::new(30, 64, SyncMethod::GpuSimple), &w).unwrap();
+        let parked = try_simulate(
+            &SimConfig::new(30, 64, SyncMethod::GpuSimple).with_parking(),
+            &w,
+        )
+        .unwrap();
+        assert_eq!(plain.total, parked.total);
+        assert_eq!(plain.per_block_sync, parked.per_block_sync);
     }
 
     #[test]
